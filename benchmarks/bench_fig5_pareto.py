@@ -1,0 +1,18 @@
+"""Fig. 5 benchmark: Pareto model, estimator recovery, eq. (5) validation."""
+
+from __future__ import annotations
+
+from repro.experiments import fig5_pareto
+
+
+def test_fig5_pareto(benchmark, profile, publish):
+    result = benchmark.pedantic(
+        fig5_pareto.run, args=(profile,), rounds=1, iterations=1
+    )
+    publish(result)
+    rows = {(row["alpha"], row["beta"]): row for row in result.rows}
+    for (alpha, _beta), row in rows.items():
+        # The paper's estimator recovers alpha...
+        assert abs(row["alpha_mom"] - alpha) / alpha < 0.15
+        # ... and eq. (5) matches the numerical optimum of eq. (4).
+        assert abs(row["t_opt_eq5_s"] - row["t_opt_numeric_s"]) < 0.5

@@ -1,0 +1,55 @@
+"""Fig. 9 benchmark: per-period disk requests and idleness over time."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig9_timeseries
+
+
+def test_fig9_timeseries(benchmark, profile, publish):
+    result = benchmark.pedantic(
+        fig9_timeseries.run, args=(profile,), rounds=1, iterations=1
+    )
+    publish(result)
+    rows = result.rows
+
+    def requests(memory_gb):
+        return np.array(
+            [
+                row["disk_requests"]
+                for row in rows
+                if row["memory_gb"] == memory_gb
+            ],
+            dtype=float,
+        )
+
+    small, large = requests(8), requests(16)
+    assert small.size and large.size
+
+    from repro.experiments.ascii_chart import series_panel
+
+    print()
+    print(
+        series_panel(
+            {"8 GB": small.tolist(), "16 GB": large.tolist()},
+            title="Fig. 9(a) -- disk requests per period",
+        )
+    )
+
+    # Paper shape 1: more disk requests at 8 GB than at 16 GB (the
+    # 32-GB data set fits neither, but 16 GB catches more reuse).
+    assert small.mean() >= large.mean()
+
+    # Paper shape 2: period-to-period variation is bounded -- the
+    # last-period value is a usable prediction (paper: max ~15-25 %,
+    # average under ~5 % on their trace; we allow head-room for the
+    # shorter horizon).
+    def avg_variation(series):
+        if series.size < 2:
+            return 0.0
+        return float(
+            np.mean(np.abs(np.diff(series)) / np.maximum(series[1:], 1e-9))
+        )
+
+    assert avg_variation(large) < 0.75

@@ -1,0 +1,27 @@
+"""Idle-distribution extension benchmark."""
+
+from __future__ import annotations
+
+from repro.experiments import idle_fit
+
+
+def test_idle_interval_distribution(benchmark, profile, publish):
+    result = benchmark.pedantic(
+        idle_fit.run, args=(profile,), rounds=1, iterations=1
+    )
+    publish(result)
+    rows = result.rows
+    memories = sorted({row["memory_gb"] for row in rows})
+
+    for memory in memories:
+        bins = [row for row in rows if row["memory_gb"] == memory]
+        total = sum(row["intervals"] for row in bins)
+        assert total > 0, memory
+        # Heavy tail: intervals are count-concentrated at the short end...
+        assert bins[0]["intervals"] >= bins[-1]["intervals"]
+        # ... while the idle *time* mass sits well beyond the shortest bin.
+        long_share = sum(row["share_of_idle_time"] for row in bins[3:])
+        assert long_share > 0.3, memory
+
+    # Fit scores were produced for every size.
+    assert result.notes.count("alpha=") == len(memories)

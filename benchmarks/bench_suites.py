@@ -1,0 +1,75 @@
+"""Capstone: the joint method across every named workload suite.
+
+One row per canonical workload (``repro.traces.suites``): the paper's
+default point, small/dense/sparse/fast/slow variants, the diurnal and
+bursty non-stationary loads, the write-heavy mix and the self-similar
+stream.  Asserts the paper's headline promise in its general form --
+"the joint method saves significant amounts of energy with acceptable
+performance degradation **consistently across workloads with different
+characteristics**" (paper abstract / Section VI).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.formatting import render_table
+from repro.sim.compare import compare_methods
+from repro.traces import suites
+from repro.units import GB
+
+
+def test_joint_across_all_suites(benchmark, profile, publish):
+    del publish  # this benchmark renders its own table
+    machine = profile.machine()
+
+    def run_all():
+        rows = []
+        for name in suites.suite_names():
+            trace = suites.build(
+                name, machine, profile.duration_s, seed=profile.seed
+            )
+            comparison = compare_methods(
+                trace,
+                machine,
+                methods=["JOINT", "ALWAYS-ON"],
+                duration_s=profile.duration_s,
+                warmup_s=profile.warmup_s,
+            )
+            joint = comparison["JOINT"]
+            norm = joint.normalized_to(comparison.baseline)
+            rows.append(
+                {
+                    "suite": name,
+                    "total_energy": round(norm.total_energy, 4),
+                    "disk_energy": round(norm.disk_energy, 4),
+                    "memory_energy": round(norm.memory_energy, 4),
+                    "final_memory_gb": round(
+                        joint.decisions[-1].memory_bytes / GB, 2
+                    ),
+                    "utilization": round(joint.utilization, 4),
+                    "long_latency_per_s": round(joint.long_latency_per_s, 4),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            rows,
+            title=(
+                "JOINT across the workload suites "
+                "(energies normalised to ALWAYS-ON)"
+            ),
+        )
+    )
+
+    for row in rows:
+        # The headline claim: consistent savings...
+        assert row["total_energy"] < 0.75, row["suite"]
+        # ... with acceptable performance degradation everywhere.
+        assert row["long_latency_per_s"] < 3.0, row["suite"]
+
+    # And the manager genuinely adapts: the chosen memory differs across
+    # workload characters (it is not one magic size).
+    sizes = {row["final_memory_gb"] for row in rows}
+    assert len(sizes) >= 3

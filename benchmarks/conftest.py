@@ -1,0 +1,41 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures and prints
+the rows (also saved under ``benchmarks/out/``).  The workload profile is
+selected by ``REPRO_PROFILE``:
+
+* ``full`` (default) -- granularity 1024, 10-min periods, the paper's
+  parameter values; a full run takes a few minutes.
+* ``quick`` -- a reduced profile for smoke runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.base import ExperimentConfig, config_from_env
+from repro.experiments.base import ExperimentResult
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def profile() -> ExperimentConfig:
+    return config_from_env()
+
+
+@pytest.fixture(scope="session")
+def publish():
+    """Print an experiment result and archive it under benchmarks/out/."""
+
+    def _publish(result: ExperimentResult) -> ExperimentResult:
+        text = result.render()
+        print()
+        print(text)
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{result.name}.txt").write_text(text + "\n")
+        return result
+
+    return _publish

@@ -1,0 +1,50 @@
+"""Inside one decision of the joint power manager.
+
+Runs the joint method on the paper's default workload, then dissects the
+final period's decision: every candidate memory size the manager
+enumerated, the disk IO it predicted there (extended LRU list, paper
+Section IV-B), the Pareto fit and the timeout it would install (eqs. 5-6),
+the three power terms, and why the winner won.
+
+Run:  python examples/decision_anatomy.py
+"""
+
+from __future__ import annotations
+
+from repro import generate_trace, run_method, scaled_machine
+from repro.analysis.decision import explain_decision
+from repro.units import GB, MB
+
+
+def main() -> None:
+    machine = scaled_machine(1024)
+    period = machine.manager.period_s
+    duration = 4 * period
+
+    trace = generate_trace(
+        dataset_bytes=8 * GB,
+        data_rate=50 * MB,
+        duration_s=duration,
+        page_size=machine.page_bytes,
+        file_scale=machine.scale,
+        seed=5,
+    )
+    result = run_method("JOINT", trace, machine, duration_s=duration)
+    final = result.decisions[-1]
+    print(explain_decision(final))
+    print()
+    print("Decision trajectory across the run:")
+    for decision in result.decisions:
+        timeout = (
+            "never"
+            if decision.timeout_s is None
+            else f"{decision.timeout_s:5.1f} s"
+        )
+        print(
+            f"  period {decision.period_index}: "
+            f"{decision.memory_bytes / GB:6.2f} GB, timeout {timeout}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Quickstart: joint memory/disk power management on a web-server workload.
+
+Generates a SPECWeb99-class trace (16-GB data set, 100 MB/s, popularity
+0.1 -- the paper's default point), runs the joint power manager and the
+always-on baseline, and prints the energy breakdown and the performance
+metrics the paper reports.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import generate_trace, run_method, scaled_machine
+from repro.units import GB, MB
+
+
+def main() -> None:
+    # A machine with the paper's hardware at 4-MB access granularity
+    # (every power/time/size constant stays at its datasheet value).
+    machine = scaled_machine(1024)
+    period = machine.manager.period_s
+
+    print("Machine:")
+    print(f"  installed memory   {machine.memory.installed_bytes / GB:.0f} GB")
+    print(f"  disk break-even    {machine.disk.break_even_time_s:.1f} s")
+    print(f"  manager period     {period / 60:.0f} min")
+    print()
+
+    duration = 6 * period  # one hour: 2 warm-up + 4 measured periods
+    warmup = 2 * period
+    trace = generate_trace(
+        dataset_bytes=16 * GB,
+        data_rate=100 * MB,
+        duration_s=duration,
+        popularity=0.10,
+        page_size=machine.page_bytes,
+        file_scale=machine.scale,
+        seed=42,
+    )
+    print(
+        f"Workload: {trace.num_accesses} accesses, "
+        f"{trace.data_rate / MB:.0f} MB/s over {duration / 60:.0f} min"
+    )
+    print()
+
+    baseline = run_method("ALWAYS-ON", trace, machine, duration, warmup_s=warmup)
+    joint = run_method("JOINT", trace, machine, duration, warmup_s=warmup)
+
+    for result in (baseline, joint):
+        print(f"{result.label}:")
+        print(f"  total energy     {result.total_energy_j / 1e3:9.1f} kJ")
+        print(f"    memory         {result.memory_energy_j / 1e3:9.1f} kJ")
+        print(f"    disk           {result.disk_energy_j / 1e3:9.1f} kJ")
+        print(f"  mean latency     {result.mean_latency_s * 1e3:9.2f} ms")
+        print(f"  disk utilisation {result.utilization:9.3f}")
+        print(f"  long-latency/s   {result.long_latency_per_s:9.3f}")
+        print()
+
+    saving = 1.0 - joint.total_energy_j / baseline.total_energy_j
+    print(f"Joint method saves {saving:.1%} of total energy.")
+    print()
+    print("Per-period decisions (memory size, disk timeout):")
+    for decision in joint.decisions:
+        timeout = (
+            "never" if decision.timeout_s is None else f"{decision.timeout_s:5.1f} s"
+        )
+        print(
+            f"  period {decision.period_index}: "
+            f"{decision.memory_bytes / GB:6.2f} GB, timeout {timeout}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Compare all 16 power-management methods on one web-server scenario.
+
+A miniature of the paper's Fig. 7 at a single workload point: the joint
+method against the 14 fixed combinations and the always-on baseline.
+Prints one table with energies normalised to always-on plus the raw
+performance columns.
+
+Run:  python examples/webserver_comparison.py [dataset_gb] [rate_mb]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import compare_methods, generate_trace, scaled_machine
+from repro.experiments.formatting import render_table
+from repro.units import GB, MB
+
+
+def main() -> None:
+    dataset_gb = float(sys.argv[1]) if len(sys.argv) > 1 else 8.0
+    rate_mb = float(sys.argv[2]) if len(sys.argv) > 2 else 100.0
+
+    machine = scaled_machine(1024)
+    period = machine.manager.period_s
+    duration, warmup = 6 * period, 2 * period
+
+    trace = generate_trace(
+        dataset_bytes=dataset_gb * GB,
+        data_rate=rate_mb * MB,
+        duration_s=duration,
+        page_size=machine.page_bytes,
+        file_scale=machine.scale,
+        seed=7,
+    )
+    comparison = compare_methods(
+        trace, machine, duration_s=duration, warmup_s=warmup
+    )
+
+    rows = []
+    normalized = comparison.normalized_by_label()
+    for label, result in comparison.results.items():
+        norm = normalized[label]
+        rows.append(
+            {
+                "method": label,
+                "total": round(norm.total_energy, 3),
+                "disk": round(norm.disk_energy, 3),
+                "memory": round(norm.memory_energy, 3),
+                "latency_ms": round(result.mean_latency_s * 1e3, 2),
+                "util": round(result.utilization, 3),
+                "longlat/s": round(result.long_latency_per_s, 3),
+                "spins": result.spin_down_cycles,
+            }
+        )
+    rows.sort(key=lambda row: row["total"])
+    print(
+        render_table(
+            rows,
+            title=(
+                f"{dataset_gb:g}-GB data set at {rate_mb:g} MB/s -- energies "
+                "normalised to ALWAYS-ON"
+            ),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

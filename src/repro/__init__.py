@@ -1,0 +1,53 @@
+"""repro: Joint Power Management of Memory and Disk (Cai & Lu, DATE 2005).
+
+A full reproduction of the paper's system: SPECWeb99-class workload
+synthesis, a Linux-style LRU disk cache with extended-LRU resize
+prediction, an RDRAM memory power model, a DiskSim-substitute drive with
+power modes, the 15 comparison power-management methods and the joint
+memory/disk power manager, plus the benchmark harness regenerating every
+table and figure of the evaluation.
+
+Quick start::
+
+    from repro import generate_trace, run_method, scaled_machine
+    from repro.units import GB, MB
+
+    machine = scaled_machine(1024)          # 4-MB pages, everything else real
+    trace = generate_trace(
+        dataset_bytes=16 * GB, data_rate=100 * MB, duration_s=3600,
+        page_size=machine.page_bytes, file_scale=machine.scale, seed=7,
+    )
+    joint = run_method("JOINT", trace, machine)
+    base = run_method("ALWAYS-ON", trace, machine)
+    print(joint.total_energy_j / base.total_energy_j)
+"""
+
+from repro.config import DiskSpec, MachineConfig, ManagerConfig, MemorySpec
+from repro.config.machine import paper_machine, scaled_machine
+from repro.core import JointPowerManager
+from repro.policies import parse_method, standard_methods
+from repro.sim import SimResult, compare_methods, run_method
+from repro.stats import ParetoDistribution, fit_moments, optimal_timeout
+from repro.traces import Trace, generate_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiskSpec",
+    "JointPowerManager",
+    "MachineConfig",
+    "ManagerConfig",
+    "MemorySpec",
+    "ParetoDistribution",
+    "SimResult",
+    "Trace",
+    "compare_methods",
+    "fit_moments",
+    "generate_trace",
+    "optimal_timeout",
+    "paper_machine",
+    "parse_method",
+    "run_method",
+    "scaled_machine",
+    "standard_methods",
+]

@@ -1,0 +1,13 @@
+"""Post-hoc analysis: model validation and run reports.
+
+* :mod:`repro.analysis.pareto_check` -- does the Pareto assumption
+  (paper eq. 1, citing [19], [20]) actually hold for the idle intervals
+  a workload produces?  Fits and scores the model with a KS test.
+* :mod:`repro.analysis.report` -- a readable plain-text report of one
+  simulation result (energy breakdowns, performance, per-period story).
+"""
+
+from repro.analysis.pareto_check import ParetoFitReport, check_pareto_fit
+from repro.analysis.report import format_report
+
+__all__ = ["ParetoFitReport", "check_pareto_fit", "format_report"]

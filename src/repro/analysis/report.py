@@ -1,0 +1,94 @@
+"""Readable plain-text report of one simulation result."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config.machine import MachineConfig
+from repro.sim.results import SimResult
+from repro.units import GB
+
+
+def format_report(
+    result: SimResult,
+    machine: MachineConfig,
+    baseline: Optional[SimResult] = None,
+) -> str:
+    """Render a full report: energy breakdowns, performance, periods.
+
+    ``baseline`` (typically the always-on run) adds normalised figures.
+    """
+    lines: List[str] = []
+    lines.append(f"=== {result.label} ===")
+    lines.append(f"measured window      {result.duration_s:.0f} s")
+    lines.append("")
+
+    # --- energy ----------------------------------------------------------------
+    memory = result.memory_energy
+    disk = result.disk_energy
+    disk_parts = disk.breakdown_joules(machine.disk)
+    lines.append("energy (kJ)")
+    lines.append(f"  total              {result.total_energy_j / 1e3:10.2f}")
+    lines.append(f"  memory             {result.memory_energy_j / 1e3:10.2f}")
+    lines.append(f"    static           {memory.static_j / 1e3:10.2f}")
+    lines.append(f"    dynamic          {memory.dynamic_j / 1e3:10.2f}")
+    lines.append(f"    transitions      {memory.transition_j / 1e3:10.2f}")
+    lines.append(f"  disk               {result.disk_energy_j / 1e3:10.2f}")
+    for part in ("active", "idle", "standby", "transition"):
+        lines.append(f"    {part:<16} {disk_parts[part] / 1e3:10.2f}")
+    if baseline is not None and baseline.total_energy_j > 0:
+        norm = result.normalized_to(baseline)
+        lines.append(
+            f"  vs {baseline.label}: total {norm.total_energy:.3f}, "
+            f"disk {norm.disk_energy:.3f}, memory {norm.memory_energy:.3f}"
+        )
+    lines.append("")
+
+    # --- disk timeline ------------------------------------------------------------
+    lines.append("disk timeline (s)")
+    lines.append(f"  active             {disk.active_s:10.2f}")
+    lines.append(f"  idle               {disk.idle_s:10.2f}")
+    lines.append(f"  standby            {disk.standby_s:10.2f}")
+    lines.append(f"  transitions        {disk.transition_s:10.2f}")
+    lines.append(f"  spin-down cycles   {result.spin_down_cycles:10d}")
+    lines.append("")
+
+    # --- performance ----------------------------------------------------------------
+    lines.append("performance")
+    lines.append(f"  cache accesses     {result.total_accesses:10d}")
+    lines.append(f"  disk accesses      {result.disk_page_accesses:10d}")
+    lines.append(f"  miss ratio         {result.miss_ratio:10.4f}")
+    lines.append(f"  merged requests    {result.disk_requests:10d}")
+    if result.disk_write_pages:
+        lines.append(f"  write-back pages   {result.disk_write_pages:10d}")
+    lines.append(f"  mean latency       {result.mean_latency_s * 1e3:10.3f} ms")
+    lines.append(f"  utilisation        {result.utilization:10.4f}")
+    lines.append(f"  long latency       {result.long_latency:10d}")
+    lines.append(f"    wake-attributed  {result.wake_long_latency:10d}")
+    lines.append("")
+
+    # --- per-period story --------------------------------------------------------------
+    if result.decisions:
+        lines.append("joint-manager decisions")
+        for decision in result.decisions:
+            timeout = (
+                "never"
+                if decision.timeout_s is None
+                else f"{decision.timeout_s:6.1f} s"
+            )
+            lines.append(
+                f"  period {decision.period_index:>3}: "
+                f"memory {decision.memory_bytes / GB:7.2f} GB, "
+                f"timeout {timeout}, "
+                f"predicted misses {decision.predicted_disk_accesses}"
+            )
+    elif result.periods:
+        lines.append("per-period disk accesses")
+        for period in result.periods:
+            lines.append(
+                f"  period {period.index:>3}: "
+                f"{period.disk_page_accesses:6d} misses, "
+                f"mean idle {period.mean_idle_s:7.2f} s, "
+                f"long latency {period.long_latency}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Disk-IO and idle-interval prediction at candidate memory sizes.
+
+This is the machinery of paper Section IV-B and Fig. 4.  The joint power
+manager records, for every disk-cache access in the current period, the
+pair ``(timestamp, stack depth)``.  For any candidate memory size ``m``
+(in pages):
+
+* the access goes to *disk* iff it is cold or its depth ``>= m`` (the LRU
+  inclusion property),
+* the disk's idle intervals are the gaps between consecutive disk
+  accesses, filtered by the aggregation window.
+
+So one pass of bookkeeping answers "what would disk IO look like at every
+memory size" without re-running the workload -- the paper's key trick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.cache.counters import COLD_MISS
+from repro.errors import SimulationError
+from repro.stats.intervals import IdleIntervals, extract_idle_intervals
+
+
+@dataclass(frozen=True)
+class CandidatePrediction:
+    """Predicted disk behaviour at one candidate memory size."""
+
+    #: Candidate size, pages.
+    capacity_pages: int
+    #: ``n_d``: predicted disk accesses in the period.
+    num_disk_accesses: int
+    #: Predicted idle intervals (``n_i`` = ``idle.count``).
+    idle: IdleIntervals
+    #: ``N``: total disk-cache accesses observed in the period.
+    num_cache_accesses: int
+
+
+class ResizePredictor:
+    """Accumulates ``(time, depth)`` samples and predicts per-size disk IO."""
+
+    def __init__(self) -> None:
+        self._times: List[float] = []
+        self._depths: List[int] = []
+        self._last_time = -np.inf
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def record(self, time_s: float, depth: int) -> None:
+        """Record one disk-cache access and its stack depth."""
+        if time_s < self._last_time:
+            raise SimulationError("accesses must be recorded in time order")
+        if depth < COLD_MISS:
+            raise SimulationError(f"invalid depth {depth}")
+        self._last_time = time_s
+        self._times.append(time_s)
+        self._depths.append(depth)
+
+    def reset(self) -> None:
+        """Drop the samples (called at each period boundary)."""
+        self._times.clear()
+        self._depths.clear()
+        self._last_time = -np.inf
+
+    def predict(
+        self,
+        capacities_pages: Sequence[int],
+        window_s: float,
+        period_start: float,
+        period_end: float,
+    ) -> List[CandidatePrediction]:
+        """Predict disk IO for each candidate memory size.
+
+        The leading and trailing gaps to the period boundaries count as
+        idle time (the disk really is idle then), matching how the online
+        monitor observes intervals.
+        """
+        if period_end < period_start:
+            raise SimulationError("period end precedes period start")
+        times = np.asarray(self._times, dtype=np.float64)
+        depths = np.asarray(self._depths, dtype=np.int64)
+        total = int(times.size)
+        predictions = []
+        for capacity in capacities_pages:
+            if capacity < 0:
+                raise SimulationError("capacity must be non-negative")
+            is_disk = (depths == COLD_MISS) | (depths >= capacity)
+            disk_times = times[is_disk]
+            idle = extract_idle_intervals(
+                disk_times,
+                window_s,
+                period_start=period_start,
+                period_end=period_end,
+            )
+            predictions.append(
+                CandidatePrediction(
+                    capacity_pages=int(capacity),
+                    num_disk_accesses=int(disk_times.size),
+                    idle=idle,
+                    num_cache_accesses=total,
+                )
+            )
+        return predictions

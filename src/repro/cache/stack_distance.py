@@ -1,0 +1,120 @@
+"""Online Mattson stack distances in ``O(log n)`` per access.
+
+The stack (LRU) distance of an access is the number of *distinct* pages
+referenced since the previous access to the same page.  Under LRU, an
+access hits a cache of ``m`` pages iff its stack distance is smaller than
+``m`` -- this is the inclusion property the paper's extended LRU list
+exploits (Section II-C, [33]).
+
+Classic algorithm: keep, for every page, the index of its most recent
+access; maintain a Fenwick (binary indexed) tree with a 1 at each index
+that is currently "the most recent access of some page".  The stack
+distance of a new access to page ``p`` previously seen at index ``i`` is
+the number of 1s strictly after ``i``.
+
+The tree is compacted when the index space fills: live indices (one per
+distinct page) are renumbered in order.  Compaction is ``O(P log P)`` for
+``P`` distinct pages and happens every ``O(capacity)`` accesses, so the
+amortised cost stays logarithmic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import SimulationError
+
+#: Returned for the first access to a page (infinite stack distance).
+COLD = -1
+
+
+class _Fenwick:
+    """Prefix-sum tree over a fixed index range."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self._tree = [0] * (size + 1)
+
+    def add(self, index: int, delta: int) -> None:
+        i = index + 1
+        while i <= self.size:
+            self._tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of entries in ``[0, index]``."""
+        i = index + 1
+        total = 0
+        while i > 0:
+            total += self._tree[i]
+            i -= i & (-i)
+        return total
+
+    @property
+    def total(self) -> int:
+        return self.prefix_sum(self.size - 1) if self.size else 0
+
+
+class StackDistanceTracker:
+    """Streaming LRU stack-distance computation.
+
+    >>> tracker = StackDistanceTracker()
+    >>> [tracker.access(p) for p in (1, 2, 1, 2, 3, 1)]
+    [-1, -1, 1, 1, -1, 2]
+    """
+
+    def __init__(self, initial_capacity: int = 1 << 16) -> None:
+        if initial_capacity < 4:
+            raise SimulationError("initial capacity too small")
+        self._capacity = initial_capacity
+        self._tree = _Fenwick(self._capacity)
+        self._last_index: Dict[int, int] = {}
+        self._next_index = 0
+
+    @property
+    def distinct_pages(self) -> int:
+        """Number of pages seen so far."""
+        return len(self._last_index)
+
+    def access(self, page: int) -> int:
+        """Record an access; return its stack distance (:data:`COLD` if new).
+
+        Distance 0 means the page was the most recently used one; under
+        LRU the access hits a cache of ``m`` pages iff ``0 <= d < m``.
+        """
+        if self._next_index >= self._capacity:
+            self._compact()
+        previous = self._last_index.get(page)
+        index = self._next_index
+        self._next_index += 1
+        if previous is None:
+            distance = COLD
+        else:
+            # Distinct pages accessed strictly after `previous` -- exactly
+            # the pages above this one in the LRU stack (depth 0 = MRU).
+            distance = self._tree.total - self._tree.prefix_sum(previous)
+            self._tree.add(previous, -1)
+        self._tree.add(index, +1)
+        self._last_index[page] = index
+        return distance
+
+    def forget(self, page: int) -> None:
+        """Remove a page from the stack (e.g. after trimming history)."""
+        previous = self._last_index.pop(page, None)
+        if previous is not None:
+            self._tree.add(previous, -1)
+
+    def _compact(self) -> None:
+        """Renumber live indices to the front, growing if nearly full."""
+        live = sorted(self._last_index.items(), key=lambda item: item[1])
+        needed = max(len(live) * 2, 4)
+        if needed > self._capacity:
+            self._capacity = max(self._capacity * 2, needed)
+        self._tree = _Fenwick(self._capacity)
+        self._last_index = {}
+        for new_index, (page, _) in enumerate(live):
+            self._last_index[page] = new_index
+            self._tree.add(new_index, +1)
+        self._next_index = len(live)
+        if self._next_index >= self._capacity:
+            raise SimulationError("stack-distance compaction failed to make room")

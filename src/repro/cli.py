@@ -1,0 +1,242 @@
+"""Command-line interface: ``repro <command> ...`` or ``python -m repro``.
+
+Commands:
+
+* ``experiment <name>`` -- run a paper table/figure reproduction and print
+  its rows (``fig5 fig7 fig8rate fig8pop fig9 table3 table4 table5``).
+* ``simulate`` -- run one method on a generated workload.
+* ``report`` -- run one method and print the full analysis report
+  (energy breakdowns, disk timeline, per-period decisions), normalised
+  against an always-on run of the same workload.
+* ``trace`` -- generate or import a workload and print its measured
+  characteristics (rate, footprint, popularity, miss-ratio curve).
+* ``list`` -- list experiments and method names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.base import full_config, quick_config
+from repro.experiments.registry import get_experiment, list_experiments
+from repro.policies.registry import standard_methods
+from repro.sim.runner import run_method
+from repro.units import GB, MB
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Joint Power Management of Memory and Disk (DATE 2005) -- "
+            "reproduction harness"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="run a table/figure reproduction")
+    exp.add_argument(
+        "name", help="experiment name (see `repro list`), or `all`"
+    )
+    exp.add_argument(
+        "--profile",
+        choices=["full", "quick"],
+        default="full",
+        help="full approximates the paper; quick is a fast smoke profile",
+    )
+
+    simulate = sub.add_parser("simulate", help="run one method on a workload")
+    simulate.add_argument("method", help="method name, e.g. JOINT or 2TFM-8GB")
+    simulate.add_argument(
+        "--suite",
+        help="named workload (see repro.traces.suites) instead of the knobs below",
+    )
+    simulate.add_argument("--dataset-gb", type=float, default=16.0)
+    simulate.add_argument("--rate-mb", type=float, default=100.0)
+    simulate.add_argument("--popularity", type=float, default=0.1)
+    simulate.add_argument("--periods", type=int, default=5)
+    simulate.add_argument("--warmup-periods", type=int, default=1)
+    simulate.add_argument("--scale", type=int, default=1024)
+    simulate.add_argument("--seed", type=int, default=42)
+
+    report = sub.add_parser(
+        "report", help="run one method and print the analysis report"
+    )
+    report.add_argument("method", help="method name, e.g. JOINT or 2TDS-128GB")
+    report.add_argument(
+        "--suite",
+        help="named workload (see repro.traces.suites) instead of the knobs below",
+    )
+    report.add_argument("--dataset-gb", type=float, default=16.0)
+    report.add_argument("--rate-mb", type=float, default=100.0)
+    report.add_argument("--popularity", type=float, default=0.1)
+    report.add_argument("--periods", type=int, default=5)
+    report.add_argument("--warmup-periods", type=int, default=1)
+    report.add_argument("--scale", type=int, default=1024)
+    report.add_argument("--seed", type=int, default=42)
+
+    trace = sub.add_parser(
+        "trace", help="generate or import a workload and characterise it"
+    )
+    trace.add_argument(
+        "--block-csv",
+        help="import a time,offset,size block trace instead of generating",
+    )
+    trace.add_argument("--dataset-gb", type=float, default=16.0)
+    trace.add_argument("--rate-mb", type=float, default=100.0)
+    trace.add_argument("--popularity", type=float, default=0.1)
+    trace.add_argument("--duration-s", type=float, default=1800.0)
+    trace.add_argument("--scale", type=int, default=1024)
+    trace.add_argument("--seed", type=int, default=42)
+    trace.add_argument("--save", help="write the trace to this .npz path")
+
+    sub.add_parser("list", help="list experiments and method names")
+    return parser
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    config = quick_config() if args.profile == "quick" else full_config()
+    if args.name.strip().lower() == "all":
+        from repro.experiments.registry import EXPERIMENTS
+
+        for name in sorted(EXPERIMENTS):
+            print(EXPERIMENTS[name](config).render())
+            print()
+        return 0
+    runner = get_experiment(args.name)
+    result = runner(config)
+    print(result.render())
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    machine, trace, duration, warmup = _make_workload(args)
+    result = run_method(
+        args.method,
+        trace,
+        machine,
+        duration_s=duration,
+        warmup_s=warmup,
+    )
+    print(f"method             {result.label}")
+    print(f"measured window    {result.duration_s:.0f} s")
+    print(f"total energy       {result.total_energy_j / 1e3:.2f} kJ")
+    print(f"  memory           {result.memory_energy_j / 1e3:.2f} kJ")
+    print(f"  disk             {result.disk_energy_j / 1e3:.2f} kJ")
+    print(f"mean latency       {result.mean_latency_s * 1e3:.3f} ms")
+    print(f"disk utilisation   {result.utilization:.4f}")
+    print(f"long-latency/s     {result.long_latency_per_s:.4f}")
+    print(f"spin-down cycles   {result.spin_down_cycles}")
+    print(f"miss ratio         {result.miss_ratio:.4f}")
+    return 0
+
+
+def _make_workload(args: argparse.Namespace):
+    from repro.config.machine import scaled_machine
+    from repro.traces.specweb import generate_trace
+
+    machine = scaled_machine(args.scale)
+    period = machine.manager.period_s
+    duration = (args.periods + args.warmup_periods) * period
+    if getattr(args, "suite", None):
+        from repro.traces import suites
+
+        trace = suites.build(args.suite, machine, duration, seed=args.seed)
+    else:
+        trace = generate_trace(
+            dataset_bytes=args.dataset_gb * GB,
+            data_rate=args.rate_mb * MB,
+            duration_s=duration,
+            popularity=args.popularity,
+            page_size=machine.page_bytes,
+            seed=args.seed,
+            file_scale=machine.scale,
+        )
+    return machine, trace, duration, args.warmup_periods * period
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_report
+
+    machine, trace, duration, warmup = _make_workload(args)
+    result = run_method(
+        args.method, trace, machine, duration_s=duration, warmup_s=warmup
+    )
+    baseline = None
+    if args.method.strip().upper() != "ALWAYS-ON":
+        baseline = run_method(
+            "ALWAYS-ON", trace, machine, duration_s=duration, warmup_s=warmup
+        )
+    print(format_report(result, machine, baseline=baseline))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.config.machine import scaled_machine
+    from repro.experiments.formatting import render_table
+    from repro.traces.characterize import characterize
+
+    machine = scaled_machine(args.scale)
+    if args.block_csv:
+        from repro.traces.block_trace import load_block_csv
+
+        trace = load_block_csv(args.block_csv, page_size=machine.page_bytes)
+        source = args.block_csv
+    else:
+        from repro.traces.specweb import generate_trace
+
+        trace = generate_trace(
+            dataset_bytes=args.dataset_gb * GB,
+            data_rate=args.rate_mb * MB,
+            duration_s=args.duration_s,
+            popularity=args.popularity,
+            page_size=machine.page_bytes,
+            seed=args.seed,
+            file_scale=machine.scale,
+        )
+        source = "generated (SPECWeb99-class)"
+    profile = characterize(trace)
+    print(render_table(profile.summary_rows(), title=f"workload: {source}"))
+    if args.save:
+        from repro.traces.trace_io import save_npz
+
+        save_npz(trace, args.save)
+        print(f"saved to {args.save}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    del args
+    print("experiments:")
+    for name in list_experiments():
+        print(f"  {name}")
+    print("methods:")
+    for spec in standard_methods():
+        print(f"  {spec.label}")
+    print("  JOINT-NC / JOINT-MEM / JOINT-TO (ablation variants)")
+    print("  OR/PT/EA + FM/PD/DS[-<size>GB] (extension disk policies)")
+    from repro.traces.suites import suite_names
+
+    print("workload suites (simulate/report --suite):")
+    for name in suite_names():
+        print(f"  {name}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "experiment": _cmd_experiment,
+        "simulate": _cmd_simulate,
+        "report": _cmd_report,
+        "trace": _cmd_trace,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

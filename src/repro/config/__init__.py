@@ -1,0 +1,13 @@
+"""Hardware and manager configuration.
+
+The numbers here are transcribed from the paper: Fig. 1(a) for the 128-Mb
+RDRAM chip [37], Fig. 1(b) for the Seagate Barracuda IDE disk [38], and
+Table II for the joint manager's parameters.
+"""
+
+from repro.config.disk_spec import DiskSpec
+from repro.config.machine import MachineConfig
+from repro.config.manager import ManagerConfig
+from repro.config.memory_spec import MemorySpec
+
+__all__ = ["DiskSpec", "MachineConfig", "ManagerConfig", "MemorySpec"]

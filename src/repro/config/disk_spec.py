@@ -1,0 +1,111 @@
+"""Hard-disk parameters (paper Fig. 1(b) and Section V-A).
+
+The paper models a Seagate Barracuda 3.5-in 160-GB IDE drive [38].  Derived
+constants with the paper's arithmetic:
+
+* static power     ``7.5 - 0.9 = 6.6 W``   (idle minus standby)
+* dynamic power    ``12.5 - 7.5 = 5 W``    (active minus idle, at peak rate)
+* break-even time  ``77.5 J / 6.6 W = 11.7 s``
+* transition time  ``t_tr = 10 s``         (idle -> standby -> idle round trip)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.units import GB, MB
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Power and mechanical parameters of the simulated hard disk."""
+
+    #: Drive capacity.
+    capacity_bytes: int = 160 * GB
+
+    #: Mode powers, from Fig. 1(b).  ``standby`` and ``sleep`` draw the same
+    #: power per the drive's specification, so the manager only ever uses
+    #: standby (sleeping costs more to leave and saves nothing extra).
+    mode_power_watts: Dict[str, float] = field(
+        default_factory=lambda: {
+            "active": 12.5,
+            "idle": 7.5,
+            "standby": 0.9,
+            "sleep": 0.9,
+        }
+    )
+
+    #: Energy of one idle -> standby -> idle round trip, from Fig. 1(b).
+    transition_energy_joules: float = 77.5
+    #: Duration of that round trip (``t_tr`` in the paper), seconds.
+    transition_time_s: float = 10.0
+    #: How the round trip splits between spinning down and spinning up.
+    #: The split is not in the paper (it only uses the 10-s total); the
+    #: 20/80 division follows typical 3.5-in drive behaviour where spin-up
+    #: dominates.
+    spin_down_time_s: float = 2.0
+    spin_up_time_s: float = 8.0
+
+    # --- mechanical / service-time model (for the DiskSim substitute) -------
+    #: Rotational speed; 7200 rpm for the Barracuda.
+    rpm: float = 7200.0
+    #: Average seek time for a random access, seconds.
+    avg_seek_time_s: float = 8.5e-3
+    #: Seek time between adjacent tracks, seconds.
+    track_to_track_seek_s: float = 1.0e-3
+    #: Effective transfer rate of *random* requests, bytes/second.  The
+    #: granularity-scaled machine calibrates this so a one-page random
+    #: read achieves the drive's average data rate (10.4 MB/s).
+    media_transfer_rate: float = 58.0 * MB
+    #: Sustained media rate of *sequential* continuations, bytes/second --
+    #: the platter's real streaming rate, never rescaled.
+    sequential_transfer_rate: float = 58.0 * MB
+    #: Controller + bus overhead per request, seconds.
+    controller_overhead_s: float = 0.3e-3
+
+    #: Average data rate the paper quotes for break-even computations.
+    average_data_rate: float = 10.4 * MB
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigError("disk capacity must be positive")
+        if self.transition_energy_joules < 0:
+            raise ConfigError("transition energy must be non-negative")
+        if abs(
+            self.spin_down_time_s + self.spin_up_time_s - self.transition_time_s
+        ) > 1e-9:
+            raise ConfigError(
+                "spin-down + spin-up must equal the round-trip transition time"
+            )
+        for mode in ("active", "idle", "standby"):
+            if mode not in self.mode_power_watts:
+                raise ConfigError(f"missing power for required mode {mode!r}")
+
+    # --- derived quantities (paper Section V-A arithmetic) -------------------
+
+    @property
+    def static_power_watts(self) -> float:
+        """Power saved by standby: idle minus standby (``p_d`` = 6.6 W)."""
+        return self.mode_power_watts["idle"] - self.mode_power_watts["standby"]
+
+    @property
+    def dynamic_power_watts(self) -> float:
+        """Extra power while transferring at peak rate (12.5 - 7.5 = 5 W)."""
+        return self.mode_power_watts["active"] - self.mode_power_watts["idle"]
+
+    @property
+    def break_even_time_s(self) -> float:
+        """Minimum idle time for standby to pay off (``t_be`` = 11.7 s)."""
+        return self.transition_energy_joules / self.static_power_watts
+
+    @property
+    def rotation_time_s(self) -> float:
+        """Time of one full platter revolution."""
+        return 60.0 / self.rpm
+
+    @property
+    def avg_rotational_latency_s(self) -> float:
+        """Expected rotational delay: half a revolution."""
+        return self.rotation_time_s / 2.0

@@ -1,0 +1,144 @@
+"""Combined machine configuration and the granularity-scaling model.
+
+The paper simulates 128 GB of RDRAM, multi-GB data sets and billions of
+4-kB page accesses.  A pure-Python reproduction keeps **every physical
+quantity at its real value** -- powers, energies, times, byte rates and
+sizes all stay as the paper gives them -- and coarsens only the *access
+granularity*: ``scaled(1024)`` makes one "page" 4 MB instead of 4 kB, so a
+100 MB/s workload is 25 page accesses per second instead of 25 600.
+
+What this preserves exactly (asserted in ``tests/config/test_scaling.py``):
+
+* the break-even memory size (6.6 W / 0.656 mW-per-MB = ~10 GB) against
+  the 4-64 GB data sets,
+* the disk's break-even time (11.7 s), transition time (10 s) and the
+  idle-interval time scale,
+* disk utilisation: the service model's media rate is calibrated so a
+  single-page random read still moves data at the drive's measured
+  average rate (10.4 MB/s), hence utilisation = miss byte rate / 10.4 MB/s
+  at every granularity,
+* all power and energy numbers.
+
+What it coarsens: the resolution of the LRU stack and of file popularity
+(one cache decision per 4 MB rather than per 4 kB), and the base latency
+of a single miss (~0.4 s of transfer at 4-MB granularity versus ~10 ms at
+4 kB).  Long-latency accounting still works because the paper's 0.5-s
+threshold is dominated by the 10-s spin-up delay, which is unscaled.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.config.disk_spec import DiskSpec
+from repro.config.manager import ManagerConfig
+from repro.config.memory_spec import MemorySpec
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A complete simulated machine: memory, disk and manager parameters."""
+
+    memory: MemorySpec = field(default_factory=MemorySpec)
+    disk: DiskSpec = field(default_factory=DiskSpec)
+    manager: ManagerConfig = field(default_factory=ManagerConfig)
+    #: Granularity factor applied so far (1 = the paper's 4-kB pages).
+    scale: int = 1
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ConfigError("scale must be positive")
+        if self.manager.enumeration_unit_bytes % self.memory.bank_bytes:
+            raise ConfigError(
+                "enumeration unit must be a whole number of memory banks"
+            )
+
+    # --- derived -------------------------------------------------------------
+
+    @property
+    def page_bytes(self) -> int:
+        """The access granularity (the memory spec owns the page size)."""
+        return self.memory.page_bytes
+
+    @property
+    def break_even_memory_bytes(self) -> float:
+        """Memory whose static power equals the disk's savable static power.
+
+        Paper Section V-B1: 6.6 W / 0.656 mW/MB = about 10 GB.  Above this
+        size, extra memory costs more than a permanently-standby disk could
+        ever repay.
+        """
+        return self.disk.static_power_watts / self.memory.static_power_per_byte
+
+    def single_page_service_rate(self) -> float:
+        """Effective bytes/second of a one-page random read (sanity hook)."""
+        overhead = (
+            self.disk.avg_seek_time_s
+            + self.disk.avg_rotational_latency_s
+            + self.disk.controller_overhead_s
+        )
+        transfer = self.page_bytes / self.disk.media_transfer_rate
+        return self.page_bytes / (overhead + transfer)
+
+    def scaled(self, factor: int) -> "MachineConfig":
+        """Return a copy with ``factor``-times coarser pages.
+
+        ``factor`` must be a positive integer.  The bank size grows to at
+        least one page (a bank cannot be smaller than the resize unit of
+        the cache), and the disk's media transfer rate is recalibrated so
+        a one-page random read still achieves the drive's average data
+        rate.  Scaling compounds.
+        """
+        if not isinstance(factor, int) or factor <= 0:
+            raise ConfigError("granularity factor must be a positive integer")
+        if factor == 1:
+            return self
+
+        page = self.memory.page_bytes * factor
+        bank = max(self.memory.bank_bytes, page)
+        if bank % page:
+            raise ConfigError(
+                f"bank size {bank} is not a whole number of {page}-byte pages"
+            )
+        if self.memory.installed_bytes % bank:
+            raise ConfigError(
+                "installed memory is not a whole number of banks at this scale"
+            )
+        memory = dataclasses.replace(
+            self.memory, page_bytes=page, bank_bytes=bank
+        )
+
+        # Calibrate the media rate: one-page random read at the drive's
+        # average data rate.  If the page is so small that the overhead
+        # alone exceeds the byte budget, keep the real media rate.
+        overhead = (
+            self.disk.avg_seek_time_s
+            + self.disk.avg_rotational_latency_s
+            + self.disk.controller_overhead_s
+        )
+        budget = page / self.disk.average_data_rate
+        disk = self.disk
+        if budget > overhead:
+            media = page / (budget - overhead)
+            disk = dataclasses.replace(self.disk, media_transfer_rate=media)
+
+        manager = dataclasses.replace(
+            self.manager,
+            enumeration_unit_bytes=max(self.manager.enumeration_unit_bytes, bank),
+            min_memory_bytes=max(self.manager.min_memory_bytes, bank),
+        )
+        return MachineConfig(
+            memory=memory, disk=disk, manager=manager, scale=self.scale * factor
+        )
+
+
+def paper_machine() -> MachineConfig:
+    """The machine exactly as configured in the paper's Section V-A."""
+    return MachineConfig()
+
+
+def scaled_machine(factor: int = 1024) -> MachineConfig:
+    """The paper's machine at a tractable granularity (4-MB pages)."""
+    return paper_machine().scaled(factor)

@@ -1,0 +1,68 @@
+"""Joint-manager parameters (paper Table II).
+
+================================  ==========  =======================
+symbol                            value       meaning
+================================  ==========  =======================
+``T``    period_s                 600 s       adjustment period
+``w``    aggregation_window_s     0.1 s       idle-interval filter
+``U``    max_utilization          0.10        disk utilisation limit
+``D``    max_delayed_ratio        0.001       delayed-access limit
+         enumeration_unit_bytes   16 MB       memory resize granule
+================================  ==========  =======================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import MB
+
+
+@dataclass(frozen=True)
+class ManagerConfig:
+    """Tunable parameters of the joint power manager."""
+
+    #: Length of one adjustment period ``T``, seconds.
+    period_s: float = 600.0
+    #: Aggregation window ``w``: consecutive disk accesses closer than this
+    #: are treated as one busy burst and contribute no idle interval.
+    aggregation_window_s: float = 0.1
+    #: Performance constraint ``U``: maximum disk bandwidth utilisation.
+    max_utilization: float = 0.10
+    #: Performance constraint ``D``: maximum ratio of disk-cache accesses
+    #: delayed by more than half a second by the disk's turn-on latency.
+    max_delayed_ratio: float = 0.001
+    #: Latency above which a request counts as user-noticeable (0.5 s).
+    long_latency_threshold_s: float = 0.5
+    #: Granularity for enumerating candidate memory sizes.
+    enumeration_unit_bytes: int = 16 * MB
+    #: Smallest memory size the manager will ever select, bytes.  Keeping a
+    #: floor avoids the degenerate zero-cache configuration.
+    min_memory_bytes: int = 16 * MB
+    #: Upper bound on candidate memory sizes evaluated per period.  The paper
+    #: enumerates every multiple of the enumeration unit ("within several
+    #: thousand" candidates at under 100 ms in C); in Python the manager
+    #: spreads at most this many candidates over the same range.  The cost
+    #: of the capped grid is bounded by one grid step of memory power
+    #: (asserted in ``tests/core/test_enumeration_sensitivity.py``); raise
+    #: this value for finer placement at proportional decision cost.
+    max_candidates: int = 64
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ConfigError("period must be positive")
+        if self.aggregation_window_s < 0:
+            raise ConfigError("aggregation window must be non-negative")
+        if not 0.0 < self.max_utilization <= 1.0:
+            raise ConfigError("utilisation limit must be in (0, 1]")
+        if not 0.0 < self.max_delayed_ratio <= 1.0:
+            raise ConfigError("delayed-ratio limit must be in (0, 1]")
+        if self.long_latency_threshold_s <= 0:
+            raise ConfigError("long-latency threshold must be positive")
+        if self.enumeration_unit_bytes <= 0:
+            raise ConfigError("enumeration unit must be positive")
+        if self.min_memory_bytes <= 0:
+            raise ConfigError("minimum memory must be positive")
+        if self.max_candidates < 2:
+            raise ConfigError("need at least two candidate memory sizes")

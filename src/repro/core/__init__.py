@@ -1,0 +1,21 @@
+"""The paper's contribution: the joint power manager.
+
+Per period (Fig. 2): collect last period's disk-cache accesses and stack
+depths; predict, for every candidate memory size, the number of disk
+accesses and the idle-interval distribution; fit a Pareto model per
+candidate; compute the energy-optimal timeout (eq. 5) subject to the
+delayed-request constraint (eq. 6); estimate total memory + disk power per
+candidate (eq. 4 + memory statics); pick the feasible minimum.
+"""
+
+from repro.core.energy_model import CandidateEvaluation, evaluate_candidate
+from repro.core.enumeration import candidate_sizes
+from repro.core.joint import JointPowerManager, PeriodDecision
+
+__all__ = [
+    "CandidateEvaluation",
+    "JointPowerManager",
+    "PeriodDecision",
+    "candidate_sizes",
+    "evaluate_candidate",
+]

@@ -1,0 +1,166 @@
+"""Per-candidate power estimation: eq. (4) for the disk plus memory statics.
+
+For a candidate ``(m, t_o)`` with the predicted disk IO at size ``m``:
+
+* memory static power: nap power of the enabled banks (``m`` bytes),
+* disk static + transition power: eq. (4) evaluated at the chosen timeout,
+* disk dynamic power: utilisation x the disk's peak dynamic power, where
+  utilisation = predicted disk accesses x per-request service time / T.
+
+Memory dynamic energy is the same for every candidate (every access goes
+through memory either way), so it is omitted from the *comparison* but the
+simulator charges it in the real accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.predictor import CandidatePrediction
+from repro.config.machine import MachineConfig
+from repro.disk.service import ServiceModel
+from repro.errors import FitError
+from repro.stats.pareto import ParetoDistribution, fit_moments
+from repro.stats.timeout_math import (
+    constrained_min_timeout,
+    expected_power,
+    optimal_timeout,
+)
+
+#: Below this many idle intervals a Pareto fit is unreliable and the
+#: manager falls back to the 2-competitive timeout.
+MIN_INTERVALS_FOR_FIT = 5
+
+
+@dataclass(frozen=True)
+class CandidateEvaluation:
+    """Outcome of evaluating one candidate memory size."""
+
+    capacity_bytes: int
+    timeout_s: Optional[float]  # None = never spin down
+    memory_power_w: float
+    disk_static_power_w: float
+    disk_dynamic_power_w: float
+    predicted_utilization: float
+    meets_utilization: bool
+    fit: Optional[ParetoDistribution]
+    prediction: CandidatePrediction
+
+    @property
+    def total_power_w(self) -> float:
+        return self.memory_power_w + self.disk_static_power_w + self.disk_dynamic_power_w
+
+    @property
+    def feasible(self) -> bool:
+        return self.meets_utilization
+
+
+def evaluate_candidate(
+    machine: MachineConfig,
+    service: ServiceModel,
+    prediction: CandidatePrediction,
+    period_s: float,
+    avg_request_pages: float = 1.0,
+    enforce_constraints: bool = True,
+) -> CandidateEvaluation:
+    """Estimate total power and feasibility for one candidate size.
+
+    ``enforce_constraints=False`` reproduces the original DATE-2005 method
+    (energy only): every candidate counts as feasible and the timeout is
+    the pure eq. (5) optimum with no eq. (6) floor.
+    """
+    manager = machine.manager
+    disk = machine.disk
+    capacity_bytes = prediction.capacity_pages * machine.page_bytes
+
+    memory_power = machine.memory.static_power_per_byte * capacity_bytes
+
+    # --- disk dynamic power and the utilisation constraint -------------------
+    pages = max(avg_request_pages, 1.0)
+    per_request = service.service_time(max(int(round(pages)), 1))
+    requests = prediction.num_disk_accesses / pages
+    utilization = requests * per_request / period_s
+    meets_util = (
+        utilization <= manager.max_utilization or not enforce_constraints
+    )
+    dynamic_power = min(utilization, 1.0) * disk.dynamic_power_watts
+
+    # --- disk static + transition power under the chosen timeout --------------
+    idle = prediction.idle
+    fit: Optional[ParetoDistribution] = None
+    if idle.count >= MIN_INTERVALS_FOR_FIT:
+        try:
+            fit = fit_moments(idle.lengths)
+        except FitError:
+            fit = None
+
+    if prediction.num_disk_accesses == 0:
+        # A silent disk: spin down immediately, pay one round trip.
+        timeout: Optional[float] = 0.0
+        static_power = disk.static_power_watts * disk.break_even_time_s / period_s
+        return CandidateEvaluation(
+            capacity_bytes=capacity_bytes,
+            timeout_s=timeout,
+            memory_power_w=memory_power,
+            disk_static_power_w=static_power,
+            disk_dynamic_power_w=0.0,
+            predicted_utilization=0.0,
+            meets_utilization=True,
+            fit=fit,
+            prediction=prediction,
+        )
+
+    if fit is None:
+        # Too few intervals to model: fall back to the 2-competitive
+        # timeout; estimate the static power as if no idle interval
+        # exceeds it (conservative: full idle power).
+        timeout = disk.break_even_time_s
+        static_power = disk.static_power_watts
+    else:
+        timeout = optimal_timeout(fit, disk.break_even_time_s)
+        floor = 0.0
+        if enforce_constraints:
+            floor = constrained_min_timeout(
+                fit,
+                num_intervals=idle.count,
+                num_disk_accesses=prediction.num_disk_accesses,
+                num_cache_accesses=prediction.num_cache_accesses,
+                period_s=period_s,
+                transition_time_s=disk.transition_time_s,
+                max_delayed_ratio=manager.max_delayed_ratio,
+                long_latency_threshold_s=manager.long_latency_threshold_s,
+            )
+        timeout = max(timeout, floor)
+        if timeout >= period_s:
+            # The constraint pushed the timeout past the horizon: the
+            # disk effectively never spins down this period.
+            timeout = None
+            static_power = disk.static_power_watts
+        else:
+            static_power = expected_power(
+                fit,
+                num_intervals=idle.count,
+                timeout_s=timeout,
+                period_s=period_s,
+                static_power_w=disk.static_power_watts,
+                break_even_s=disk.break_even_time_s,
+            )
+            if static_power > disk.static_power_watts:
+                # Spinning down at this timeout would cost more than
+                # staying up (too many short intervals): stay up.
+                timeout = None
+                static_power = disk.static_power_watts
+
+    return CandidateEvaluation(
+        capacity_bytes=capacity_bytes,
+        timeout_s=timeout,
+        memory_power_w=memory_power,
+        disk_static_power_w=static_power,
+        disk_dynamic_power_w=dynamic_power,
+        predicted_utilization=utilization,
+        meets_utilization=meets_util,
+        fit=fit,
+        prediction=prediction,
+    )

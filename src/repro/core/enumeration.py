@@ -1,0 +1,42 @@
+"""Candidate memory sizes for the per-period enumeration.
+
+The paper enumerates multiples of the enumeration unit (16 MB) up to the
+installed memory, noting the count stays "within several thousand" and
+costs under 100 ms in its implementation (Section IV-B).  A Python
+reproduction spreads at most ``max_candidates`` sizes evenly over the same
+range; the spacing rounds to whole enumeration units so every candidate is
+a realisable bank configuration.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config.machine import MachineConfig
+from repro.errors import ConfigError
+
+
+def candidate_sizes(machine: MachineConfig) -> List[int]:
+    """Byte sizes the joint manager evaluates each period (ascending)."""
+    unit = machine.manager.enumeration_unit_bytes
+    installed = machine.memory.installed_bytes
+    minimum = machine.manager.min_memory_bytes
+    if minimum > installed:
+        raise ConfigError("minimum memory exceeds installed memory")
+
+    lowest_units = max(-(-minimum // unit), 1)
+    highest_units = installed // unit
+    if highest_units < lowest_units:
+        raise ConfigError("enumeration unit larger than installed memory")
+
+    total = highest_units - lowest_units + 1
+    limit = machine.manager.max_candidates
+    if total <= limit:
+        steps = range(lowest_units, highest_units + 1)
+    else:
+        # Even spread including both endpoints.
+        span = highest_units - lowest_units
+        steps = sorted(
+            {lowest_units + round(i * span / (limit - 1)) for i in range(limit)}
+        )
+    return [units * unit for units in steps]

@@ -1,0 +1,29 @@
+"""Hard-disk simulation: service times, power modes and energy.
+
+The DiskSim substitute (DESIGN.md Section 2): a single-drive model exposing
+exactly what the paper consumes -- a bandwidth table indexed by request
+size, per-request latencies, and the four power modes of Fig. 1(b) with
+their transition costs.  Two pricing levels are available: the calibrated
+analytic :class:`~repro.disk.service.ServiceModel` (the default; matched
+to the drive's measured average data rate) and the geometry-backed
+:class:`~repro.disk.positioned.PositionedServiceModel` (zoned platters,
+a datasheet-calibrated seek curve and real head movement).
+"""
+
+from repro.disk.drive import SimDisk
+from repro.disk.energy import DiskEnergy
+from repro.disk.geometry import DiskGeometry
+from repro.disk.modes import DiskMode
+from repro.disk.positioned import PositionedServiceModel
+from repro.disk.seek import SeekModel
+from repro.disk.service import ServiceModel
+
+__all__ = [
+    "DiskEnergy",
+    "DiskGeometry",
+    "DiskMode",
+    "PositionedServiceModel",
+    "SeekModel",
+    "ServiceModel",
+    "SimDisk",
+]

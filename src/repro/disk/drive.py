@@ -1,0 +1,219 @@
+"""The simulated drive: power states, wake latency and FCFS queueing.
+
+Requests are submitted in time order.  The drive keeps the absolute time
+its queued work completes (``busy_until``); a request arriving earlier
+waits FCFS.  Spin-down is governed by a timeout that the owning policy
+sets (and may change at any event); spin-up is on demand, delaying the
+waking request by the spin-up time plus any spin-down still in flight
+(paper Section IV-D).
+
+Accounting is lump-based: service time is charged as active when the
+request is accepted, each spin-down round trip is charged the spec's
+transition energy when initiated, standby time accrues between the end of
+a spin-down and the start of the next spin-up, and idle time is the
+remainder at :meth:`finalize`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from typing import TYPE_CHECKING
+
+from repro.config.disk_spec import DiskSpec
+from repro.disk.energy import DiskEnergy
+from repro.disk.service import ServiceModel
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.disk.positioned import PositionedServiceModel
+
+
+@dataclass(frozen=True)
+class RequestResult:
+    """Timing of one served disk request."""
+
+    arrival_s: float
+    start_s: float
+    finish_s: float
+    #: Portion of the wait caused by spin-down/spin-up (0 when spinning).
+    wake_delay_s: float
+
+    @property
+    def latency_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+    @property
+    def queue_delay_s(self) -> float:
+        return self.start_s - self.arrival_s - self.wake_delay_s
+
+
+class SimDisk:
+    """Power-managed drive fed time-ordered requests."""
+
+    def __init__(
+        self,
+        spec: DiskSpec,
+        service: ServiceModel,
+        positioned: Optional["PositionedServiceModel"] = None,
+    ) -> None:
+        if service.spec is not spec and service.spec != spec:
+            raise SimulationError("service model was built for a different spec")
+        self.spec = spec
+        self.service = service
+        #: Optional geometry-backed pricing; used when a request carries
+        #: its page address (see :mod:`repro.disk.positioned`).
+        self.positioned = positioned
+        self.energy = DiskEnergy()
+        self._now = 0.0
+        self._busy_until = 0.0
+        self._timeout: Optional[float] = None  # None = never spin down
+        self._timeout_since = 0.0
+        self._spun_down = False
+        self._spin_down_start = 0.0
+        #: Count of spin-downs whose wake had not happened by finalize.
+        self._pending_wake = False
+        #: Passive (idle/standby) time before this point is already
+        #: accounted -- set by :meth:`checkpoint`.
+        self._passive_mark = 0.0
+
+    # --- inspection -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def busy_until(self) -> float:
+        return self._busy_until
+
+    @property
+    def is_spun_down(self) -> bool:
+        return self._spun_down
+
+    @property
+    def timeout_s(self) -> Optional[float]:
+        return self._timeout
+
+    @property
+    def spin_down_end(self) -> float:
+        return self._spin_down_start + self.spec.spin_down_time_s
+
+    # --- control ----------------------------------------------------------------
+
+    def set_timeout(self, now: float, timeout_s: Optional[float]) -> None:
+        """Install a new spin-down timeout, effective from ``now``.
+
+        ``None`` (or infinity) disables spin-down.  The timeout applies to
+        the idle period in progress too: if the disk has already been idle
+        longer than the new timeout, it spins down at ``now``.
+        """
+        self.advance(now)
+        if timeout_s is not None and timeout_s < 0:
+            raise SimulationError("timeout must be non-negative")
+        if timeout_s is not None and math.isinf(timeout_s):
+            timeout_s = None
+        self._timeout = timeout_s
+        self._timeout_since = now
+
+    def advance(self, now: float) -> None:
+        """Move the clock to ``now``, spinning down if the timeout expired."""
+        if now < self._now - 1e-9:
+            raise SimulationError(f"disk time went backwards: {now} < {self._now}")
+        self._now = max(self._now, now)
+        if self._spun_down or self._timeout is None:
+            return
+        idle_start = self._busy_until
+        candidate = max(idle_start + self._timeout, self._timeout_since)
+        if candidate < self._now:
+            self._initiate_spin_down(candidate)
+
+    def _initiate_spin_down(self, at_time: float) -> None:
+        self._spun_down = True
+        self._spin_down_start = at_time
+        self._pending_wake = True
+        # Idle time from end of work to the spin-down decision.
+        idle_from = max(self._busy_until, self._passive_mark)
+        if at_time > idle_from:
+            self.energy.add_time("idle", at_time - idle_from)
+        # Spin-down time now; spin-up time is added when a request wakes
+        # the drive.  The lump round-trip energy is charged per cycle here
+        # (a cycle still spun down at finalize is slightly overcharged).
+        self.energy.add_time("transition", self.spec.spin_down_time_s)
+        self.energy.spin_down_cycles += 1
+
+    # --- requests ------------------------------------------------------------------
+
+    def submit(
+        self,
+        now: float,
+        num_pages: int,
+        sequential: bool = False,
+        page: Optional[int] = None,
+    ) -> RequestResult:
+        """Serve one request arriving at ``now``; returns its timing.
+
+        With a positioned service model installed and ``page`` given, the
+        request is priced from the head's actual position; otherwise the
+        calibrated analytic model (and the ``sequential`` flag) applies.
+        """
+        self.advance(now)
+        if self.positioned is not None and page is not None:
+            service_time = self.positioned.service_time(page, num_pages)
+        else:
+            service_time = self.service.service_time(num_pages, sequential)
+        if self._spun_down:
+            spin_done = self.spin_down_end
+            wake_start = max(now, spin_done)
+            standby_from = max(spin_done, self._passive_mark)
+            if wake_start > standby_from:
+                self.energy.add_time("standby", wake_start - standby_from)
+            ready = wake_start + self.spec.spin_up_time_s
+            self.energy.add_time("transition", self.spec.spin_up_time_s)
+            wake_delay = ready - now
+            start = ready
+            self._spun_down = False
+            self._pending_wake = False
+        else:
+            # Idle stretch (if any) between the end of previous work and
+            # this arrival counts as idle time.
+            idle_from = max(self._busy_until, self._passive_mark)
+            if now > idle_from:
+                self.energy.add_time("idle", now - idle_from)
+            wake_delay = 0.0
+            start = max(now, self._busy_until)
+        finish = start + service_time
+        self._busy_until = finish
+        self.energy.add_time("active", service_time)
+        self.energy.requests += 1
+        self.energy.bytes_transferred += num_pages * self.service.page_bytes
+        return RequestResult(
+            arrival_s=now, start_s=start, finish_s=finish, wake_delay_s=wake_delay
+        )
+
+    # --- shutdown ---------------------------------------------------------------------
+
+    def checkpoint(self, now: float) -> None:
+        """Account all passive (idle/standby) time up to ``now``.
+
+        Lets a caller snapshot the energy counters mid-run (e.g. at the
+        end of a warm-up window) without double counting later.
+        """
+        self.advance(now)
+        if self._spun_down:
+            spin_done = self.spin_down_end
+            standby_from = max(spin_done, self._passive_mark)
+            if now > standby_from:
+                self.energy.add_time("standby", now - standby_from)
+        else:
+            idle_from = max(self._busy_until, self._passive_mark)
+            if now > idle_from:
+                self.energy.add_time("idle", now - idle_from)
+        self._passive_mark = max(self._passive_mark, now)
+
+    def finalize(self, end_time: float) -> None:
+        """Account the tail of the timeline up to ``end_time``."""
+        self.checkpoint(end_time)
+        self._now = max(self._now, end_time)

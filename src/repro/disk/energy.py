@@ -1,0 +1,98 @@
+"""Disk energy and time bookkeeping.
+
+Time is split into four exclusive categories -- active (serving), idle
+(spinning, no work), standby (spun down) and transition (spinning down or
+up).  Transition *time* carries no per-second power; each round trip is
+charged the spec's lump transition energy (77.5 J), matching how the paper
+derives the break-even time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.disk_spec import DiskSpec
+from repro.errors import SimulationError
+
+
+@dataclass
+class DiskEnergy:
+    """Accumulated disk time and energy by category."""
+
+    active_s: float = 0.0
+    idle_s: float = 0.0
+    standby_s: float = 0.0
+    transition_s: float = 0.0
+    #: Completed (or started) spin-down round trips.
+    spin_down_cycles: int = 0
+    #: Requests served.
+    requests: int = 0
+    #: Bytes transferred.
+    bytes_transferred: int = 0
+
+    def add_time(self, category: str, duration_s: float) -> None:
+        if duration_s < -1e-9:
+            raise SimulationError(f"negative {category} duration {duration_s}")
+        duration_s = max(duration_s, 0.0)
+        if category == "active":
+            self.active_s += duration_s
+        elif category == "idle":
+            self.idle_s += duration_s
+        elif category == "standby":
+            self.standby_s += duration_s
+        elif category == "transition":
+            self.transition_s += duration_s
+        else:
+            raise SimulationError(f"unknown time category {category!r}")
+
+    @property
+    def accounted_s(self) -> float:
+        return self.active_s + self.idle_s + self.standby_s + self.transition_s
+
+    def total_joules(self, spec: DiskSpec) -> float:
+        """Total energy under the given power model."""
+        return (
+            self.active_s * spec.mode_power_watts["active"]
+            + self.idle_s * spec.mode_power_watts["idle"]
+            + self.standby_s * spec.mode_power_watts["standby"]
+            + self.spin_down_cycles * spec.transition_energy_joules
+        )
+
+    def breakdown_joules(self, spec: DiskSpec) -> dict:
+        """Per-category joules, for the experiment tables."""
+        return {
+            "active": self.active_s * spec.mode_power_watts["active"],
+            "idle": self.idle_s * spec.mode_power_watts["idle"],
+            "standby": self.standby_s * spec.mode_power_watts["standby"],
+            "transition": self.spin_down_cycles * spec.transition_energy_joules,
+        }
+
+    def snapshot(self) -> "DiskEnergy":
+        """A frozen copy of the current counters."""
+        return DiskEnergy(
+            active_s=self.active_s,
+            idle_s=self.idle_s,
+            standby_s=self.standby_s,
+            transition_s=self.transition_s,
+            spin_down_cycles=self.spin_down_cycles,
+            requests=self.requests,
+            bytes_transferred=self.bytes_transferred,
+        )
+
+    def minus(self, earlier: "DiskEnergy") -> "DiskEnergy":
+        """Counters accumulated since an earlier snapshot."""
+        return DiskEnergy(
+            active_s=self.active_s - earlier.active_s,
+            idle_s=self.idle_s - earlier.idle_s,
+            standby_s=self.standby_s - earlier.standby_s,
+            transition_s=self.transition_s - earlier.transition_s,
+            spin_down_cycles=self.spin_down_cycles - earlier.spin_down_cycles,
+            requests=self.requests - earlier.requests,
+            bytes_transferred=self.bytes_transferred - earlier.bytes_transferred,
+        )
+
+    def utilization(self, elapsed_s: float) -> float:
+        """Fraction of elapsed time spent serving requests."""
+        if elapsed_s <= 0:
+            return 0.0
+        return self.active_s / elapsed_s

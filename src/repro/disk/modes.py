@@ -1,0 +1,20 @@
+"""Disk power modes (paper Fig. 1(b))."""
+
+from __future__ import annotations
+
+import enum
+
+
+class DiskMode(enum.Enum):
+    """Power modes of the simulated drive.
+
+    The paper's manager only ever moves between IDLE and STANDBY ("when we
+    mention turning off a disk ... it means switching the disk to the
+    standby mode"); SLEEP exists in the spec but saves nothing over STANDBY
+    and costs more to leave.
+    """
+
+    ACTIVE = "active"
+    IDLE = "idle"
+    STANDBY = "standby"
+    SLEEP = "sleep"

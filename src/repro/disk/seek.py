@@ -1,0 +1,106 @@
+"""Seek-time curve: travel time as a function of cylinder distance.
+
+The standard piecewise model behind DiskSim-class simulators: short
+seeks are dominated by arm acceleration and scale with the square root
+of the distance; long seeks reach coast velocity and scale linearly.
+
+``SeekModel.calibrated`` fits the curve's three coefficients to the
+three numbers drive datasheets actually publish -- track-to-track time,
+average (random) seek time and full-stroke time -- using the classic
+identity that a random seek covers one third of the stroke on average.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SeekModel:
+    """``seek(d) = a + b*sqrt(d) + c*d`` for distance ``d >= 1`` cylinders."""
+
+    a: float
+    b: float
+    c: float
+    num_cylinders: int
+
+    def __post_init__(self) -> None:
+        if self.num_cylinders < 2:
+            raise ConfigError("need at least two cylinders")
+        if self.seek_time(1) < 0 or self.seek_time(self.num_cylinders - 1) < 0:
+            raise ConfigError("seek curve produces negative times")
+
+    def seek_time(self, distance: int) -> float:
+        """Travel time over ``distance`` cylinders (0 = already there)."""
+        if distance < 0:
+            raise ConfigError("seek distance must be non-negative")
+        if distance == 0:
+            return 0.0
+        return self.a + self.b * math.sqrt(distance) + self.c * distance
+
+    @classmethod
+    def calibrated(
+        cls,
+        track_to_track_s: float,
+        average_s: float,
+        full_stroke_s: float,
+        num_cylinders: int,
+    ) -> "SeekModel":
+        """Fit ``a, b, c`` to the three datasheet points.
+
+        Anchors: ``seek(1) = track_to_track``, ``seek(C/3) = average``
+        (the mean random-seek distance) and ``seek(C-1) = full_stroke``.
+        """
+        if not 0 < track_to_track_s <= average_s <= full_stroke_s:
+            raise ConfigError(
+                "need 0 < track-to-track <= average <= full-stroke"
+            )
+        if num_cylinders < 9:
+            raise ConfigError("too few cylinders to calibrate a curve")
+        d1, d2, d3 = 1.0, num_cylinders / 3.0, float(num_cylinders - 1)
+        t1, t2, t3 = track_to_track_s, average_s, full_stroke_s
+        # Solve the 3x3 linear system [1 sqrt(d) d][a b c]' = t.
+        rows = [
+            (1.0, math.sqrt(d1), d1, t1),
+            (1.0, math.sqrt(d2), d2, t2),
+            (1.0, math.sqrt(d3), d3, t3),
+        ]
+        # Gaussian elimination, explicit for three unknowns.
+        (a11, a12, a13, b1), (a21, a22, a23, b2), (a31, a32, a33, b3) = rows
+        # Eliminate first column.
+        f2 = a21 / a11
+        f3 = a31 / a11
+        a22, a23, b2 = a22 - f2 * a12, a23 - f2 * a13, b2 - f2 * b1
+        a32, a33, b3 = a32 - f3 * a12, a33 - f3 * a13, b3 - f3 * b1
+        if abs(a22) < 1e-15:
+            raise ConfigError("degenerate calibration points")
+        f3 = a32 / a22
+        a33, b3 = a33 - f3 * a23, b3 - f3 * b2
+        if abs(a33) < 1e-15:
+            raise ConfigError("degenerate calibration points")
+        c = b3 / a33
+        b = (b2 - a23 * c) / a22
+        a = (b1 - a12 * b - a13 * c) / a11
+        return cls(a=a, b=b, c=c, num_cylinders=num_cylinders)
+
+    def average_random_seek(self, samples: int = 0) -> float:
+        """Expected seek over uniform random endpoints.
+
+        With the calibration anchor at distance C/3 this is close to the
+        datasheet average by construction; the exact expectation uses the
+        distance density ``p(d) = 2(C-d)/C^2``.
+        """
+        del samples
+        total = 0.0
+        weight = 0.0
+        c = self.num_cylinders
+        steps = min(c - 1, 4096)
+        for i in range(1, steps + 1):
+            d = i * (c - 1) / steps
+            p = 2.0 * (c - d) / (c * c)
+            total += self.seek_time(int(max(d, 1))) * p
+            weight += p
+        return total / weight

@@ -1,0 +1,80 @@
+"""Disk service-time model and the bandwidth table.
+
+The paper uses DiskSim to obtain "a bandwidth table indexed by request
+sizes" (Section V-A).  This analytic model produces the same artefact:
+a request of ``n`` pages costs controller overhead, a seek (full average
+for random requests, track-to-track for sequential ones), half a rotation,
+and the media transfer time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.config.disk_spec import DiskSpec
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ServiceModel:
+    """Analytic single-request service times for a :class:`DiskSpec`."""
+
+    spec: DiskSpec
+    page_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.page_bytes <= 0:
+            raise SimulationError("page size must be positive")
+
+    @property
+    def random_overhead_s(self) -> float:
+        """Positioning cost of a random request (seek + rotation + controller)."""
+        return (
+            self.spec.avg_seek_time_s
+            + self.spec.avg_rotational_latency_s
+            + self.spec.controller_overhead_s
+        )
+
+    def first_page_time(self) -> float:
+        """Service time of a random one-page read (seek + rotate + transfer)."""
+        return (
+            self.random_overhead_s
+            + self.page_bytes / self.spec.media_transfer_rate
+        )
+
+    def continuation_time(self) -> float:
+        """Marginal cost of streaming one more sequential page.
+
+        Pure media time: the head is already positioned and the
+        controller overhead was paid by the request's first page.
+        """
+        return self.page_bytes / self.spec.sequential_transfer_rate
+
+    def service_time(self, num_pages: int, sequential: bool = False) -> float:
+        """Total service time of one request, seconds.
+
+        A request positions once (unless it continues the previous
+        request's sequential run, ``sequential=True``) and streams the
+        remaining pages at the platter's sequential rate -- this is what
+        produces the paper's size-dependent bandwidth table.
+        """
+        if num_pages <= 0:
+            raise SimulationError("a request covers at least one page")
+        if sequential:
+            return num_pages * self.continuation_time()
+        return self.first_page_time() + (num_pages - 1) * self.continuation_time()
+
+    def effective_rate(self, num_pages: int, sequential: bool = False) -> float:
+        """Bytes/second achieved by requests of this size (bandwidth table entry)."""
+        return (
+            num_pages * self.page_bytes / self.service_time(num_pages, sequential)
+        )
+
+    def bandwidth_table(
+        self, request_pages: Sequence[int], sequential: bool = False
+    ) -> Dict[int, float]:
+        """The paper's bandwidth table: request size (pages) -> bytes/second."""
+        return {
+            int(n): self.effective_rate(int(n), sequential) for n in request_pages
+        }

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is internally inconsistent."""
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed or violates an invariant."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an impossible state."""
+
+
+class FitError(ReproError):
+    """A statistical fit could not be computed from the given data."""
+
+
+class PolicyError(ReproError):
+    """A power-management policy was configured or driven incorrectly."""

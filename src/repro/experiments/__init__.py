@@ -1,0 +1,18 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every experiment exposes ``run(config) -> ExperimentResult``; the registry
+maps the paper's artefact names (``fig7``, ``table3``, ...) to them.  The
+benchmarks call these runners and print the same rows/series the paper
+reports, normalised against the always-on method where the paper does so.
+"""
+
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "get_experiment",
+    "list_experiments",
+]

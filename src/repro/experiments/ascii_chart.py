@@ -1,0 +1,92 @@
+"""Terminal charts: horizontal bars and sparklines for experiment output.
+
+Benchmarks print the paper's *numbers*; these helpers add the paper's
+*pictures* -- a bar per method (Fig. 7-style panels) and a sparkline per
+time series (Fig. 9) -- without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+#: Eight-level block characters for sparklines.
+SPARKS = "▁▂▃▄▅▆▇█"
+BAR = "█"
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: int = 40,
+    title: Optional[str] = None,
+    reference: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart, one labelled row per entry.
+
+    ``reference`` draws a marker column at that value (e.g. 1.0 for
+    always-on-normalised energies).
+    """
+    if not values:
+        raise ReproError("nothing to chart")
+    if width < 4:
+        raise ReproError("chart too narrow")
+    top = max(max(values.values()), reference or 0.0)
+    if top <= 0:
+        top = 1.0
+    label_width = max(len(str(label)) for label in values)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    marker = None
+    if reference is not None:
+        marker = min(int(round(reference / top * width)), width - 1)
+    for label, value in values.items():
+        if value < 0:
+            raise ReproError("bar charts need non-negative values")
+        filled = min(int(round(value / top * width)), width)
+        bar = BAR * filled + " " * (width - filled)
+        if marker is not None and marker < len(bar):
+            tail = bar[marker + 1 :] if marker + 1 <= width else ""
+            bar = bar[:marker] + "|" + tail
+            bar = bar[:width]
+        lines.append(f"{str(label).ljust(label_width)}  {bar}  {value:g}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline of a series."""
+    data = list(values)
+    if not data:
+        raise ReproError("nothing to chart")
+    low, high = min(data), max(data)
+    if high == low:
+        return SPARKS[3] * len(data)
+    span = high - low
+    out = []
+    for value in data:
+        index = int((value - low) / span * (len(SPARKS) - 1))
+        out.append(SPARKS[index])
+    return "".join(out)
+
+
+def series_panel(
+    series: Dict[str, Sequence[float]],
+    title: Optional[str] = None,
+) -> str:
+    """Labelled sparklines with min/max annotations (Fig. 9-style)."""
+    if not series:
+        raise ReproError("nothing to chart")
+    label_width = max(len(str(label)) for label in series)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, values in series.items():
+        data = list(values)
+        if not data:
+            raise ReproError(f"series {label!r} is empty")
+        lines.append(
+            f"{str(label).ljust(label_width)}  {sparkline(data)}  "
+            f"[{min(data):g} .. {max(data):g}]"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Idle-interval distribution extension: does the Pareto assumption hold?
+
+The paper justifies its model by citing heavy-tailed idle-time studies
+([19], [20]) but never shows its own intervals.  This experiment does:
+for the paper's default workload at several memory sizes, it extracts
+the disk idle intervals (exactly as the manager observes them), prints
+their histogram with the fitted Pareto's prediction alongside, and
+scores the fit with the KS statistic and the decision-relevant eq.-4
+power error (see ``repro.analysis.pareto_check``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.pareto_check import check_pareto_fit, idle_intervals_of_trace
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.units import GB
+
+DEFAULT_MEMORIES_GB: Sequence[float] = (2.0, 4.0, 8.0)
+#: Histogram bin edges, seconds (idle intervals past the 0.1-s window).
+BIN_EDGES = (0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, float("inf"))
+
+
+def run(
+    config: ExperimentConfig,
+    memories_gb: Optional[Sequence[float]] = None,
+) -> ExperimentResult:
+    """One row per (memory size, histogram bin) plus per-size fit scores."""
+    machine = config.machine()
+    trace = config.make_trace(machine, data_rate_mb=20.0, seed_offset=900)
+    rows: List[Dict[str, object]] = []
+    notes = [
+        "Heavy tails in time: the >2s bins hold most of the idle *time*",
+        "even though short intervals dominate by count.  The paper's",
+        "method-of-moments fit (beta = shortest interval = the 0.1-s",
+        "aggregation window) over-weights the tail on these",
+        "Poisson-driven synthetic traces -- the eq.-4 power error makes",
+        "that visible -- yet the end-to-end method stays sound because",
+        "the installed timeout (~alpha*t_be ~ 12 s) lands above the bulk",
+        "of the intervals either way; see the fig7/ablation benchmarks",
+        "and tests/analysis/test_pareto_check.py for the documented",
+        "limitation.",
+    ]
+    for memory_gb in memories_gb or DEFAULT_MEMORIES_GB:
+        pages = int(memory_gb * GB) // machine.page_bytes
+        idle = idle_intervals_of_trace(
+            trace,
+            pages,
+            window_s=machine.manager.aggregation_window_s,
+        )
+        lengths = idle.lengths
+        counts, _ = np.histogram(lengths, bins=np.asarray(BIN_EDGES))
+        for low, high, count in zip(BIN_EDGES[:-1], BIN_EDGES[1:], counts):
+            label = f"{low:g}-{high:g}s" if np.isfinite(high) else f">{low:g}s"
+            rows.append(
+                {
+                    "memory_gb": memory_gb,
+                    "bin": label,
+                    "intervals": int(count),
+                    "share_of_idle_time": round(
+                        float(
+                            lengths[
+                                (lengths >= low)
+                                & (lengths < (high if np.isfinite(high) else 1e18))
+                            ].sum()
+                        )
+                        / max(float(lengths.sum()), 1e-12),
+                        4,
+                    ),
+                }
+            )
+        if idle.count >= 5:
+            report = check_pareto_fit(
+                lengths, break_even_s=machine.disk.break_even_time_s
+            )
+            notes.append(
+                f"  {memory_gb:g} GB: n_i={idle.count}, "
+                f"alpha={report.fit.alpha:.2f}, beta={report.fit.beta:.2f}s, "
+                f"eq.5 timeout={report.timeout_s:.1f}s, "
+                f"KS={report.ks_statistic:.3f}, "
+                f"power error={report.power_error:.3f} "
+                f"({'usable' if report.usable else 'poor'})"
+            )
+    return ExperimentResult(
+        name="idlefit",
+        title=(
+            "Idle-interval distribution and Pareto fit quality "
+            "(16-GB workload, 20 MB/s)"
+        ),
+        rows=rows,
+        notes="\n".join(notes),
+    )

@@ -1,0 +1,53 @@
+"""Experiment name -> runner mapping."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ReproError
+from repro.experiments import (
+    ablation,
+    fig5_pareto,
+    fig7_dataset,
+    fig8_popularity,
+    fig8_rate,
+    fig9_timeseries,
+    hw_sensitivity,
+    idle_fit,
+    table3_accesses,
+    table4_period,
+    table5_bank,
+    writes,
+)
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+
+Runner = Callable[[ExperimentConfig], ExperimentResult]
+
+EXPERIMENTS: Dict[str, Runner] = {
+    "ablation": ablation.run,
+    "fig5": fig5_pareto.run,
+    "fig7": fig7_dataset.run,
+    "fig8rate": fig8_rate.run,
+    "fig8pop": fig8_popularity.run,
+    "fig9": fig9_timeseries.run,
+    "hwsens": hw_sensitivity.run,
+    "idlefit": idle_fit.run,
+    "table3": table3_accesses.run,
+    "table4": table4_period.run,
+    "table5": table5_bank.run,
+    "writes": writes.run,
+}
+
+
+def get_experiment(name: str) -> Runner:
+    """Look up an experiment runner by its paper-artefact name."""
+    key = name.strip().lower()
+    if key not in EXPERIMENTS:
+        raise ReproError(
+            f"unknown experiment {name!r}; available: {', '.join(sorted(EXPERIMENTS))}"
+        )
+    return EXPERIMENTS[key]
+
+
+def list_experiments() -> List[str]:
+    return sorted(EXPERIMENTS)

@@ -1,0 +1,34 @@
+"""RDRAM memory simulation: banks, power modes, energy and policies.
+
+The engine talks to a :class:`~repro.memory.system.MemorySystem`, which
+combines the resident-page LRU cache with one of the paper's memory power
+policies:
+
+* :class:`~repro.memory.system.NapMemorySystem` -- enabled banks stay in
+  the nap mode between accesses (the paper's baseline behaviour, used by
+  the always-on, FM and joint methods; resizable).
+* :class:`~repro.memory.system.PowerDownMemorySystem` -- the PD policy:
+  banks drop to the power-down mode after a 2-competitive timeout; data
+  survive, so no extra disk accesses.
+* :class:`~repro.memory.system.DisableMemorySystem` -- the DS policy:
+  banks are *disabled* after their break-even timeout; data are lost and
+  later accesses go to disk.
+"""
+
+from repro.memory.energy import MemoryEnergy
+from repro.memory.modes import MemoryMode
+from repro.memory.system import (
+    DisableMemorySystem,
+    MemorySystem,
+    NapMemorySystem,
+    PowerDownMemorySystem,
+)
+
+__all__ = [
+    "DisableMemorySystem",
+    "MemoryEnergy",
+    "MemoryMode",
+    "MemorySystem",
+    "NapMemorySystem",
+    "PowerDownMemorySystem",
+]

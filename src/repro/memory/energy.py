@@ -1,0 +1,61 @@
+"""Memory energy bookkeeping.
+
+The paper splits memory energy into static (mode-residency), dynamic
+(per-access) and mode-transition energy (Section III).  This accumulator
+keeps the three buckets separate so the experiment tables can report the
+breakdown of Fig. 7(c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MemoryEnergy:
+    """Accumulated memory energy, joules, by category."""
+
+    static_j: float = 0.0
+    dynamic_j: float = 0.0
+    transition_j: float = 0.0
+    #: Number of bank mode transitions charged.
+    transitions: int = 0
+    #: Number of memory accesses charged.
+    accesses: int = field(default=0)
+
+    @property
+    def total_j(self) -> float:
+        return self.static_j + self.dynamic_j + self.transition_j
+
+    def add_static(self, power_w: float, duration_s: float) -> None:
+        if duration_s < 0:
+            raise ValueError(f"negative duration {duration_s}")
+        self.static_j += power_w * duration_s
+
+    def add_access(self, energy_j: float) -> None:
+        self.dynamic_j += energy_j
+        self.accesses += 1
+
+    def add_transition(self, energy_j: float) -> None:
+        self.transition_j += energy_j
+        self.transitions += 1
+
+    def snapshot(self) -> "MemoryEnergy":
+        """A frozen copy of the current counters."""
+        return MemoryEnergy(
+            static_j=self.static_j,
+            dynamic_j=self.dynamic_j,
+            transition_j=self.transition_j,
+            transitions=self.transitions,
+            accesses=self.accesses,
+        )
+
+    def minus(self, earlier: "MemoryEnergy") -> "MemoryEnergy":
+        """Counters accumulated since an earlier snapshot."""
+        return MemoryEnergy(
+            static_j=self.static_j - earlier.static_j,
+            dynamic_j=self.dynamic_j - earlier.dynamic_j,
+            transition_j=self.transition_j - earlier.transition_j,
+            transitions=self.transitions - earlier.transitions,
+            accesses=self.accesses - earlier.accesses,
+        )

@@ -1,0 +1,428 @@
+"""Memory systems: the disk cache plus a memory power policy.
+
+A memory system owns the resident-page LRU cache and accounts memory
+energy under one of the paper's memory power-management schemes.  The
+engine drives it with one call per disk-cache access and learns whether
+the access hit memory or must go to disk.
+
+Dynamic energy is charged for every access (hit or miss -- a missed page
+is written into memory when it arrives), using the per-access energy
+derived from the chip's peak power and bandwidth (paper Section III).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+import numpy as np
+
+from repro.cache.lru import LRUCache
+from repro.config.memory_spec import MemorySpec
+from repro.errors import SimulationError
+from repro.memory.energy import MemoryEnergy
+
+
+class MemorySystem:
+    """Base class: capacity bookkeeping, cache and energy buckets."""
+
+    #: Whether :meth:`resize` is supported (the joint manager requires it).
+    resizable = False
+
+    def __init__(self, spec: MemorySpec, capacity_bytes: int) -> None:
+        if capacity_bytes < 0 or capacity_bytes > spec.installed_bytes:
+            raise SimulationError(
+                f"capacity {capacity_bytes} outside [0, {spec.installed_bytes}]"
+            )
+        if capacity_bytes % spec.bank_bytes:
+            raise SimulationError("capacity must be a whole number of banks")
+        self.spec = spec
+        self.energy = MemoryEnergy()
+        self._capacity_bytes = capacity_bytes
+        self.cache = LRUCache(capacity_bytes // spec.page_bytes)
+        self._clock = 0.0
+        #: Resident pages with modifications not yet on disk.
+        self._dirty: Set[int] = set()
+        #: Dirty pages pushed out (evicted/invalidated) awaiting writeback.
+        self._pending_flush: List[int] = []
+
+    # --- shared bookkeeping ---------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Bytes of memory currently enabled for the disk cache."""
+        return self._capacity_bytes
+
+    @property
+    def capacity_pages(self) -> int:
+        return self._capacity_bytes // self.spec.page_bytes
+
+    @property
+    def enabled_banks(self) -> int:
+        return self._capacity_bytes // self.spec.bank_bytes
+
+    def _advance_clock(self, now: float) -> None:
+        if now < self._clock - 1e-9:
+            raise SimulationError(
+                f"memory time went backwards: {now} < {self._clock}"
+            )
+        self._clock = max(self._clock, now)
+
+    def _charge_access(self) -> None:
+        self.energy.add_access(self.spec.dynamic_energy_per_access)
+
+    # --- interface ----------------------------------------------------------------
+
+    def access(self, now: float, page: int) -> bool:
+        """Serve one disk-cache access; True = memory hit, False = disk miss.
+
+        On a miss the page is loaded into the cache (the engine charges
+        the disk separately).
+        """
+        raise NotImplementedError
+
+    def resize(self, now: float, capacity_bytes: int) -> List[int]:
+        """Change the enabled memory size; return evicted pages."""
+        raise SimulationError(f"{type(self).__name__} does not support resizing")
+
+    def finalize(self, now: float) -> None:
+        """Account static energy up to ``now`` (end of simulation/period)."""
+        raise NotImplementedError
+
+    def checkpoint(self, now: float) -> None:
+        """Bring static accounting up to ``now`` without ending the run.
+
+        All finalizers in this module are pure accruals, so a checkpoint
+        is the same operation; the alias documents the intent at call
+        sites (e.g. warm-up boundaries).
+        """
+        self.finalize(now)
+
+    # --- write-back support -----------------------------------------------------
+
+    @property
+    def dirty_pages(self) -> int:
+        return len(self._dirty)
+
+    def access_rw(self, now: float, page: int, is_write: bool) -> bool:
+        """Read/write-aware access (write-back, write-allocate).
+
+        A write dirties its page; if the page cannot be cached (zero
+        capacity) the write goes straight to the flush queue.  A page
+        evicted to make room carries its dirty state into the flush
+        queue.  Returns hit/miss like :meth:`access`; note a *write*
+        miss allocates without reading the disk -- the engine must not
+        issue a read for it.
+        """
+        self.cache.last_evicted = None
+        hit = self.access(now, page)
+        evicted = self.cache.last_evicted
+        if evicted is not None and evicted in self._dirty:
+            self._dirty.discard(evicted)
+            self._pending_flush.append(evicted)
+        if is_write:
+            if self.cache.peek(page):
+                self._dirty.add(page)
+            else:
+                self._pending_flush.append(page)
+        return hit
+
+    def take_pending_flushes(self) -> List[int]:
+        """Dirty pages forced out since the last call (must be written)."""
+        pending, self._pending_flush = self._pending_flush, []
+        return pending
+
+    def flush_all(self) -> List[int]:
+        """Write-back every dirty page (the periodic flusher's sweep)."""
+        dirty = sorted(self._dirty)
+        self._dirty.clear()
+        return dirty
+
+    def _spill_dirty(self, pages) -> None:
+        """Move evicted/invalidated pages' dirty state to the flush queue."""
+        for page in pages:
+            if page in self._dirty:
+                self._dirty.discard(page)
+                self._pending_flush.append(page)
+
+    def prefill(self, pages: Iterable[int]) -> int:
+        """Warm-start the cache at t=0 with already-resident pages.
+
+        Emulates the long-running server the paper traces: the pages are
+        inserted in the given order (last = most recently used) with no
+        energy or latency charged.  When the list exceeds the free space,
+        the *tail* (the hottest pages, by the warm-start ordering) is
+        kept, exactly what an LRU cache would have retained.  Returns how
+        many pages were placed.
+        """
+        pages = list(pages)
+        room = self.cache.capacity_pages - len(self.cache)
+        if room <= 0:
+            return 0
+        selected = pages[-room:] if len(pages) > room else pages
+        placed = 0
+        for page in selected:
+            if not self.cache.peek(page):
+                self.cache.load(page)
+                self._register_prefill(page)
+                placed += 1
+        return placed
+
+    def _register_prefill(self, page: int) -> None:
+        """Hook for subclasses that track page placement."""
+        del page
+
+
+class NapMemorySystem(MemorySystem):
+    """Enabled banks always in nap between accesses (always-on, FM, joint).
+
+    Static power is simply ``nap power x enabled banks``; disabled banks
+    consume nothing.  This is the memory model behind the always-on
+    baseline, the fixed-size (FM) methods and the joint method, which
+    resizes it at period boundaries.
+    """
+
+    resizable = True
+
+    def __init__(self, spec: MemorySpec, capacity_bytes: int) -> None:
+        super().__init__(spec, capacity_bytes)
+        self._accounted_until = 0.0
+
+    def _accrue(self, now: float) -> None:
+        duration = now - self._accounted_until
+        if duration < 0:
+            raise SimulationError("static accounting went backwards")
+        power = self.spec.bank_power("nap") * self.enabled_banks
+        self.energy.add_static(power, duration)
+        self._accounted_until = now
+
+    def access(self, now: float, page: int) -> bool:
+        self._advance_clock(now)
+        self._charge_access()
+        return self.cache.access(page)
+
+    def resize(self, now: float, capacity_bytes: int) -> List[int]:
+        if capacity_bytes < 0 or capacity_bytes > self.spec.installed_bytes:
+            raise SimulationError("capacity outside installed memory")
+        if capacity_bytes % self.spec.bank_bytes:
+            raise SimulationError("capacity must be a whole number of banks")
+        self._advance_clock(now)
+        self._accrue(now)
+        self._capacity_bytes = capacity_bytes
+        evicted = self.cache.resize(capacity_bytes // self.spec.page_bytes)
+        self._spill_dirty(evicted)
+        return evicted
+
+    def finalize(self, now: float) -> None:
+        self._advance_clock(now)
+        self._accrue(now)
+
+
+class PowerDownMemorySystem(MemorySystem):
+    """The PD policy: banks power down after a 2-competitive timeout.
+
+    Data are retained, so cache behaviour is identical to
+    :class:`NapMemorySystem`; only the energy differs.  Each bank spends
+    ``min(gap, timeout)`` of every inter-access gap in nap and the rest in
+    power-down; waking charges the transition at the chip's peak power
+    (the paper's estimate, Section V-A).
+
+    Pages map to banks statically (``page mod num_banks``); since data
+    survive power-down, the mapping affects only how accesses refresh
+    bank idle clocks, and a uniform spread matches a physically
+    interleaved layout.
+    """
+
+    def __init__(
+        self,
+        spec: MemorySpec,
+        capacity_bytes: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+    ) -> None:
+        super().__init__(
+            spec, spec.installed_bytes if capacity_bytes is None else capacity_bytes
+        )
+        self.timeout_s = spec.powerdown_timeout_s if timeout_s is None else timeout_s
+        if self.timeout_s < 0:
+            raise SimulationError("power-down timeout must be non-negative")
+        banks = max(self.enabled_banks, 1)
+        self._last_access = np.zeros(banks, dtype=np.float64)
+        self._accounted_until = np.zeros(banks, dtype=np.float64)
+        chips_per_bank = spec.bank_bytes / spec.chip_bytes
+        self._wake_energy = spec.peak_power_watts * chips_per_bank * 30e-6
+
+    def _bank_of(self, page: int) -> int:
+        return page % self._last_access.size
+
+    def _accrue_bank(self, bank: int, now: float) -> None:
+        """Charge the bank's static power from its accounting mark to ``now``.
+
+        Within the stretch the bank naps until ``last_access + timeout``
+        and sits in power-down beyond it.
+        """
+        start = self._accounted_until[bank]
+        if now <= start:
+            return
+        boundary = self._last_access[bank] + self.timeout_s
+        nap_power = self.spec.bank_power("nap")
+        pd_power = self.spec.bank_power("powerdown")
+        nap_end = min(now, boundary)
+        if nap_end > start:
+            self.energy.add_static(nap_power, nap_end - start)
+        if now > boundary:
+            self.energy.add_static(pd_power, now - max(boundary, start))
+        self._accounted_until[bank] = now
+
+    def access(self, now: float, page: int) -> bool:
+        self._advance_clock(now)
+        self._charge_access()
+        bank = self._bank_of(page)
+        self._accrue_bank(bank, now)
+        if now > self._last_access[bank] + self.timeout_s:
+            # The bank had powered down and must wake to serve this access.
+            self.energy.add_transition(self._wake_energy)
+        self._last_access[bank] = now
+        return self.cache.access(page)
+
+    def finalize(self, now: float) -> None:
+        self._advance_clock(now)
+        for bank in range(self._last_access.size):
+            self._accrue_bank(bank, now)
+
+
+class DisableMemorySystem(MemorySystem):
+    """The DS policy: banks are disabled after their break-even timeout.
+
+    Disabling loses the contents: later accesses to those pages miss and
+    go to disk.  Bank disabling is evaluated lazily -- a bank idle longer
+    than the timeout is treated as having been disabled exactly at
+    ``last_access + timeout``; touching it re-enables it (the transition
+    energy is negligible next to the disk energy of refetching, which the
+    paper also ignores, Section V-A).
+
+    Pages are placed in banks on load (filling the most recently used
+    bank first) so invalidation drops exactly the pages the bank held.
+    """
+
+    def __init__(
+        self,
+        spec: MemorySpec,
+        capacity_bytes: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+        disk_refetch_energy_j: float = 7.7,
+    ) -> None:
+        super().__init__(
+            spec, spec.installed_bytes if capacity_bytes is None else capacity_bytes
+        )
+        if timeout_s is None:
+            # Break-even to disable: refetch energy over nap power
+            # (paper: 7.7 J / 10.5 mW = 732 s for a 16-MB bank).  Both the
+            # refetch energy and the nap power scale with the bank size,
+            # so the timeout itself is bank-size invariant.
+            chips_per_bank = spec.bank_bytes / spec.chip_bytes
+            refetch = disk_refetch_energy_j * chips_per_bank
+            timeout_s = refetch / spec.bank_power("nap")
+        if timeout_s <= 0:
+            raise SimulationError("disable timeout must be positive")
+        self.timeout_s = timeout_s
+        banks = max(self.enabled_banks, 1)
+        self._last_access = np.zeros(banks, dtype=np.float64)
+        self._accounted_until = np.zeros(banks, dtype=np.float64)
+        self._bank_pages: List[Set[int]] = [set() for _ in range(banks)]
+        self._page_bank: Dict[int, int] = {}
+        self._fill_bank = 0
+        #: Disk accesses caused purely by bank disabling (for diagnostics).
+        self.invalidation_misses = 0
+        self.banks_disabled = 0
+
+    # --- bank bookkeeping -------------------------------------------------------
+
+    def _disable_time(self, bank: int) -> float:
+        return self._last_access[bank] + self.timeout_s
+
+    def _accrue_bank(self, bank: int, now: float) -> None:
+        """Charge nap power from the last accounting point up to ``now``,
+        stopping at the bank's (lazy) disable time."""
+        start = self._accounted_until[bank]
+        end = min(now, self._disable_time(bank))
+        if end > start:
+            self.energy.add_static(self.spec.bank_power("nap"), end - start)
+        self._accounted_until[bank] = max(now, start)
+
+    def _is_disabled(self, bank: int, now: float) -> bool:
+        return now > self._disable_time(bank)
+
+    def _invalidate_bank(self, bank: int) -> None:
+        pages = self._bank_pages[bank]
+        if pages:
+            self.cache.invalidate(pages)
+            self._spill_dirty(pages)
+            for page in pages:
+                self._page_bank.pop(page, None)
+            pages.clear()
+        self.banks_disabled += 1
+
+    def _place_page(self, page: int) -> None:
+        """Record the freshly loaded page in a bank with room."""
+        banks = self._last_access.size
+        per_bank = self.spec.pages_per_bank
+        for probe in range(banks):
+            bank = (self._fill_bank + probe) % banks
+            if len(self._bank_pages[bank]) < per_bank:
+                self._bank_pages[bank].add(page)
+                self._page_bank[page] = bank
+                self._fill_bank = bank
+                return
+        raise SimulationError("no bank has a free frame despite cache room")
+
+    def _evict_bookkeeping(self, evicted: List[int]) -> None:
+        for page in evicted:
+            bank = self._page_bank.pop(page, None)
+            if bank is not None:
+                self._bank_pages[bank].discard(page)
+
+    def _register_prefill(self, page: int) -> None:
+        self._place_page(page)
+
+    # --- interface ------------------------------------------------------------------
+
+    def access(self, now: float, page: int) -> bool:
+        self._advance_clock(now)
+        self._charge_access()
+        bank = self._page_bank.get(page)
+        if bank is not None and self._is_disabled(bank, now):
+            # The bank was disabled while this page sat in it: the data
+            # are gone, so this access is really a miss.
+            self._accrue_bank(bank, now)
+            self._invalidate_bank(bank)
+            self._last_access[bank] = now
+            self._accounted_until[bank] = now
+            self.invalidation_misses += 1
+            self._load(now, page)
+            return False
+        if self.cache.peek(page):
+            if bank is None:
+                raise SimulationError("resident page has no bank assignment")
+            self._accrue_bank(bank, now)
+            self._last_access[bank] = now
+            self.cache.access(page)
+            return True
+        self._load(now, page)
+        return False
+
+    def _load(self, now: float, page: int) -> None:
+        evicted = self.cache.load(page)
+        if evicted is not None:
+            self._evict_bookkeeping([evicted])
+        if not self.cache.peek(page):
+            # Zero-capacity cache: nothing to place.
+            return
+        self._place_page(page)
+        bank = self._page_bank[page]
+        self._accrue_bank(bank, now)
+        self._last_access[bank] = now
+        self._accounted_until[bank] = max(self._accounted_until[bank], now)
+
+    def finalize(self, now: float) -> None:
+        self._advance_clock(now)
+        for bank in range(self._last_access.size):
+            self._accrue_bank(bank, now)

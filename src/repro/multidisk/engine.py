@@ -1,0 +1,191 @@
+"""Trace-driven simulation of a shared cache over a disk array.
+
+One memory system (the disk cache) absorbs hits; misses route through
+the data layout to per-disk drives, each governed by its own instance of
+a disk policy.  Sequential pricing applies per disk (a run that stays on
+one spindle streams; a striped run re-positions on every extent switch),
+which is exactly why striping hurts spin-down workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.config.machine import MachineConfig
+from repro.disk.energy import DiskEnergy
+from repro.disk.service import ServiceModel
+from repro.errors import SimulationError
+from repro.memory.system import MemorySystem
+from repro.multidisk.array import DiskArray
+from repro.multidisk.layout import DataLayout
+from repro.policies.base import NO_CHANGE, DiskPolicy
+from repro.sim.engine import SEQUENTIAL_MERGE_WINDOW_S
+from repro.sim.metrics import MetricsCollector
+from repro.traces.trace import Trace
+
+PolicyFactory = Callable[[], DiskPolicy]
+
+
+@dataclass(frozen=True)
+class MultiDiskResult:
+    """Outcome of one multi-disk run."""
+
+    label: str
+    duration_s: float
+    num_disks: int
+    memory_energy_j: float
+    disk_energy_j: float
+    #: Per-disk counters, index-aligned with the array.
+    per_disk: List[DiskEnergy]
+    total_accesses: int
+    disk_page_accesses: int
+    mean_latency_s: float
+    long_latency: int
+    spin_down_cycles: int
+    #: Fraction of the window each disk spent in standby.
+    standby_fractions: List[float] = field(default_factory=list)
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.memory_energy_j + self.disk_energy_j
+
+    @property
+    def sleeping_disks(self) -> int:
+        """Disks that spent most of the window spun down."""
+        return sum(1 for f in self.standby_fractions if f > 0.5)
+
+
+class MultiDiskEngine:
+    """Replay a trace against a shared cache and an N-disk array."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        memory: MemorySystem,
+        layout: DataLayout,
+        policy_factory: PolicyFactory,
+        label: str = "multidisk",
+    ) -> None:
+        self.machine = machine
+        self.memory = memory
+        self.label = label
+        service = ServiceModel(machine.disk, machine.page_bytes)
+        self.array = DiskArray(machine.disk, service, layout)
+        self.policies = [policy_factory() for _ in range(layout.num_disks)]
+
+    def run(
+        self,
+        trace: Trace,
+        duration_s: Optional[float] = None,
+        warmup_s: float = 0.0,
+    ) -> MultiDiskResult:
+        machine = self.machine
+        period = machine.manager.period_s
+        if duration_s is None:
+            periods = max(int(np.ceil(trace.duration_s / period)), 1)
+            duration_s = periods * period
+        if warmup_s < 0 or warmup_s >= duration_s:
+            raise SimulationError("warm-up must be within the duration")
+
+        if trace.writes is not None and bool(trace.writes.any()):
+            raise SimulationError(
+                "the multi-disk engine does not model write-back yet; "
+                "strip writes or use the single-disk SimulationEngine"
+            )
+        metrics = MetricsCollector(
+            period_s=period,
+            long_latency_threshold_s=machine.manager.long_latency_threshold_s,
+            aggregation_window_s=machine.manager.aggregation_window_s,
+        )
+        array = self.array
+        memory = self.memory
+        for index, policy in enumerate(self.policies):
+            array.set_timeout(0.0, index, policy.initial_timeout())
+
+        last_miss_page = [-2] * array.num_disks
+        last_miss_time = [-np.inf] * array.num_disks
+        mem_mark = memory.energy.snapshot() if warmup_s == 0 else None
+        disk_marks = array.snapshots() if warmup_s == 0 else None
+        measuring = warmup_s == 0
+
+        for now, page in zip(trace.times.tolist(), trace.pages.tolist()):
+            if now >= duration_s:
+                break
+            if not measuring and now >= warmup_s:
+                memory.checkpoint(warmup_s)
+                array.checkpoint(warmup_s)
+                mem_mark = memory.energy.snapshot()
+                disk_marks = array.snapshots()
+                metrics = MetricsCollector(
+                    period_s=period,
+                    long_latency_threshold_s=(
+                        machine.manager.long_latency_threshold_s
+                    ),
+                    aggregation_window_s=machine.manager.aggregation_window_s,
+                )
+                measuring = True
+
+            hit = memory.access(now, page)
+            if hit:
+                metrics.on_hit(now)
+                continue
+
+            disk_index = array.layout.disk_of(page)
+            sequential = (
+                page == last_miss_page[disk_index] + 1
+                and now - last_miss_time[disk_index] <= SEQUENTIAL_MERGE_WINDOW_S
+            )
+            last_miss_page[disk_index] = page
+            last_miss_time[disk_index] = now
+
+            disk = array.disks[disk_index]
+            idle_before = max(now - disk.busy_until, 0.0)
+            result = disk.submit(now, 1, sequential=sequential)
+            metrics.on_miss(now, result.latency_s, result.wake_delay_s)
+
+            policy = self.policies[disk_index]
+            update = policy.on_request(
+                now, result.latency_s, result.wake_delay_s, idle_before
+            )
+            if update is not NO_CHANGE:
+                disk.set_timeout(now, update)
+
+        if not measuring:
+            memory.checkpoint(warmup_s)
+            array.checkpoint(warmup_s)
+            mem_mark = memory.energy.snapshot()
+            disk_marks = array.snapshots()
+        array.finalize(duration_s)
+        memory.finalize(duration_s)
+        assert mem_mark is not None and disk_marks is not None
+
+        observed = duration_s - warmup_s
+        per_disk = [
+            disk.energy.minus(mark)
+            for disk, mark in zip(array.disks, disk_marks)
+        ]
+        disk_energy = sum(
+            energy.total_joules(machine.disk) for energy in per_disk
+        )
+        memory_energy = memory.energy.minus(mem_mark)
+        standby_fractions = [
+            energy.standby_s / observed if observed > 0 else 0.0
+            for energy in per_disk
+        ]
+        return MultiDiskResult(
+            label=self.label,
+            duration_s=observed,
+            num_disks=array.num_disks,
+            memory_energy_j=memory_energy.total_j,
+            disk_energy_j=disk_energy,
+            per_disk=per_disk,
+            total_accesses=metrics.total_accesses,
+            disk_page_accesses=metrics.total_disk_pages,
+            mean_latency_s=metrics.mean_latency_s,
+            long_latency=metrics.total_long_latency,
+            spin_down_cycles=sum(e.spin_down_cycles for e in per_disk),
+            standby_fractions=standby_fractions,
+        )

@@ -1,0 +1,32 @@
+"""Disk power-management policies and the method-name registry.
+
+Disk-side policies compared in the paper (Section V-A):
+
+* :class:`~repro.policies.always_on.AlwaysOnPolicy` -- the baseline.
+* :class:`~repro.policies.fixed_timeout.FixedTimeoutPolicy` -- the
+  2-competitive timeout (2T): timeout = break-even time = 11.7 s.
+* :class:`~repro.policies.adaptive_timeout.AdaptiveTimeoutPolicy` -- the
+  Douglis adaptive timeout (AD): 10 s start, +/-5 s steps within [5, 30] s.
+* :class:`~repro.policies.oracle.OraclePolicy` -- the offline optimum the
+  paper cites as the yardstick [16] (extension; not one of the 15 methods).
+
+The joint method drives the disk timeout itself (``repro.core.joint``).
+"""
+
+from repro.policies.adaptive_timeout import AdaptiveTimeoutPolicy
+from repro.policies.always_on import AlwaysOnPolicy
+from repro.policies.base import DiskPolicy
+from repro.policies.fixed_timeout import FixedTimeoutPolicy
+from repro.policies.oracle import OraclePolicy
+from repro.policies.registry import MethodSpec, parse_method, standard_methods
+
+__all__ = [
+    "AdaptiveTimeoutPolicy",
+    "AlwaysOnPolicy",
+    "DiskPolicy",
+    "FixedTimeoutPolicy",
+    "MethodSpec",
+    "OraclePolicy",
+    "parse_method",
+    "standard_methods",
+]

@@ -1,0 +1,16 @@
+"""The always-on baseline: the disk never spins down."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.policies.base import DiskPolicy
+
+
+class AlwaysOnPolicy(DiskPolicy):
+    """Baseline disk policy (paper Section V-A, "always-on method")."""
+
+    name = "ON"
+
+    def initial_timeout(self) -> Optional[float]:
+        return None

@@ -1,0 +1,27 @@
+"""Two-competitive fixed timeout (2T).
+
+Karlin et al. [41]: a timeout equal to the break-even time guarantees at
+most twice the energy of the offline optimum.  The paper uses 11.7 s, the
+break-even time of its drive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import PolicyError
+from repro.policies.base import DiskPolicy
+
+
+class FixedTimeoutPolicy(DiskPolicy):
+    """Constant spin-down timeout (2T when ``timeout == break-even``)."""
+
+    name = "2T"
+
+    def __init__(self, timeout_s: float) -> None:
+        if timeout_s < 0:
+            raise PolicyError("timeout must be non-negative")
+        self.timeout_s = timeout_s
+
+    def initial_timeout(self) -> Optional[float]:
+        return self.timeout_s

@@ -1,0 +1,41 @@
+"""Offline oracle spin-down (reference bound; extension).
+
+The paper cites the oracle of [16] as the yardstick the 2T and AD
+policies approach.  With future knowledge, the optimal per-gap decision
+is: spin down immediately after the last request iff the coming idle gap
+exceeds the break-even time; otherwise stay spinning.  The engine feeds
+the policy the next arrival time at every idle start.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.errors import PolicyError
+from repro.policies.base import DiskPolicy, TimeoutUpdate
+
+
+class OraclePolicy(DiskPolicy):
+    """Per-gap optimal spin-down using the engine's arrival lookahead."""
+
+    name = "OR"
+
+    def __init__(self, break_even_s: float) -> None:
+        if break_even_s <= 0:
+            raise PolicyError("break-even time must be positive")
+        self.break_even_s = break_even_s
+
+    def initial_timeout(self) -> Optional[float]:
+        return None  # decided gap by gap
+
+    def on_idle_start(
+        self, completion_s: float, next_arrival_s: Optional[float]
+    ) -> TimeoutUpdate:
+        if next_arrival_s is None:
+            # Trace over: spinning down always pays at the tail.
+            return 0.0
+        gap = next_arrival_s - completion_s
+        if gap > self.break_even_s:
+            return 0.0
+        return math.inf  # stay up through this gap

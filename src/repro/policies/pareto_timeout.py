@@ -1,0 +1,74 @@
+"""Pareto-adaptive timeout (PT) -- the stochastic-model policy.
+
+The timeout half of the paper's method as a standalone disk policy, in
+the spirit of the Pareto-based stochastic policies it builds on
+(Simunic et al. [18], [19]): observe the disk's idle intervals, refit a
+Pareto model every period, and install the energy-optimal timeout
+``t_o = alpha * t_be`` (eq. 5).  Memory is whatever the paired memory
+policy provides; no performance constraints are applied (that is the
+joint method's addition).
+
+Useful on its own and as the "timeout-only" arm of the ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import PolicyError
+from repro.policies.base import NO_CHANGE, DiskPolicy, TimeoutUpdate
+from repro.stats.pareto import fit_moments
+from repro.stats.timeout_math import optimal_timeout
+
+#: Minimum intervals for a usable fit, mirroring the joint manager.
+MIN_INTERVALS = 5
+
+
+class ParetoTimeoutPolicy(DiskPolicy):
+    """Per-period Pareto refit of the spin-down timeout."""
+
+    name = "PT"
+
+    def __init__(
+        self,
+        break_even_s: float,
+        aggregation_window_s: float = 0.1,
+        initial_timeout_s: Optional[float] = None,
+    ) -> None:
+        if break_even_s <= 0:
+            raise PolicyError("break-even time must be positive")
+        if aggregation_window_s < 0:
+            raise PolicyError("aggregation window must be non-negative")
+        self.break_even_s = break_even_s
+        self.window_s = aggregation_window_s
+        self.timeout_s = (
+            break_even_s if initial_timeout_s is None else initial_timeout_s
+        )
+        self._intervals: List[float] = []
+        #: (time, timeout) pairs, one per period with a successful fit.
+        self.history: List[tuple] = []
+
+    def initial_timeout(self) -> Optional[float]:
+        return self.timeout_s
+
+    def on_request(
+        self,
+        now: float,
+        latency_s: float,
+        wake_delay_s: float,
+        idle_before_s: float,
+    ) -> TimeoutUpdate:
+        del now, latency_s, wake_delay_s
+        if idle_before_s >= self.window_s and idle_before_s > 0.0:
+            self._intervals.append(idle_before_s)
+        return NO_CHANGE
+
+    def on_period(self, now: float) -> TimeoutUpdate:
+        """Refit and retune; keep the old timeout on thin data."""
+        intervals, self._intervals = self._intervals, []
+        if len(intervals) < MIN_INTERVALS:
+            return NO_CHANGE
+        fit = fit_moments(intervals)
+        self.timeout_s = optimal_timeout(fit, self.break_even_s)
+        self.history.append((now, self.timeout_s))
+        return self.timeout_s

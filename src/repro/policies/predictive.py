@@ -1,0 +1,83 @@
+"""Exponential-average predictive spin-down (EA).
+
+The predictive family the paper's related work surveys (Douglis et al.
+[27] compare against it; Hwang & Wu's exponential-average predictor is
+the classic instance): instead of waiting out a timeout, predict the
+coming idle period from an exponentially weighted average of past ones
+and spin down *immediately* when the prediction clears the break-even
+time.
+
+``I_{n+1} = a * i_n + (1 - a) * I_n``
+
+where ``i_n`` is the last completed idle length and ``a`` the smoothing
+weight.  A saturation guard (as in Hwang & Wu) keeps one long outlier
+from locking the predictor high: predictions are clamped to
+``clamp_factor`` times the break-even time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.errors import PolicyError
+from repro.policies.base import NO_CHANGE, DiskPolicy, TimeoutUpdate
+
+
+class PredictiveSpinDownPolicy(DiskPolicy):
+    """Spin down at once when the predicted idle beats break-even."""
+
+    name = "EA"
+
+    def __init__(
+        self,
+        break_even_s: float,
+        smoothing: float = 0.5,
+        clamp_factor: float = 10.0,
+        initial_prediction_s: Optional[float] = None,
+    ) -> None:
+        if break_even_s <= 0:
+            raise PolicyError("break-even time must be positive")
+        if not 0.0 < smoothing <= 1.0:
+            raise PolicyError("smoothing weight must be in (0, 1]")
+        if clamp_factor < 1.0:
+            raise PolicyError("clamp factor must be >= 1")
+        self.break_even_s = break_even_s
+        self.smoothing = smoothing
+        self.clamp_s = clamp_factor * break_even_s
+        #: Current idle-length prediction ``I_n``.
+        self.prediction_s = (
+            break_even_s if initial_prediction_s is None else initial_prediction_s
+        )
+
+    def initial_timeout(self) -> Optional[float]:
+        return self._decision()
+
+    def _decision(self) -> Optional[float]:
+        """Timeout encoding of the immediate decision.
+
+        Predict long: timeout 0 (spin down as soon as the queue drains);
+        predict short: never spin down this gap.
+        """
+        if self.prediction_s > self.break_even_s:
+            return 0.0
+        return None
+
+    def on_request(
+        self,
+        now: float,
+        latency_s: float,
+        wake_delay_s: float,
+        idle_before_s: float,
+    ) -> TimeoutUpdate:
+        del now, latency_s, wake_delay_s
+        if idle_before_s <= 0.0:
+            return NO_CHANGE
+        updated = (
+            self.smoothing * idle_before_s
+            + (1.0 - self.smoothing) * self.prediction_s
+        )
+        self.prediction_s = min(updated, self.clamp_s)
+        decision = self._decision()
+        # The drive treats an infinite timeout as "never spin down".
+        return math.inf if decision is None else decision

@@ -1,0 +1,161 @@
+"""Method names -> configured policy/memory combinations.
+
+The paper names its 14 comparison methods by three parts: disk policy
+("2T" or "AD"), memory policy ("FM", "PD" or "DS") and maximum memory
+size ("-8GB" ... "-128GB").  Examples from the text: ``2TFM-8GB``,
+``ADPD-128GB``.  The baseline is ``ALWAYS-ON`` and the paper's method is
+``JOINT``.  ``2TOR``-style oracle combinations exist as extensions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config.machine import MachineConfig
+from repro.errors import PolicyError
+from repro.memory.system import (
+    DisableMemorySystem,
+    MemorySystem,
+    NapMemorySystem,
+    PowerDownMemorySystem,
+)
+from repro.policies.adaptive_timeout import AdaptiveTimeoutPolicy
+from repro.policies.always_on import AlwaysOnPolicy
+from repro.policies.base import DiskPolicy
+from repro.policies.fixed_timeout import FixedTimeoutPolicy
+from repro.policies.oracle import OraclePolicy
+from repro.policies.pareto_timeout import ParetoTimeoutPolicy
+from repro.policies.predictive import PredictiveSpinDownPolicy
+from repro.units import GB
+
+_NAME_RE = re.compile(
+    r"^(?P<disk>2T|AD|ON|OR|PT|EA)(?P<memory>FM|PD|DS|NAP)(-(?P<size>\d+)GB)?$"
+)
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """A named power-management method: disk policy + memory system."""
+
+    label: str
+    disk: str  # "2T" | "AD" | "ON" | "OR" | "PT" | "JOINT"
+    memory: str  # "FM" | "PD" | "DS" | "NAP" | "JOINT"
+    memory_bytes: Optional[int] = None  # fixed size for FM; None = installed
+    #: Joint-manager ablation flags (only read when ``is_joint``).
+    enforce_constraints: bool = True
+    adapt_memory: bool = True
+    adapt_timeout: bool = True
+
+    @property
+    def is_joint(self) -> bool:
+        return self.disk == "JOINT"
+
+    def build_disk_policy(self, machine: MachineConfig) -> DiskPolicy:
+        if self.disk == "2T":
+            return FixedTimeoutPolicy(machine.disk.break_even_time_s)
+        if self.disk == "AD":
+            return AdaptiveTimeoutPolicy()
+        if self.disk == "ON":
+            return AlwaysOnPolicy()
+        if self.disk == "OR":
+            return OraclePolicy(machine.disk.break_even_time_s)
+        if self.disk == "PT":
+            return ParetoTimeoutPolicy(
+                machine.disk.break_even_time_s,
+                aggregation_window_s=machine.manager.aggregation_window_s,
+            )
+        if self.disk == "EA":
+            return PredictiveSpinDownPolicy(machine.disk.break_even_time_s)
+        if self.disk == "JOINT":
+            raise PolicyError("the joint method drives the disk itself")
+        raise PolicyError(f"unknown disk policy {self.disk!r}")
+
+    def build_memory_system(self, machine: MachineConfig) -> MemorySystem:
+        spec = machine.memory
+        size = self.memory_bytes
+        if size is None:
+            size = spec.installed_bytes
+        if self.memory in ("FM", "NAP", "JOINT"):
+            return NapMemorySystem(spec, size)
+        if self.memory == "PD":
+            return PowerDownMemorySystem(spec, size)
+        if self.memory == "DS":
+            return DisableMemorySystem(spec, size)
+        raise PolicyError(f"unknown memory policy {self.memory!r}")
+
+
+def parse_method(name: str) -> MethodSpec:
+    """Parse a paper-style method name.
+
+    Recognised forms: ``JOINT`` and its ablations ``JOINT-NC`` (no
+    performance constraints, the DATE-2005 method), ``JOINT-MEM``
+    (resize-only) and ``JOINT-TO`` (timeout-only); ``ALWAYS-ON``; and
+    ``<disk><memory>[-<size>GB]`` with disk in {2T, AD, ON, OR, PT, EA}
+    and memory in {FM, PD, DS, NAP}.
+
+    >>> parse_method("2TFM-8GB").memory_bytes == 8 * GB
+    True
+    >>> parse_method("JOINT").is_joint
+    True
+    """
+    canonical = name.strip().upper()
+    if canonical in ("JOINT", "JM"):
+        return MethodSpec(label="JOINT", disk="JOINT", memory="JOINT")
+    if canonical in ("JOINT-NC", "DATE2005"):
+        # The DATE 2005 method: joint adaptation without the TCAD paper's
+        # performance constraints.
+        return MethodSpec(
+            label="JOINT-NC",
+            disk="JOINT",
+            memory="JOINT",
+            enforce_constraints=False,
+        )
+    if canonical == "JOINT-MEM":
+        # Resize-only ablation: memory adapts, disk keeps the 2T timeout.
+        return MethodSpec(
+            label="JOINT-MEM", disk="JOINT", memory="JOINT", adapt_timeout=False
+        )
+    if canonical == "JOINT-TO":
+        # Timeout-only ablation: memory pinned at the installed maximum.
+        return MethodSpec(
+            label="JOINT-TO", disk="JOINT", memory="JOINT", adapt_memory=False
+        )
+    if canonical in ("ALWAYS-ON", "ALWAYSON", "BASE"):
+        return MethodSpec(label="ALWAYS-ON", disk="ON", memory="NAP")
+    match = _NAME_RE.match(canonical)
+    if not match:
+        raise PolicyError(f"cannot parse method name {name!r}")
+    size = match.group("size")
+    memory_bytes = int(size) * GB if size else None
+    if match.group("memory") == "FM" and memory_bytes is None:
+        raise PolicyError("FM methods need an explicit memory size (e.g. FM-8GB)")
+    return MethodSpec(
+        label=canonical,
+        disk=match.group("disk"),
+        memory=match.group("memory"),
+        memory_bytes=memory_bytes,
+    )
+
+
+def standard_methods(
+    fm_sizes_gb: Optional[List[int]] = None, include_oracle: bool = False
+) -> List[MethodSpec]:
+    """The paper's comparison set: joint + 14 methods + always-on.
+
+    2TFM/ADFM at five sizes, 2TPD/ADPD/2TDS/ADDS at the installed maximum,
+    the joint method and the always-on baseline (Section V-A).
+    """
+    if fm_sizes_gb is None:
+        fm_sizes_gb = [8, 16, 32, 64, 128]
+    names = ["JOINT"]
+    for disk in ("2T", "AD"):
+        for size in fm_sizes_gb:
+            names.append(f"{disk}FM-{size}GB")
+        names.append(f"{disk}PD-128GB")
+        names.append(f"{disk}DS-128GB")
+    if include_oracle:
+        names.append("ORFM-128GB")
+    names.append("ALWAYS-ON")
+    return [parse_method(name) for name in names]

@@ -1,0 +1,27 @@
+"""Trace-driven simulation: engine, metrics and multi-method comparison."""
+
+from repro.sim.audit import assert_clean, audit_result
+from repro.sim.compare import ComparisonResult, compare_methods
+from repro.sim.prefill import warm_start_pages
+from repro.sim.replay import RunSpec, fingerprint
+from repro.sim.sweep import sweep
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import MetricsCollector, PeriodMetrics
+from repro.sim.results import SimResult
+from repro.sim.runner import run_method
+
+__all__ = [
+    "ComparisonResult",
+    "RunSpec",
+    "assert_clean",
+    "audit_result",
+    "fingerprint",
+    "sweep",
+    "warm_start_pages",
+    "MetricsCollector",
+    "PeriodMetrics",
+    "SimResult",
+    "SimulationEngine",
+    "compare_methods",
+    "run_method",
+]

@@ -1,0 +1,154 @@
+"""Result auditing: conservation and sanity invariants of a finished run.
+
+A simulation that silently drops time or double counts energy produces
+plausible-looking but wrong comparisons.  ``audit_result`` checks every
+invariant a correct run must satisfy and returns the list of violations
+(empty = clean); ``assert_clean`` raises on the first problem.  The test
+suite audits every engine run it makes, and ``run_method`` can be asked
+to audit via ``audit=True``.
+
+Invariants:
+
+* disk time conservation: active + idle + standby + transition time
+  accounts for the full measured window (within tolerance; a cycle that
+  was still spun down at the end may leave its spin-up unused),
+* all time buckets and energy buckets are non-negative,
+* disk utilisation equals active time over the window,
+* the disk served exactly the misses the cache reported,
+* accesses = hits + misses, and latency statistics are consistent
+  (mean * accesses = sum, max >= mean),
+* memory dynamic energy equals accesses x per-access energy,
+* per-period metrics sum to the run totals.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config.machine import MachineConfig
+from repro.sim.results import SimResult
+
+
+def audit_result(result: SimResult, machine: MachineConfig) -> List[str]:
+    """Return human-readable descriptions of every violated invariant."""
+    problems: List[str] = []
+    tolerance = max(machine.disk.transition_time_s, 1e-6)
+
+    # --- disk time conservation -----------------------------------------------
+    disk = result.disk_energy
+    accounted = disk.active_s + disk.idle_s + disk.standby_s + disk.transition_s
+    overhang = accounted - result.duration_s
+    if overhang > tolerance:
+        problems.append(
+            f"disk accounts {accounted:.3f}s over a {result.duration_s:.3f}s "
+            "window (double counting)"
+        )
+    if overhang < -tolerance:
+        problems.append(
+            f"disk accounts only {accounted:.3f}s of {result.duration_s:.3f}s "
+            "(missing time)"
+        )
+
+    for name, value in (
+        ("active", disk.active_s),
+        ("idle", disk.idle_s),
+        ("standby", disk.standby_s),
+        ("transition", disk.transition_s),
+    ):
+        if value < 0:
+            problems.append(f"negative disk {name} time {value}")
+
+    # --- utilisation definition -------------------------------------------------
+    if result.duration_s > 0:
+        expected_util = disk.active_s / result.duration_s
+        if abs(result.utilization - expected_util) > 1e-9:
+            problems.append(
+                f"utilisation {result.utilization} != active/duration "
+                f"{expected_util}"
+            )
+
+    # --- request bookkeeping ------------------------------------------------------
+    expected_requests = result.disk_page_accesses + result.disk_write_pages
+    if disk.requests != expected_requests:
+        problems.append(
+            f"disk served {disk.requests} requests but the cache reported "
+            f"{result.disk_page_accesses} misses + "
+            f"{result.disk_write_pages} write-backs"
+        )
+    if result.disk_page_accesses > result.total_accesses:
+        problems.append("more misses than accesses")
+    if result.disk_requests > max(result.disk_page_accesses, 0):
+        problems.append("more merged requests than page misses")
+    expected_bytes = expected_requests * machine.page_bytes
+    if disk.bytes_transferred != expected_bytes:
+        problems.append(
+            f"disk moved {disk.bytes_transferred} bytes, expected "
+            f"{expected_bytes}"
+        )
+
+    # --- energies -------------------------------------------------------------------
+    memory = result.memory_energy
+    for name, value in (
+        ("static", memory.static_j),
+        ("dynamic", memory.dynamic_j),
+        ("transition", memory.transition_j),
+    ):
+        if value < 0:
+            problems.append(f"negative memory {name} energy {value}")
+    if memory.accesses != result.total_accesses:
+        problems.append(
+            f"memory charged {memory.accesses} accesses, metrics saw "
+            f"{result.total_accesses}"
+        )
+    expected_dynamic = (
+        result.total_accesses * machine.memory.dynamic_energy_per_access
+    )
+    if abs(memory.dynamic_j - expected_dynamic) > 1e-6 * max(expected_dynamic, 1):
+        problems.append(
+            f"memory dynamic energy {memory.dynamic_j} != accesses x "
+            f"per-access = {expected_dynamic}"
+        )
+    if result.disk_energy_j < 0 or result.memory_energy_j < 0:
+        problems.append("negative total energy")
+
+    # --- latency statistics -----------------------------------------------------------
+    if result.long_latency < result.wake_long_latency:
+        problems.append("wake-attributed long latencies exceed the total")
+    if result.long_latency > result.disk_page_accesses:
+        problems.append("more long-latency accesses than disk accesses")
+    if result.mean_latency_s < 0:
+        problems.append("negative mean latency")
+
+    # --- per-period consistency -----------------------------------------------------------
+    if result.periods:
+        for key, total in (
+            ("accesses", result.total_accesses),
+            ("disk_page_accesses", result.disk_page_accesses),
+            ("long_latency", result.long_latency),
+        ):
+            period_sum = sum(getattr(p, key) for p in result.periods)
+            if period_sum != total:
+                problems.append(
+                    f"period {key} sum {period_sum} != run total {total}"
+                )
+        spans = [p.duration_s for p in result.periods]
+        if any(span < 0 for span in spans):
+            problems.append("a period has negative duration")
+        if abs(sum(spans) - result.duration_s) > 1e-6:
+            problems.append(
+                f"period spans sum to {sum(spans):.3f}s over a "
+                f"{result.duration_s:.3f}s window"
+            )
+
+    return problems
+
+
+def assert_clean(result: SimResult, machine: MachineConfig) -> SimResult:
+    """Raise ``AssertionError`` listing every violated invariant."""
+    problems = audit_result(result, machine)
+    if problems:
+        raise AssertionError(
+            f"audit of {result.label!r} found {len(problems)} problem(s):\n  "
+            + "\n  ".join(problems)
+        )
+    return result

@@ -1,0 +1,69 @@
+"""Run the paper's full method comparison on one workload."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.config.machine import MachineConfig
+from repro.errors import SimulationError
+from repro.policies.registry import MethodSpec, parse_method, standard_methods
+from repro.sim.results import NormalizedResult, SimResult
+from repro.sim.runner import run_method
+from repro.traces.trace import Trace
+
+#: Label of the normalisation baseline.
+BASELINE_LABEL = "ALWAYS-ON"
+
+
+@dataclass
+class ComparisonResult:
+    """All methods' results on one workload, plus normalisations."""
+
+    results: Dict[str, SimResult] = field(default_factory=dict)
+
+    @property
+    def baseline(self) -> SimResult:
+        if BASELINE_LABEL not in self.results:
+            raise SimulationError("comparison is missing the always-on baseline")
+        return self.results[BASELINE_LABEL]
+
+    def normalized(self) -> List[NormalizedResult]:
+        """Per-method normalised energies (paper Fig. 7 bar heights)."""
+        base = self.baseline
+        return [result.normalized_to(base) for result in self.results.values()]
+
+    def normalized_by_label(self) -> Dict[str, NormalizedResult]:
+        return {n.label: n for n in self.normalized()}
+
+    def __getitem__(self, label: str) -> SimResult:
+        return self.results[label]
+
+    def labels(self) -> List[str]:
+        return list(self.results.keys())
+
+
+def compare_methods(
+    trace: Trace,
+    machine: MachineConfig,
+    methods: Optional[Sequence[Union[str, MethodSpec]]] = None,
+    duration_s: Optional[float] = None,
+    warmup_s: float = 0.0,
+) -> ComparisonResult:
+    """Simulate every method on ``trace``.
+
+    ``methods`` defaults to the paper's 16-bar set (joint + 14 +
+    always-on).  Overloaded methods (the paper drops 2TFM-8GB/ADFM-8GB
+    bars at 64 GB for exceeding the disk's bandwidth) are kept in the
+    results and flagged by their >1.0 utilisation; nothing is dropped
+    silently.
+    """
+    if methods is None:
+        methods = standard_methods()
+    specs = [parse_method(m) if isinstance(m, str) else m for m in methods]
+    comparison = ComparisonResult()
+    for spec in specs:
+        comparison.results[spec.label] = run_method(
+            spec, trace, machine, duration_s, warmup_s=warmup_s
+        )
+    return comparison

@@ -1,0 +1,351 @@
+"""The trace-driven simulation engine.
+
+Replays a disk-cache access trace through a memory system (LRU cache +
+memory power policy), a simulated drive and a disk power policy -- or the
+joint manager, which owns both knobs.  Mirrors the paper's evaluation
+pipeline (Fig. 6(b)): synthesized traces -> disk-cache simulation -> disk
+simulation + power managers.
+
+Misses are priced individually; a miss that continues the previous miss's
+sequential run within a short merge window is charged the sequential
+service time (track-to-track positioning), which reproduces what request
+clustering/read-ahead achieves while keeping submissions in time order.
+The merged *request count* statistics still come from a
+:class:`~repro.cache.readahead.ReadaheadClusterer` fed with the same miss
+stream.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.cache.readahead import ReadaheadClusterer
+from repro.config.machine import MachineConfig
+from repro.core.joint import JointPowerManager
+from repro.disk.drive import SimDisk
+from repro.disk.service import ServiceModel
+from repro.errors import SimulationError
+from repro.memory.system import MemorySystem
+from repro.policies.base import NO_CHANGE, DiskPolicy
+from repro.sim.metrics import MetricsCollector
+from repro.sim.results import SimResult
+from repro.traces.trace import Trace
+
+#: Misses this close in time to the previous, next-page miss are priced as
+#: sequential continuations (the block layer would have merged them).
+SEQUENTIAL_MERGE_WINDOW_S = 0.05
+
+#: Default write-back flush cadence (Linux pdflush-style sweep).
+FLUSH_INTERVAL_S = 30.0
+
+
+class SimulationEngine:
+    """One configured run: machine + memory system + disk policy/manager."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        memory: MemorySystem,
+        disk_policy: Optional[DiskPolicy] = None,
+        joint_manager: Optional[JointPowerManager] = None,
+        idle_hints: Optional[np.ndarray] = None,
+        label: str = "run",
+        use_geometry: bool = False,
+        flush_interval_s: float = FLUSH_INTERVAL_S,
+    ) -> None:
+        if (disk_policy is None) == (joint_manager is None):
+            raise SimulationError(
+                "provide exactly one of disk_policy or joint_manager"
+            )
+        if joint_manager is not None and not memory.resizable:
+            raise SimulationError("the joint manager needs a resizable memory")
+        self.machine = machine
+        self.memory = memory
+        self.policy = disk_policy
+        self.manager = joint_manager
+        self.label = label
+        self.service = ServiceModel(machine.disk, machine.page_bytes)
+        positioned = None
+        if use_geometry:
+            from repro.disk.positioned import PositionedServiceModel
+
+            positioned = PositionedServiceModel(
+                machine.disk, machine.page_bytes
+            )
+        self.disk = SimDisk(machine.disk, self.service, positioned=positioned)
+        self.idle_hints = (
+            None if idle_hints is None else np.asarray(idle_hints, dtype=float)
+        )
+        if flush_interval_s <= 0:
+            raise SimulationError("flush interval must be positive")
+        self.flush_interval_s = flush_interval_s
+
+    # --- helpers ---------------------------------------------------------------
+
+    def _initial_timeout(self) -> Optional[float]:
+        if self.manager is not None:
+            return self.manager.timeout_s
+        assert self.policy is not None
+        return self.policy.initial_timeout()
+
+    def _next_hint(self, after_s: float) -> Optional[float]:
+        if self.idle_hints is None or self.idle_hints.size == 0:
+            return None
+        index = int(np.searchsorted(self.idle_hints, after_s, side="right"))
+        if index >= self.idle_hints.size:
+            return None
+        return float(self.idle_hints[index])
+
+    # --- main loop ----------------------------------------------------------------
+
+    def run(
+        self,
+        trace: Trace,
+        duration_s: Optional[float] = None,
+        warmup_s: float = 0.0,
+    ) -> SimResult:
+        """Replay ``trace`` and return the run's result.
+
+        ``warmup_s`` (a whole number of periods) excludes the cold-start
+        window from every reported metric and energy figure: the cache
+        fills and the managers adapt during warm-up, but observation
+        starts at its end.
+        """
+        machine = self.machine
+        manager_cfg = machine.manager
+        period = manager_cfg.period_s
+        if duration_s is None:
+            periods = max(int(np.ceil(trace.duration_s / period)), 1)
+            duration_s = periods * period
+        if duration_s <= 0:
+            raise SimulationError("duration must be positive")
+        if warmup_s < 0 or warmup_s >= duration_s:
+            raise SimulationError("warm-up must be within the duration")
+        if warmup_s and abs(warmup_s / period - round(warmup_s / period)) > 1e-9:
+            raise SimulationError("warm-up must be a whole number of periods")
+
+        if self.manager is not None and (
+            self.memory.capacity_bytes != self.manager.memory_bytes
+        ):
+            raise SimulationError(
+                "memory system and joint manager disagree on the initial size"
+            )
+
+        metrics = MetricsCollector(
+            period_s=period,
+            long_latency_threshold_s=manager_cfg.long_latency_threshold_s,
+            aggregation_window_s=manager_cfg.aggregation_window_s,
+        )
+        clusterer = ReadaheadClusterer(merge_window_s=SEQUENTIAL_MERGE_WINDOW_S)
+
+        disk = self.disk
+        memory = self.memory
+        policy = self.policy
+        manager = self.manager
+        disk.set_timeout(0.0, self._initial_timeout())
+
+        times = trace.times.tolist()
+        pages = trace.pages.tolist()
+        has_writes = trace.writes is not None and bool(trace.writes.any())
+        writes = trace.writes.tolist() if has_writes else [False] * len(times)
+        next_flush = self.flush_interval_s
+        last_flush_page = -2
+        next_boundary = period
+        last_miss_page = -2
+        last_miss_time = -np.inf
+        current_timeout = disk.timeout_s
+        mem_mark = memory.energy.snapshot() if warmup_s == 0 else None
+        disk_mark = disk.energy.snapshot() if warmup_s == 0 else None
+
+        def drain_events(until_s: float):
+            """Fire pending flush/boundary events in time order up to
+            ``until_s`` (inclusive, capped at the run's duration)."""
+            nonlocal next_flush, next_boundary, last_flush_page
+            nonlocal current_timeout, metrics, mem_mark, disk_mark
+            while True:
+                flush_at = next_flush if has_writes else math.inf
+                event_at = min(flush_at, next_boundary)
+                if event_at > until_s or event_at > duration_s:
+                    break
+                if flush_at <= next_boundary:
+                    last_flush_page = self._flush(
+                        flush_at, memory.flush_all(), metrics, last_flush_page
+                    )
+                    next_flush += self.flush_interval_s
+                else:
+                    current_timeout = self._handle_boundary(
+                        next_boundary, metrics, current_timeout
+                    )
+                    if mem_mark is None and next_boundary >= warmup_s - 1e-9:
+                        metrics, mem_mark, disk_mark = self._begin_measurement(
+                            next_boundary
+                        )
+                    next_boundary += period
+
+        for now, page, is_write in zip(times, pages, writes):
+            if now >= duration_s:
+                break
+            drain_events(now)
+
+            if manager is not None:
+                manager.record_access(now, page)
+
+            if has_writes:
+                hit = memory.access_rw(now, page, is_write)
+                pending = memory.take_pending_flushes()
+                if pending:
+                    last_flush_page = self._flush(
+                        now, pending, metrics, last_flush_page
+                    )
+                if is_write:
+                    # Write-back: the cache absorbs the write (allocate
+                    # without fetch on a miss) -- no disk read, no
+                    # user-visible disk latency.
+                    if hit:
+                        metrics.on_hit(now)
+                    else:
+                        metrics.on_write(now)
+                    continue
+            else:
+                hit = memory.access(now, page)
+            if hit:
+                metrics.on_hit(now)
+                continue
+
+            # --- disk page access --------------------------------------------
+            sequential = (
+                page == last_miss_page + 1
+                and now - last_miss_time <= SEQUENTIAL_MERGE_WINDOW_S
+            )
+            last_miss_page = page
+            last_miss_time = now
+
+            idle_before = max(now - disk.busy_until, 0.0)
+            result = disk.submit(now, 1, sequential=sequential, page=page)
+            metrics.on_miss(now, result.latency_s, result.wake_delay_s)
+            if clusterer.add(now, page) is not None:
+                metrics.on_request()
+
+            if policy is not None:
+                update = policy.on_request(
+                    now, result.latency_s, result.wake_delay_s, idle_before
+                )
+                if update is not NO_CHANGE:
+                    disk.set_timeout(now, update)
+                    current_timeout = disk.timeout_s
+                hint = self._next_hint(now)
+                update = policy.on_idle_start(result.finish_s, hint)
+                if update is not NO_CHANGE:
+                    disk.set_timeout(now, update)
+                    current_timeout = disk.timeout_s
+
+        if clusterer.flush() is not None:
+            metrics.on_request()
+
+        # Fire the trailing events (flushes and periods in the idle tail).
+        drain_events(duration_s)
+        last_closed = (
+            metrics.periods[-1].end_s
+            if metrics.periods
+            else metrics.current_period_start
+        )
+        if not metrics.periods or last_closed < duration_s - 1e-9:
+            # Close the trailing (possibly partial) window so the period
+            # spans always tile the measured window exactly.
+            metrics.close_period(
+                duration_s,
+                memory_bytes=memory.capacity_bytes,
+                timeout_s=current_timeout,
+            )
+
+        if has_writes:
+            # Final write-back sweep: everything still dirty goes to disk.
+            remaining = memory.take_pending_flushes() + memory.flush_all()
+            if remaining:
+                self._flush(duration_s, remaining, metrics, last_flush_page)
+
+        disk.finalize(duration_s)
+        memory.finalize(duration_s)
+
+        if mem_mark is None or disk_mark is None:
+            raise SimulationError("warm-up window never closed")
+        memory_energy = memory.energy.minus(mem_mark)
+        disk_energy = disk.energy.minus(disk_mark)
+        observed_s = duration_s - warmup_s
+
+        return SimResult(
+            label=self.label,
+            duration_s=observed_s,
+            memory_energy_j=memory_energy.total_j,
+            disk_energy_j=disk_energy.total_joules(machine.disk),
+            memory_energy=memory_energy,
+            disk_energy=disk_energy,
+            total_accesses=metrics.total_accesses,
+            disk_page_accesses=metrics.total_disk_pages,
+            disk_requests=metrics.total_disk_requests,
+            disk_write_pages=metrics.total_flush_pages,
+            mean_latency_s=metrics.mean_latency_s,
+            long_latency=metrics.total_long_latency,
+            wake_long_latency=metrics.total_wake_long_latency,
+            spin_down_cycles=disk_energy.spin_down_cycles,
+            utilization=disk_energy.utilization(observed_s),
+            periods=metrics.periods,
+            decisions=list(manager.decisions) if manager is not None else [],
+        )
+
+    def _begin_measurement(self, at_s: float):
+        """Close the warm-up window: snapshot energies, fresh metrics."""
+        manager_cfg = self.machine.manager
+        self.memory.checkpoint(at_s)
+        self.disk.checkpoint(at_s)
+        metrics = MetricsCollector(
+            period_s=manager_cfg.period_s,
+            long_latency_threshold_s=manager_cfg.long_latency_threshold_s,
+            aggregation_window_s=manager_cfg.aggregation_window_s,
+            start_s=at_s,
+        )
+        return metrics, self.memory.energy.snapshot(), self.disk.energy.snapshot()
+
+    def _flush(
+        self,
+        now: float,
+        dirty_pages,
+        metrics: MetricsCollector,
+        last_flush_page: int,
+    ) -> int:
+        """Write dirty pages back; contiguous runs stream sequentially."""
+        for page in sorted(dirty_pages):
+            sequential = page == last_flush_page + 1
+            self.disk.submit(now, 1, sequential=sequential, page=page)
+            last_flush_page = page
+        metrics.on_flush(len(dirty_pages))
+        return last_flush_page
+
+    def _handle_boundary(
+        self,
+        boundary_s: float,
+        metrics: MetricsCollector,
+        current_timeout: Optional[float],
+    ) -> Optional[float]:
+        """Period housekeeping; returns the timeout now in effect."""
+        disk = self.disk
+        disk.advance(boundary_s)
+        metrics.close_period(
+            boundary_s,
+            memory_bytes=self.memory.capacity_bytes,
+            timeout_s=current_timeout,
+        )
+        if self.manager is not None:
+            self.manager.avg_request_pages = metrics.avg_request_pages
+            decision = self.manager.end_period(boundary_s)
+            self.memory.resize(boundary_s, decision.memory_bytes)
+            disk.set_timeout(boundary_s, decision.timeout_s)
+            return disk.timeout_s
+        assert self.policy is not None
+        update = self.policy.on_period(boundary_s)
+        if update is not NO_CHANGE:
+            disk.set_timeout(boundary_s, update)
+        return disk.timeout_s

@@ -1,0 +1,120 @@
+"""Run one named method on one trace."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.config.machine import MachineConfig
+from repro.core.joint import JointPowerManager
+from repro.policies.registry import MethodSpec, parse_method
+from repro.sim.engine import SimulationEngine
+from repro.sim.prefill import warm_start_pages
+from repro.sim.results import SimResult
+from repro.traces.trace import Trace
+
+
+def run_method(
+    method: Union[str, MethodSpec],
+    trace: Trace,
+    machine: MachineConfig,
+    duration_s: Optional[float] = None,
+    warmup_s: float = 0.0,
+    warm_start: bool = True,
+    audit: bool = False,
+) -> SimResult:
+    """Simulate ``method`` (a paper-style name or a spec) on ``trace``.
+
+    ``warm_start`` prefills each cache with the trace's reused pages,
+    emulating the long-running server the paper collects traces from
+    (see :mod:`repro.sim.prefill`).  ``audit=True`` verifies the run's
+    conservation invariants (:mod:`repro.sim.audit`) before returning.
+
+    Oracle-disk methods run two passes: the first (always-on) collects the
+    miss times the oracle needs as its future knowledge; the memory
+    configuration, and hence the miss stream, is identical in both passes.
+    """
+    spec = parse_method(method) if isinstance(method, str) else method
+    prefill = warm_start_pages(trace) if warm_start else []
+
+    if spec.is_joint:
+        manager = JointPowerManager(
+            machine,
+            enforce_constraints=spec.enforce_constraints,
+            adapt_memory=spec.adapt_memory,
+            adapt_timeout=spec.adapt_timeout,
+        )
+        memory = spec.build_memory_system(machine)
+        memory.resize(0.0, manager.memory_bytes)
+        if prefill:
+            memory.prefill(prefill)
+            # The tracker sees the full warm history: pages beyond the
+            # resident tail become ghost entries, exactly as a long-running
+            # extended LRU list would hold them.
+            manager.prefill(prefill)
+        engine = SimulationEngine(
+            machine,
+            memory,
+            joint_manager=manager,
+            label=spec.label,
+        )
+        return _finish(engine.run(trace, duration_s, warmup_s=warmup_s), machine, audit)
+
+    policy = spec.build_disk_policy(machine)
+    hints = None
+    if spec.disk == "OR":
+        hints = _collect_miss_times(spec, trace, machine, duration_s, prefill)
+    memory = spec.build_memory_system(machine)
+    memory.prefill(prefill)
+    engine = SimulationEngine(
+        machine,
+        memory,
+        disk_policy=policy,
+        idle_hints=hints,
+        label=spec.label,
+    )
+    return _finish(engine.run(trace, duration_s, warmup_s=warmup_s), machine, audit)
+
+
+def _finish(result: SimResult, machine: MachineConfig, audit: bool) -> SimResult:
+    if audit:
+        from repro.sim.audit import assert_clean
+
+        assert_clean(result, machine)
+    return result
+
+
+def _collect_miss_times(
+    spec: MethodSpec,
+    trace: Trace,
+    machine: MachineConfig,
+    duration_s: Optional[float],
+    prefill,
+) -> np.ndarray:
+    """First pass for the oracle: the miss arrival times of this memory config.
+
+    The miss stream depends only on the memory configuration, not on the
+    disk policy, so an always-on pass observes exactly the arrivals the
+    oracle-managed disk will see.
+    """
+    from repro.policies.always_on import AlwaysOnPolicy
+
+    memory = spec.build_memory_system(machine)
+    memory.prefill(prefill)
+    engine = SimulationEngine(
+        machine,
+        memory,
+        disk_policy=AlwaysOnPolicy(),
+        label=f"{spec.label}-pass1",
+    )
+    miss_times = []
+    real_submit = engine.disk.submit
+
+    def recording_submit(now, num_pages, sequential=False, page=None):
+        miss_times.append(now)
+        return real_submit(now, num_pages, sequential=sequential, page=page)
+
+    engine.disk.submit = recording_submit  # type: ignore[method-assign]
+    engine.run(trace, duration_s)
+    return np.asarray(miss_times, dtype=float)

@@ -1,0 +1,106 @@
+"""Generic parameter sweeps over workloads and methods.
+
+The experiment modules hard-code the paper's sweeps; this utility is the
+open-ended version for users: give it a grid of workload parameters and
+a list of methods, get back one flat row per (point, method) -- the same
+shape every experiment table uses, ready for
+:func:`repro.experiments.formatting.render_table`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.config.machine import MachineConfig
+from repro.errors import ReproError
+from repro.policies.registry import MethodSpec
+from repro.sim.compare import compare_methods
+from repro.traces.specweb import generate_trace
+from repro.units import GB, MB
+
+#: Workload-grid keys the sweep understands.
+WORKLOAD_KEYS = ("dataset_gb", "rate_mb", "popularity", "write_fraction")
+
+
+def sweep(
+    machine: MachineConfig,
+    methods: Sequence[Union[str, MethodSpec]],
+    grid: Dict[str, Iterable],
+    duration_s: float,
+    warmup_s: float = 0.0,
+    seed: int = 42,
+    defaults: Optional[Dict[str, float]] = None,
+) -> List[Dict[str, object]]:
+    """Run every method on every grid point.
+
+    ``grid`` maps workload-parameter names (a subset of
+    ``dataset_gb, rate_mb, popularity, write_fraction``) to the values to
+    sweep; the cross product is explored.  ``defaults`` fills the
+    parameters not swept.  Returns one row per (point, method) holding
+    the swept parameters, the method label, normalised energies and the
+    performance columns.
+    """
+    unknown = set(grid) - set(WORKLOAD_KEYS)
+    if unknown:
+        raise ReproError(
+            f"unknown sweep parameters {sorted(unknown)}; "
+            f"supported: {WORKLOAD_KEYS}"
+        )
+    if not grid:
+        raise ReproError("empty sweep grid")
+    if "ALWAYS-ON" not in {
+        m if isinstance(m, str) else m.label for m in methods
+    }:
+        methods = list(methods) + ["ALWAYS-ON"]
+
+    base = {
+        "dataset_gb": 16.0,
+        "rate_mb": 100.0,
+        "popularity": 0.1,
+        "write_fraction": 0.0,
+    }
+    base.update(defaults or {})
+
+    keys = sorted(grid)
+    rows: List[Dict[str, object]] = []
+    for index, combo in enumerate(itertools.product(*(grid[k] for k in keys))):
+        point = dict(base)
+        point.update(dict(zip(keys, combo)))
+        trace = generate_trace(
+            dataset_bytes=point["dataset_gb"] * GB,
+            data_rate=point["rate_mb"] * MB,
+            duration_s=duration_s,
+            popularity=point["popularity"],
+            page_size=machine.page_bytes,
+            seed=seed + index,
+            file_scale=machine.scale,
+            write_fraction=point["write_fraction"],
+        )
+        comparison = compare_methods(
+            trace,
+            machine,
+            methods=methods,
+            duration_s=duration_s,
+            warmup_s=warmup_s,
+        )
+        normalized = comparison.normalized_by_label()
+        for label, result in comparison.results.items():
+            row: Dict[str, object] = {key: point[key] for key in keys}
+            row.update(
+                {
+                    "method": label,
+                    "total_energy": round(normalized[label].total_energy, 4),
+                    "disk_energy": round(normalized[label].disk_energy, 4),
+                    "memory_energy": round(
+                        normalized[label].memory_energy, 4
+                    ),
+                    "latency_ms": round(result.mean_latency_s * 1e3, 3),
+                    "utilization": round(result.utilization, 4),
+                    "long_latency_per_s": round(
+                        result.long_latency_per_s, 4
+                    ),
+                }
+            )
+            rows.append(row)
+    return rows

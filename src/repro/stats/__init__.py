@@ -1,0 +1,42 @@
+"""Statistical models used by the joint power manager.
+
+* :mod:`repro.stats.pareto` -- the Pareto idle-time model (paper eq. 1).
+* :mod:`repro.stats.intervals` -- idle-interval extraction with the
+  aggregation window (paper Section IV-A).
+* :mod:`repro.stats.timeout_math` -- expected off time, spin-down count,
+  expected power and optimal/constrained timeouts (paper eqs. 2-6).
+"""
+
+from repro.stats.competitive import (
+    competitive_ratio,
+    offline_optimal_energy,
+    timeout_policy_energy,
+    worst_case_ratio,
+)
+from repro.stats.intervals import IdleIntervals, extract_idle_intervals
+from repro.stats.pareto import ParetoDistribution, fit_hill, fit_mle, fit_moments
+from repro.stats.timeout_math import (
+    constrained_min_timeout,
+    expected_off_time,
+    expected_power,
+    expected_spin_downs,
+    optimal_timeout,
+)
+
+__all__ = [
+    "IdleIntervals",
+    "competitive_ratio",
+    "offline_optimal_energy",
+    "timeout_policy_energy",
+    "worst_case_ratio",
+    "ParetoDistribution",
+    "constrained_min_timeout",
+    "expected_off_time",
+    "expected_power",
+    "expected_spin_downs",
+    "extract_idle_intervals",
+    "fit_hill",
+    "fit_mle",
+    "fit_moments",
+    "optimal_timeout",
+]

@@ -1,0 +1,94 @@
+"""Competitive analysis of spin-down policies (Karlin et al. [41]).
+
+The paper's 2T policy rests on the classic ski-rental result: a timeout
+equal to the break-even time consumes at most **twice** the energy of the
+offline optimum on *every* idle-interval sequence.  This module computes
+both sides exactly so the bound can be checked (and is, property-based,
+in the tests) and so users can measure how close a policy lands on their
+own workloads.
+
+Energy accounting matches the paper's static+transition split: during an
+idle interval of length ``l`` under timeout ``t_o``,
+
+* the disk stays up for ``min(l, t_o)`` at power ``p_d``,
+* and pays one round trip (``p_d * t_be``) iff ``l > t_o``;
+
+the offline optimum pays ``min(p_d * l, p_d * t_be)`` per interval (stay
+up if the gap is short, spin down instantly if it is long).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.config.disk_spec import DiskSpec
+from repro.errors import FitError
+
+
+def timeout_policy_energy(
+    intervals: Sequence[float],
+    timeout_s: float,
+    spec: Optional[DiskSpec] = None,
+) -> float:
+    """Static + transition joules a fixed timeout spends on the intervals."""
+    spec = spec or DiskSpec()
+    if timeout_s < 0:
+        raise FitError("timeout must be non-negative")
+    power = spec.static_power_watts
+    t_be = spec.break_even_time_s
+    total = 0.0
+    for length in intervals:
+        if length < 0:
+            raise FitError("idle intervals must be non-negative")
+        if length > timeout_s:
+            total += power * (timeout_s + t_be)
+        else:
+            total += power * length
+    return total
+
+
+def offline_optimal_energy(
+    intervals: Sequence[float], spec: Optional[DiskSpec] = None
+) -> float:
+    """Joules spent by the clairvoyant optimum on the intervals."""
+    spec = spec or DiskSpec()
+    power = spec.static_power_watts
+    t_be = spec.break_even_time_s
+    total = 0.0
+    for length in intervals:
+        if length < 0:
+            raise FitError("idle intervals must be non-negative")
+        total += power * min(length, t_be)
+    return total
+
+
+def competitive_ratio(
+    intervals: Sequence[float],
+    timeout_s: float,
+    spec: Optional[DiskSpec] = None,
+) -> float:
+    """Policy energy over offline-optimal energy (1.0 = optimal).
+
+    Returns 1.0 for an empty or all-zero sequence (nothing to spend).
+    """
+    spec = spec or DiskSpec()
+    optimal = offline_optimal_energy(intervals, spec)
+    if optimal <= 0.0:
+        return 1.0
+    return timeout_policy_energy(intervals, timeout_s, spec) / optimal
+
+
+def worst_case_ratio(timeout_s: float, spec: Optional[DiskSpec] = None) -> float:
+    """The adversarial bound for a fixed timeout.
+
+    The adversary ends every interval right after the spin-down: the
+    policy pays ``t_o + t_be`` where the optimum pays ``min(t_o, t_be)``
+    (it either stayed up through the barely-longer-than-``t_o`` gap, or
+    spun down instantly if ``t_o > t_be``).  Minimised at
+    ``t_o = t_be`` where the bound is exactly 2 -- Karlin's theorem.
+    """
+    spec = spec or DiskSpec()
+    if timeout_s < 0:
+        raise FitError("timeout must be non-negative")
+    t_be = spec.break_even_time_s
+    return (timeout_s + t_be) / min(max(timeout_s, 1e-12), t_be)

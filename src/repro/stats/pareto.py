@@ -1,0 +1,190 @@
+"""Pareto model of disk idle-interval lengths (paper eq. 1).
+
+The density of an idle length ``l`` is::
+
+    f(l) = alpha * beta**alpha / l**(alpha + 1),    l > beta, alpha > 1
+
+``beta`` is the shortest possible idle interval; smaller ``alpha`` or larger
+``beta`` makes long intervals more likely (paper Fig. 5).
+
+The paper estimates ``alpha`` by the method of moments: the Pareto mean is
+``alpha * beta / (alpha - 1)``, so ``alpha = mean / (mean - beta)``
+(Section IV-C, last paragraph).  This module also provides the maximum-
+likelihood and Hill estimators as cross-checks; the fig5 benchmark compares
+all three.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.errors import FitError
+
+#: Estimated alpha values are clamped to this range.  alpha must exceed 1
+#: for the mean to exist (paper eq. 1); very large alpha means "all idle
+#: intervals are essentially beta" and the exact value stops mattering.
+ALPHA_MIN = 1.0 + 1e-6
+ALPHA_MAX = 1e6
+
+
+@dataclass(frozen=True)
+class ParetoDistribution:
+    """A Pareto distribution with shape ``alpha`` and scale ``beta``."""
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise FitError(f"alpha must be positive, got {self.alpha}")
+        if self.beta <= 0:
+            raise FitError(f"beta must be positive, got {self.beta}")
+
+    # --- distribution functions ----------------------------------------------
+
+    def pdf(self, x: float) -> float:
+        """Probability density at ``x`` (0 below ``beta``)."""
+        if x <= self.beta:
+            return 0.0
+        return self.alpha * self.beta**self.alpha / x ** (self.alpha + 1.0)
+
+    def cdf(self, x: float) -> float:
+        """``P[l <= x]``."""
+        if x <= self.beta:
+            return 0.0
+        return 1.0 - (self.beta / x) ** self.alpha
+
+    def survival(self, x: float) -> float:
+        """``P[l > x]`` -- the integral of f from ``x`` to infinity."""
+        if x <= self.beta:
+            return 1.0
+        return (self.beta / x) ** self.alpha
+
+    def ppf(self, q: float) -> float:
+        """Quantile function (inverse CDF)."""
+        if not 0.0 <= q < 1.0:
+            raise FitError(f"quantile must be in [0, 1), got {q}")
+        return self.beta / (1.0 - q) ** (1.0 / self.alpha)
+
+    @property
+    def mean(self) -> float:
+        """``alpha * beta / (alpha - 1)``; infinite when ``alpha <= 1``."""
+        if self.alpha <= 1.0:
+            return math.inf
+        return self.alpha * self.beta / (self.alpha - 1.0)
+
+    @property
+    def variance(self) -> float:
+        """Variance; infinite when ``alpha <= 2``."""
+        if self.alpha <= 2.0:
+            return math.inf
+        a, b = self.alpha, self.beta
+        return (b * b * a) / ((a - 1.0) ** 2 * (a - 2.0))
+
+    def mean_excess(self, threshold: float) -> float:
+        """``E[l - t | l > t]`` -- expected residual idle time past ``t``.
+
+        For a Pareto this is ``(t) / (alpha - 1)`` scaled appropriately:
+        ``E[l - t | l > t] = max(t, beta) / (alpha - 1)`` for ``t >= beta``.
+        """
+        if self.alpha <= 1.0:
+            return math.inf
+        t = max(threshold, self.beta)
+        return t / (self.alpha - 1.0)
+
+    def sample(
+        self, n: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Draw ``n`` idle-interval lengths (inverse-transform sampling)."""
+        if n < 0:
+            raise FitError("sample size must be non-negative")
+        if rng is None:
+            rng = np.random.default_rng()
+        u = rng.random(n)
+        return self.beta / (1.0 - u) ** (1.0 / self.alpha)
+
+
+def _validate(samples: Sequence[float]) -> np.ndarray:
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        raise FitError("cannot fit a Pareto distribution to zero samples")
+    if np.any(data <= 0.0) or not np.all(np.isfinite(data)):
+        raise FitError("idle-interval samples must be positive and finite")
+    return data
+
+
+def fit_moments(
+    samples: Sequence[float], beta: Optional[float] = None
+) -> ParetoDistribution:
+    """The paper's estimator: ``alpha = mean / (mean - beta)``.
+
+    ``beta`` defaults to the smallest observed interval, which is the
+    paper's definition of beta ("the length of the shortest idle
+    interval").  When the sample mean does not exceed ``beta`` (all
+    intervals nearly equal), alpha is clamped to :data:`ALPHA_MAX`.
+    """
+    data = _validate(samples)
+    if beta is None:
+        beta = float(data.min())
+    if beta <= 0:
+        raise FitError(f"beta must be positive, got {beta}")
+    mean = float(data.mean())
+    if mean <= beta:
+        alpha = ALPHA_MAX
+    else:
+        alpha = mean / (mean - beta)
+    alpha = min(max(alpha, ALPHA_MIN), ALPHA_MAX)
+    return ParetoDistribution(alpha=alpha, beta=beta)
+
+
+def fit_mle(
+    samples: Sequence[float], beta: Optional[float] = None
+) -> ParetoDistribution:
+    """Maximum-likelihood fit: ``alpha = n / sum(log(x_i / beta))``."""
+    data = _validate(samples)
+    if beta is None:
+        beta = float(data.min())
+    if beta <= 0:
+        raise FitError(f"beta must be positive, got {beta}")
+    logs = np.log(np.maximum(data, beta) / beta)
+    total = float(logs.sum())
+    alpha = ALPHA_MAX if total <= 0.0 else data.size / total
+    alpha = min(max(alpha, ALPHA_MIN), ALPHA_MAX)
+    return ParetoDistribution(alpha=alpha, beta=beta)
+
+
+def fit_hill(samples: Sequence[float], tail_fraction: float = 0.5) -> ParetoDistribution:
+    """Hill estimator over the largest ``tail_fraction`` of the samples.
+
+    Robust when only the tail is Pareto (the usual case for measured disk
+    idleness, paper Section I references [19], [20]).
+    """
+    if not 0.0 < tail_fraction <= 1.0:
+        raise FitError("tail fraction must be in (0, 1]")
+    data = np.sort(_validate(samples))[::-1]
+    k = max(int(data.size * tail_fraction), 1)
+    if k >= data.size:
+        k = data.size - 1
+    if k < 1:
+        # A single sample: degenerate, treat it as the scale.
+        return ParetoDistribution(alpha=ALPHA_MAX, beta=float(data[0]))
+    threshold = float(data[k])
+    logs = np.log(data[:k] / threshold)
+    total = float(logs.sum())
+    alpha = ALPHA_MAX if total <= 0.0 else k / total
+    alpha = min(max(alpha, ALPHA_MIN), ALPHA_MAX)
+    return ParetoDistribution(alpha=alpha, beta=threshold)
+
+
+def fit_scipy(samples: Sequence[float]) -> ParetoDistribution:
+    """Cross-check fit using :func:`scipy.stats.pareto.fit`."""
+    data = _validate(samples)
+    alpha, loc, scale = scipy_stats.pareto.fit(data, floc=0.0)
+    del loc
+    alpha = min(max(float(alpha), ALPHA_MIN), ALPHA_MAX)
+    return ParetoDistribution(alpha=alpha, beta=float(scale))

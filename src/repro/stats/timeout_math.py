@@ -1,0 +1,136 @@
+"""The paper's timeout analysis: equations (2) through (6).
+
+Given a Pareto model of idle lengths with parameters ``(alpha, beta)``,
+``n_i`` idle intervals per period ``T``, disk static power ``p_d`` and
+break-even time ``t_be``:
+
+* eq. (2) expected off time          ``t_s = n_i * (beta/t_o)**(alpha-1) * beta/(alpha-1)``
+* eq. (3) expected spin-downs        ``h = n_i * (beta/t_o)**alpha``
+* eq. (4) expected power             ``(p_d/T) * (T - t_s) + p_d*t_be*h/T``
+* eq. (5) optimal timeout            ``t_o = alpha * t_be``
+* eq. (6) performance constraint     ``t_o >= beta * (n_i*n_d*(t_tr-0.5)/(N*T*D))**(1/alpha)``
+
+All functions treat a timeout below ``beta`` as ``beta``: the disk can never
+be turned off before the shortest idle interval elapses, so the expressions
+are only meaningful for ``t_o >= beta``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import FitError
+from repro.stats.pareto import ParetoDistribution
+
+
+def _check_timeout(timeout_s: float) -> None:
+    if timeout_s < 0 or not math.isfinite(timeout_s):
+        raise FitError(f"timeout must be finite and non-negative, got {timeout_s}")
+
+
+def expected_off_time(
+    dist: ParetoDistribution, num_intervals: float, timeout_s: float
+) -> float:
+    """Expected total off time ``t_s`` per period (paper eq. 2).
+
+    ``t_s = n_i * integral_{t_o}^{inf} (l - t_o) f(l) dl
+          = n_i * (beta / t_o)**(alpha - 1) * beta / (alpha - 1)``
+    """
+    _check_timeout(timeout_s)
+    if num_intervals < 0:
+        raise FitError("interval count must be non-negative")
+    if dist.alpha <= 1.0:
+        return math.inf if num_intervals > 0 else 0.0
+    t_o = max(timeout_s, dist.beta)
+    return (
+        num_intervals
+        * (dist.beta / t_o) ** (dist.alpha - 1.0)
+        * dist.beta
+        / (dist.alpha - 1.0)
+    )
+
+
+def expected_spin_downs(
+    dist: ParetoDistribution, num_intervals: float, timeout_s: float
+) -> float:
+    """Expected number of spin-downs ``h`` per period (paper eq. 3).
+
+    ``h = n_i * P[l > t_o] = n_i * (beta / t_o)**alpha``
+    """
+    _check_timeout(timeout_s)
+    if num_intervals < 0:
+        raise FitError("interval count must be non-negative")
+    t_o = max(timeout_s, dist.beta)
+    return num_intervals * (dist.beta / t_o) ** dist.alpha
+
+
+def expected_power(
+    dist: ParetoDistribution,
+    num_intervals: float,
+    timeout_s: float,
+    period_s: float,
+    static_power_w: float,
+    break_even_s: float,
+) -> float:
+    """Expected static + transition power under timeout ``t_o`` (paper eq. 4).
+
+    ``(p_d / T) * [T - t_s] + p_d * t_be * h / T``
+
+    The standby-mode floor power is excluded, exactly as in the paper
+    ("we exclude the power consumed in the standby mode for simplification
+    since the power remains constant").
+    """
+    if period_s <= 0:
+        raise FitError("period must be positive")
+    if static_power_w < 0 or break_even_s < 0:
+        raise FitError("power and break-even time must be non-negative")
+    t_s = expected_off_time(dist, num_intervals, timeout_s)
+    t_s = min(t_s, period_s)  # the disk cannot be off longer than the period
+    h = expected_spin_downs(dist, num_intervals, timeout_s)
+    idle_power = static_power_w * (period_s - t_s) / period_s
+    transition_power = static_power_w * break_even_s * h / period_s
+    return idle_power + transition_power
+
+
+def optimal_timeout(dist: ParetoDistribution, break_even_s: float) -> float:
+    """Energy-optimal timeout ``t_o = alpha * t_be`` (paper eq. 5)."""
+    if break_even_s <= 0:
+        raise FitError("break-even time must be positive")
+    return dist.alpha * break_even_s
+
+
+def constrained_min_timeout(
+    dist: ParetoDistribution,
+    num_intervals: float,
+    num_disk_accesses: float,
+    num_cache_accesses: float,
+    period_s: float,
+    transition_time_s: float,
+    max_delayed_ratio: float,
+    long_latency_threshold_s: float = 0.5,
+) -> float:
+    """Smallest timeout meeting the delayed-request constraint (paper eq. 6).
+
+    eq. (6):  ``n_i * (beta/t_o)**alpha * (t_tr - 0.5) * n_d / T / N <= D``
+    giving    ``t_o >= beta * (n_i * n_d * (t_tr - 0.5) / (N * T * D))**(1/alpha)``
+
+    Returns 0 when the constraint is satisfied for every timeout (e.g. no
+    disk accesses, or a transition faster than the latency threshold).
+    """
+    if period_s <= 0:
+        raise FitError("period must be positive")
+    if not 0.0 < max_delayed_ratio <= 1.0:
+        raise FitError("delayed-ratio limit must be in (0, 1]")
+    if num_cache_accesses <= 0:
+        # No accesses at all: nothing can be delayed.
+        return 0.0
+    delay_window = transition_time_s - long_latency_threshold_s
+    if delay_window <= 0 or num_intervals <= 0 or num_disk_accesses <= 0:
+        return 0.0
+    numerator = num_intervals * num_disk_accesses * delay_window
+    denominator = num_cache_accesses * period_s * max_delayed_ratio
+    ratio = numerator / denominator
+    if ratio <= 1.0:
+        # Even spinning down after every interval stays within the limit.
+        return 0.0
+    return dist.beta * ratio ** (1.0 / dist.alpha)

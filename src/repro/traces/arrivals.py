@@ -1,0 +1,102 @@
+"""Arrival processes: Poisson and self-similar (b-model) request streams.
+
+The paper's Pareto idle-time assumption comes from measured traces with
+*heavy-tailed, bursty* arrivals (Vogels' NT file systems [20], Ruemmler &
+Wilkes' UNIX disks [21]).  A plain Poisson process -- the default of the
+SPECWeb-style generator -- has exponential gaps and systematically
+under-weights long idle periods, which is exactly where the
+method-of-moments fit struggles (see the ``idlefit`` experiment).
+
+``bmodel_arrivals`` generates the classic *b-model* (biased multiplicative
+cascade): total traffic is recursively split between the halves of the
+interval with ratio ``bias : 1-bias``.  The result is self-similar across
+scales; burstiness grows with ``bias`` (0.5 = smooth, ~0.7-0.8 = realistic
+storage traffic).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import TraceError
+
+
+def poisson_arrivals(
+    rate_per_s: float,
+    duration_s: float,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Homogeneous Poisson arrival times over ``[0, duration_s)``."""
+    if rate_per_s <= 0 or duration_s <= 0:
+        raise TraceError("rate and duration must be positive")
+    if rng is None:
+        rng = np.random.default_rng()
+    expected = rate_per_s * duration_s
+    count = max(int(expected * 1.2) + 8, 8)
+    gaps = rng.exponential(1.0 / rate_per_s, size=count)
+    arrivals = np.cumsum(gaps)
+    return arrivals[arrivals < duration_s]
+
+
+def bmodel_arrivals(
+    rate_per_s: float,
+    duration_s: float,
+    bias: float = 0.75,
+    rng: Optional[np.random.Generator] = None,
+    levels: int = 14,
+) -> np.ndarray:
+    """Self-similar arrival times via the b-model cascade.
+
+    ``bias`` in [0.5, 1): the fraction of an interval's traffic assigned
+    to its (randomly chosen) favoured half at each of ``levels``
+    recursive splits.  0.5 degenerates to (near-)uniform traffic; larger
+    values concentrate the same total arrivals into ever-burstier
+    clumps, producing heavy-tailed gaps between bursts.
+    """
+    if rate_per_s <= 0 or duration_s <= 0:
+        raise TraceError("rate and duration must be positive")
+    if not 0.5 <= bias < 1.0:
+        raise TraceError("bias must be in [0.5, 1)")
+    if not 1 <= levels <= 24:
+        raise TraceError("levels must be in [1, 24]")
+    if rng is None:
+        rng = np.random.default_rng()
+
+    bins = 1 << levels
+    weights = np.ones(1, dtype=float)
+    for _ in range(levels):
+        flips = rng.random(weights.size) < 0.5
+        left = np.where(flips, bias, 1.0 - bias)
+        pair = np.empty(weights.size * 2, dtype=float)
+        pair[0::2] = weights * left
+        pair[1::2] = weights * (1.0 - left)
+        weights = pair
+
+    total = int(round(rate_per_s * duration_s))
+    if total <= 0:
+        raise TraceError("duration too short for the rate")
+    counts = rng.multinomial(total, weights)
+    bin_width = duration_s / bins
+    starts = np.repeat(np.arange(bins) * bin_width, counts)
+    jitter = rng.random(total) * bin_width
+    arrivals = np.sort(starts + jitter)
+    return arrivals[arrivals < duration_s]
+
+
+def gap_tail_weight(arrivals: np.ndarray, quantile: float = 0.99) -> float:
+    """Heavy-tail indicator: top-quantile gap over the median gap.
+
+    Poisson streams land around ``log(1/(1-q)) / log(2)`` (≈6.6 at the
+    99th percentile); self-similar streams score far higher.
+    """
+    if arrivals.size < 10:
+        raise TraceError("need at least ten arrivals")
+    gaps = np.diff(np.sort(arrivals))
+    gaps = gaps[gaps > 0]
+    if gaps.size < 5:
+        raise TraceError("not enough distinct gaps")
+    median = float(np.median(gaps))
+    top = float(np.quantile(gaps, quantile))
+    return top / max(median, 1e-12)

@@ -1,0 +1,143 @@
+"""SPECWeb99-class file population.
+
+SPECWeb99 organises its document tree into directories each holding four
+file classes; requests hit class 0 (smallest files) 35 % of the time,
+class 1 50 %, class 2 14 % and class 3 1 %.  We reproduce the size mix --
+what matters to the disk cache is the distribution of *file sizes* and the
+mapping from files to on-disk page ranges.
+
+Every file occupies a contiguous run of page numbers, so sequential reads
+of one file produce sequential disk requests (which the read-ahead
+clustering in :mod:`repro.cache.readahead` merges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.units import KB, PAGE_SIZE
+
+#: SPECWeb99 file classes: (low size, high size, request fraction).
+SPECWEB_CLASSES: Tuple[Tuple[float, float, float], ...] = (
+    (0.1 * KB, 0.9 * KB, 0.35),
+    (1.0 * KB, 9.0 * KB, 0.50),
+    (10.0 * KB, 90.0 * KB, 0.14),
+    (100.0 * KB, 900.0 * KB, 0.01),
+)
+
+
+@dataclass(frozen=True)
+class FileSet:
+    """A population of files laid out contiguously on disk.
+
+    ``sizes_bytes[i]`` is the byte size of file ``i`` and
+    ``first_page[i]`` the page number of its first page; pages
+    ``first_page[i] .. first_page[i] + num_pages[i] - 1`` belong to it.
+    Files are indexed in *popularity rank order*: file 0 is the hottest.
+    """
+
+    sizes_bytes: np.ndarray
+    page_size: int = PAGE_SIZE
+
+    def __post_init__(self) -> None:
+        sizes = np.asarray(self.sizes_bytes, dtype=np.int64)
+        if sizes.size == 0:
+            raise TraceError("a file set needs at least one file")
+        if np.any(sizes <= 0):
+            raise TraceError("file sizes must be positive")
+        if self.page_size <= 0:
+            raise TraceError("page size must be positive")
+        object.__setattr__(self, "sizes_bytes", sizes)
+        num_pages = -(-sizes // self.page_size)
+        first_page = np.concatenate(([0], np.cumsum(num_pages)[:-1]))
+        object.__setattr__(self, "_num_pages", num_pages)
+        object.__setattr__(self, "_first_page", first_page)
+
+    @property
+    def num_files(self) -> int:
+        return int(self.sizes_bytes.size)
+
+    @property
+    def num_pages(self) -> np.ndarray:
+        """Pages occupied by each file."""
+        return self._num_pages
+
+    @property
+    def first_page(self) -> np.ndarray:
+        """First page number of each file."""
+        return self._first_page
+
+    @property
+    def total_bytes(self) -> int:
+        """Data-set size in bytes."""
+        return int(self.sizes_bytes.sum())
+
+    @property
+    def total_pages(self) -> int:
+        """Data-set size in pages."""
+        return int(self._num_pages.sum())
+
+    @property
+    def mean_file_bytes(self) -> float:
+        return float(self.sizes_bytes.mean())
+
+    def file_of_page(self, page: int) -> int:
+        """Index of the file owning ``page``."""
+        if page < 0 or page >= self.total_pages:
+            raise TraceError(f"page {page} outside the data set")
+        return int(np.searchsorted(self._first_page, page, side="right") - 1)
+
+
+def specweb_fileset(
+    total_bytes: float,
+    page_size: int = PAGE_SIZE,
+    rng: Optional[np.random.Generator] = None,
+    shuffle: bool = True,
+    file_scale: float = 1.0,
+) -> FileSet:
+    """Build a file set of roughly ``total_bytes`` with SPECWeb99's size mix.
+
+    File sizes are drawn log-uniformly within each class, classes weighted
+    by their request fractions.  Files are generated until the target size
+    is reached, then shuffled (unless ``shuffle=False``) so that popularity
+    rank is independent of file size, matching SPECWeb99 where each
+    directory is equally likely to hold hot files of every class.
+
+    ``file_scale`` multiplies every class's size bounds; granularity-scaled
+    experiments pass ``MachineConfig.scale`` so the file-size-to-page-size
+    ratio matches the paper's (see DESIGN.md Section 5).
+    """
+    if total_bytes <= 0:
+        raise TraceError("data-set size must be positive")
+    if file_scale <= 0:
+        raise TraceError("file scale must be positive")
+    if rng is None:
+        rng = np.random.default_rng()
+
+    fractions = np.array([c[2] for c in SPECWEB_CLASSES])
+    lows = np.array([c[0] for c in SPECWEB_CLASSES]) * file_scale
+    highs = np.array([c[1] for c in SPECWEB_CLASSES]) * file_scale
+    mean_size = float((fractions * (lows + highs) / 2.0).sum())
+    # Generate in batches until the population is large enough.
+    estimated = max(int(total_bytes / mean_size * 1.2), 16)
+    sizes = []
+    accumulated = 0.0
+    while accumulated < total_bytes:
+        classes = rng.choice(len(SPECWEB_CLASSES), size=estimated, p=fractions)
+        log_low = np.log(lows[classes])
+        log_high = np.log(highs[classes])
+        batch = np.exp(rng.uniform(log_low, log_high))
+        batch = np.maximum(batch.astype(np.int64), 1)
+        for size in batch:
+            sizes.append(int(size))
+            accumulated += float(size)
+            if accumulated >= total_bytes:
+                break
+    sizes_array = np.asarray(sizes, dtype=np.int64)
+    if shuffle:
+        rng.shuffle(sizes_array)
+    return FileSet(sizes_bytes=sizes_array, page_size=page_size)

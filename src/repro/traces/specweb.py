@@ -1,0 +1,175 @@
+"""SPECWeb99-class trace generator (paper Fig. 6, "benchmark" stage).
+
+Requests arrive as a Poisson process; each request selects a file by a
+bounded Zipf popularity distribution and reads the whole file as a run of
+sequential page accesses.  Intra-file page accesses are spaced by the
+server's per-connection service rate, so a large file occupies the stream
+for a proportionally longer window -- this is what makes long files break
+disk idleness differently from short ones.
+
+The request rate is calibrated so the generated trace hits a target *byte*
+rate, the quantity the paper sweeps (5-200 MB/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.traces.fileset import FileSet, specweb_fileset
+from repro.traces.trace import Trace
+from repro.traces.zipf import ZipfSampler, calibrate_exponent
+from repro.units import MB, PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class SpecWebGenerator:
+    """Generator configuration.
+
+    ``popularity`` is the paper's popularity ratio (hot-90 % footprint over
+    data-set size): 0.1 means 10 % of the data receives 90 % of accesses.
+    """
+
+    fileset: FileSet
+    data_rate: float  # target bytes/second
+    popularity: float = 0.10
+    #: Per-connection service bandwidth: spacing of page accesses within
+    #: one file read.  100 Mb/s client links give about 12.5 MB/s.
+    connection_rate: float = 12.5 * MB
+    #: Fraction of *requests* that are uploads (their pages are writes).
+    #: Web-serving workloads are read-dominated; SPECWeb99 models ~5%
+    #: POSTs.
+    write_fraction: float = 0.0
+    #: Request arrival process: "poisson" (smooth) or "selfsimilar"
+    #: (b-model cascade -- the bursty, heavy-tailed traffic of measured
+    #: storage traces [20], [21]).
+    arrival_process: str = "poisson"
+    #: Burstiness of the self-similar process (b-model bias, [0.5, 1)).
+    burst_bias: float = 0.75
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.data_rate <= 0:
+            raise TraceError("data rate must be positive")
+        if not 0.0 < self.popularity <= 1.0:
+            raise TraceError("popularity ratio must be in (0, 1]")
+        if self.connection_rate <= 0:
+            raise TraceError("connection rate must be positive")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise TraceError("write fraction must be in [0, 1]")
+        if self.arrival_process not in ("poisson", "selfsimilar"):
+            raise TraceError(
+                f"unknown arrival process {self.arrival_process!r}"
+            )
+
+    def generate(self, duration_s: float) -> Trace:
+        """Generate a trace covering ``[0, duration_s)``."""
+        if duration_s <= 0:
+            raise TraceError("duration must be positive")
+        rng = np.random.default_rng(self.seed)
+        fs = self.fileset
+
+        exponent = calibrate_exponent(fs.sizes_bytes, self.popularity)
+        sampler = ZipfSampler(fs.num_files, exponent)
+
+        # Expected bytes per request under this popularity distribution.
+        # Requests move whole pages, so the byte cost of a request is its
+        # file's page footprint -- calibrating with raw file sizes would
+        # overshoot the target rate whenever files round up to pages.
+        mean_request_bytes = float(
+            (sampler.probabilities * fs.num_pages).sum()
+        ) * fs.page_size
+        request_rate = self.data_rate / mean_request_bytes
+
+        # Request arrivals over the duration.
+        from repro.traces.arrivals import bmodel_arrivals, poisson_arrivals
+
+        if self.arrival_process == "selfsimilar":
+            arrivals = bmodel_arrivals(
+                request_rate, duration_s, bias=self.burst_bias, rng=rng
+            )
+        else:
+            arrivals = poisson_arrivals(request_rate, duration_s, rng=rng)
+        if arrivals.size == 0:
+            raise TraceError(
+                "no requests generated; duration too short for the data rate"
+            )
+        file_ids = sampler.sample(arrivals.size, rng)
+
+        # Expand each request into its file's sequential page accesses.
+        pages_per_req = fs.num_pages[file_ids]
+        total_accesses = int(pages_per_req.sum())
+        req_index = np.repeat(np.arange(arrivals.size), pages_per_req)
+        # Offset of each access within its request: 0, 1, 2, ...
+        starts = np.concatenate(([0], np.cumsum(pages_per_req)[:-1]))
+        offsets = np.arange(total_accesses) - starts[req_index]
+
+        pages = fs.first_page[file_ids][req_index] + offsets
+        page_gap = fs.page_size / self.connection_rate
+        times = arrivals[req_index] + offsets * page_gap
+        files = file_ids[req_index]
+        writes = None
+        if self.write_fraction > 0.0:
+            request_is_write = rng.random(arrivals.size) < self.write_fraction
+            writes = request_is_write[req_index]
+
+        # Interleaved connections make the merged stream non-monotonic;
+        # the disk cache sees accesses in arrival order.
+        order = np.argsort(times, kind="stable")
+        return Trace(
+            times=times[order],
+            pages=pages[order],
+            page_size=fs.page_size,
+            files=files[order],
+            writes=None if writes is None else writes[order],
+            meta={
+                "generator": "specweb",
+                "data_rate": self.data_rate,
+                "popularity": self.popularity,
+                "zipf_exponent": exponent,
+                "dataset_bytes": fs.total_bytes,
+                "num_files": fs.num_files,
+                "duration_s": duration_s,
+                "write_fraction": self.write_fraction,
+                "arrival_process": self.arrival_process,
+                "seed": self.seed,
+            },
+        )
+
+
+def generate_trace(
+    dataset_bytes: float,
+    data_rate: float,
+    duration_s: float,
+    popularity: float = 0.10,
+    page_size: int = PAGE_SIZE,
+    seed: Optional[int] = None,
+    file_scale: float = 1.0,
+    write_fraction: float = 0.0,
+) -> Trace:
+    """One-call helper: build a file set and generate a trace.
+
+    This is the entry point the experiments use; parameters mirror the
+    paper's three workload characteristics plus duration.  For a
+    granularity-scaled machine pass ``file_scale=machine.scale`` so file
+    sizes keep the paper's ratio to the page size.
+    """
+    rng = np.random.default_rng(seed)
+    fileset = specweb_fileset(
+        dataset_bytes, page_size=page_size, rng=rng, file_scale=file_scale
+    )
+    generator = SpecWebGenerator(
+        fileset=fileset,
+        data_rate=data_rate,
+        popularity=popularity,
+        # Keep the intra-file page spacing at the paper's time scale: the
+        # per-connection rate grows with the granularity factor so a file
+        # read occupies the same wall-clock window at every scale.
+        connection_rate=12.5 * MB * file_scale,
+        write_fraction=write_fraction,
+        seed=None if seed is None else seed + 1,
+    )
+    return generator.generate(duration_s)

@@ -1,0 +1,139 @@
+"""Bounded Zipf popularity model and its calibration.
+
+Web-server file popularity is Zipf-like (paper cites Arlitt & Williamson
+[42]).  File ``r`` (rank, 0-based) is requested with probability
+proportional to ``1 / (r + 1)**s``.
+
+The paper characterises a workload not by the Zipf exponent but by its
+*popularity ratio*: "the ratio between the size of the most popular data
+receiving 90 % of total accesses and the size of the total data set"
+(Section V-A).  :func:`calibrate_exponent` inverts that definition, finding
+the exponent that produces a requested popularity ratio for a given file
+population.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import TraceError
+
+#: Fraction of accesses used by the paper's popularity definition.
+MASS_FRACTION = 0.90
+
+
+class ZipfSampler:
+    """Draw file ranks from a bounded Zipf distribution.
+
+    Rank 0 is the most popular file.  Sampling uses the inverse-CDF
+    method over the precomputed cumulative weights, so drawing ``n``
+    samples costs ``O(n log N)``.
+    """
+
+    def __init__(self, num_items: int, exponent: float) -> None:
+        if num_items <= 0:
+            raise TraceError("Zipf needs at least one item")
+        if exponent < 0:
+            raise TraceError("Zipf exponent must be non-negative")
+        self.num_items = num_items
+        self.exponent = exponent
+        weights = (np.arange(1, num_items + 1, dtype=float)) ** (-exponent)
+        self._probabilities = weights / weights.sum()
+        self._cumulative = np.cumsum(self._probabilities)
+        # Guard against floating-point drift at the top end.
+        self._cumulative[-1] = 1.0
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Access probability of each rank (most popular first)."""
+        return self._probabilities
+
+    def sample(self, n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Draw ``n`` ranks (0-based, 0 = hottest)."""
+        if n < 0:
+            raise TraceError("sample count must be non-negative")
+        if rng is None:
+            rng = np.random.default_rng()
+        u = rng.random(n)
+        return np.searchsorted(self._cumulative, u, side="left").astype(np.int64)
+
+
+def popularity_ratio(
+    probabilities: Sequence[float],
+    sizes_bytes: Sequence[float],
+    mass_fraction: float = MASS_FRACTION,
+) -> float:
+    """The paper's popularity metric for a given access distribution.
+
+    Files are sorted by access probability (descending); the metric is the
+    total size of the hottest files that together receive ``mass_fraction``
+    of accesses, divided by the total data-set size.  Smaller values mean
+    *denser* popularity.
+    """
+    probs = np.asarray(probabilities, dtype=float)
+    sizes = np.asarray(sizes_bytes, dtype=float)
+    if probs.shape != sizes.shape:
+        raise TraceError("probabilities and sizes must align")
+    if probs.size == 0:
+        raise TraceError("popularity of an empty file set is undefined")
+    if not 0.0 < mass_fraction <= 1.0:
+        raise TraceError("mass fraction must be in (0, 1]")
+    total_size = float(sizes.sum())
+    if total_size <= 0:
+        raise TraceError("total data-set size must be positive")
+    order = np.argsort(-probs, kind="stable")
+    cum_mass = np.cumsum(probs[order])
+    cum_mass /= cum_mass[-1]
+    # Number of hottest files needed to reach the mass fraction.
+    needed = int(np.searchsorted(cum_mass, mass_fraction, side="left")) + 1
+    hot_size = float(sizes[order[:needed]].sum())
+    return hot_size / total_size
+
+
+def calibrate_exponent(
+    sizes_bytes: Sequence[float],
+    target_ratio: float,
+    mass_fraction: float = MASS_FRACTION,
+    tolerance: float = 1e-3,
+    max_exponent: float = 8.0,
+) -> float:
+    """Find the Zipf exponent whose popularity ratio matches ``target_ratio``.
+
+    The ratio decreases monotonically as the exponent grows (hotter heads
+    concentrate accesses on fewer, therefore smaller, subsets), so a
+    bisection converges.  Raises :class:`TraceError` if the target is not
+    reachable: a uniform distribution (exponent 0) gives the largest ratio
+    and ``max_exponent`` the smallest.
+    """
+    sizes = np.asarray(sizes_bytes, dtype=float)
+    if sizes.size == 0:
+        raise TraceError("cannot calibrate popularity of an empty file set")
+    if not 0.0 < target_ratio <= 1.0:
+        raise TraceError("target popularity ratio must be in (0, 1]")
+
+    def ratio_at(exponent: float) -> float:
+        sampler = ZipfSampler(sizes.size, exponent)
+        return popularity_ratio(sampler.probabilities, sizes, mass_fraction)
+
+    low, high = 0.0, max_exponent
+    ratio_low, ratio_high = ratio_at(low), ratio_at(high)
+    if target_ratio > ratio_low + tolerance:
+        # Even uniform access cannot spread mass that widely.
+        return 0.0
+    if target_ratio < ratio_high - tolerance:
+        raise TraceError(
+            f"popularity ratio {target_ratio} is denser than achievable "
+            f"({ratio_high:.4f}) with {sizes.size} files"
+        )
+    for _ in range(100):
+        mid = (low + high) / 2.0
+        ratio = ratio_at(mid)
+        if abs(ratio - target_ratio) <= tolerance:
+            return mid
+        if ratio > target_ratio:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2.0

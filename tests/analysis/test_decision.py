@@ -1,0 +1,58 @@
+"""Decision anatomy rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.decision import decision_rows, explain_decision
+from repro.sim.runner import run_method
+
+
+@pytest.fixture(scope="module")
+def decision(fast_machine, small_trace):
+    result = run_method(
+        "JOINT", small_trace, fast_machine, duration_s=480.0
+    )
+    return result.decisions[-1]
+
+
+class TestDecisionRows:
+    def test_one_row_per_candidate(self, decision):
+        rows = decision_rows(decision)
+        assert len(rows) == len(decision.evaluations)
+
+    def test_exactly_one_chosen(self, decision):
+        rows = decision_rows(decision)
+        assert sum(1 for row in rows if row["chosen"]) == 1
+
+    def test_chosen_row_matches_decision(self, decision):
+        [chosen] = [row for row in decision_rows(decision) if row["chosen"]]
+        assert chosen["memory_gb"] == pytest.approx(
+            decision.memory_bytes / 2**30, abs=0.01
+        )
+
+    def test_memory_power_monotone(self, decision):
+        rows = decision_rows(decision)
+        powers = [row["mem_W"] for row in rows]
+        assert powers == sorted(powers)
+
+    def test_predicted_misses_monotone_nonincreasing(self, decision):
+        rows = decision_rows(decision)
+        misses = [row["pred_misses"] for row in rows]
+        assert all(a >= b for a, b in zip(misses, misses[1:]))
+
+
+class TestExplainDecision:
+    def test_narrative_contains_choice(self, decision):
+        text = explain_decision(decision)
+        assert f"Period {decision.period_index}" in text
+        assert "Candidate enumeration" in text
+        assert "chose" in text
+
+    def test_verdict_matches_feasibility(self, decision):
+        text = explain_decision(decision)
+        feasible = [e for e in decision.evaluations if e.feasible]
+        if feasible:
+            assert "cheapest feasible" in text
+        else:
+            assert "No candidate meets" in text

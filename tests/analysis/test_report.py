@@ -1,0 +1,54 @@
+"""Result report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_report
+from repro.sim.runner import run_method
+
+
+@pytest.fixture(scope="module")
+def runs(fast_machine, small_trace):
+    joint = run_method(
+        "JOINT", small_trace, fast_machine, duration_s=480.0, warmup_s=120.0
+    )
+    base = run_method(
+        "ALWAYS-ON", small_trace, fast_machine, duration_s=480.0, warmup_s=120.0
+    )
+    return joint, base
+
+
+class TestFormatReport:
+    def test_contains_energy_sections(self, runs, fast_machine):
+        joint, _ = runs
+        text = format_report(joint, fast_machine)
+        for token in ("energy (kJ)", "disk timeline", "performance"):
+            assert token in text
+
+    def test_joint_decisions_listed(self, runs, fast_machine):
+        joint, _ = runs
+        text = format_report(joint, fast_machine)
+        assert "joint-manager decisions" in text
+        assert text.count("period") >= len(joint.decisions)
+
+    def test_baseline_normalisation_line(self, runs, fast_machine):
+        joint, base = runs
+        text = format_report(joint, fast_machine, baseline=base)
+        assert "vs ALWAYS-ON" in text
+
+    def test_fixed_method_lists_periods(self, fast_machine, small_trace):
+        result = run_method(
+            "2TFM-16GB", small_trace, fast_machine, duration_s=480.0
+        )
+        text = format_report(result, fast_machine)
+        assert "per-period disk accesses" in text
+
+    def test_breakdowns_sum_to_totals(self, runs, fast_machine):
+        joint, _ = runs
+        parts = joint.disk_energy.breakdown_joules(fast_machine.disk)
+        assert sum(parts.values()) == pytest.approx(joint.disk_energy_j)
+        memory = joint.memory_energy
+        assert memory.static_j + memory.dynamic_j + memory.transition_j == (
+            pytest.approx(joint.memory_energy_j)
+        )

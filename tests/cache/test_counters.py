@@ -1,0 +1,88 @@
+"""Depth counters -> miss counts at any memory size."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.counters import COLD_MISS, DepthCounters
+from repro.errors import SimulationError
+
+
+class TestRecording:
+    def test_totals(self):
+        counters = DepthCounters()
+        counters.record_many([COLD_MISS, 0, 0, 3])
+        assert counters.total_accesses == 4
+        assert counters.cold_misses == 1
+        assert counters.hits_at(0) == 2
+        assert counters.hits_at(3) == 1
+        assert counters.max_depth == 3
+
+    def test_rejects_invalid_depth(self):
+        with pytest.raises(SimulationError):
+            DepthCounters().record(-2)
+
+    def test_reset(self):
+        counters = DepthCounters()
+        counters.record(2)
+        counters.reset()
+        assert counters.total_accesses == 0
+        assert counters.max_depth == -1
+
+
+class TestMissCounts:
+    def test_misses_at_size(self):
+        counters = DepthCounters()
+        counters.record_many([COLD_MISS, 0, 1, 1, 5])
+        # capacity 0: everything misses
+        assert counters.misses_at_size(0) == 5
+        # capacity 1: depth 0 hits
+        assert counters.misses_at_size(1) == 4
+        # capacity 2: depths 0,1 hit
+        assert counters.misses_at_size(2) == 2
+        # capacity 6: only the cold miss remains
+        assert counters.misses_at_size(6) == 1
+
+    def test_vectorised_matches_scalar(self):
+        counters = DepthCounters()
+        counters.record_many([COLD_MISS, 0, 2, 2, 7, 9, COLD_MISS])
+        sizes = list(range(0, 12))
+        assert counters.misses_at_sizes(sizes) == [
+            counters.misses_at_size(s) for s in sizes
+        ]
+
+    def test_vectorised_empty_input(self):
+        assert DepthCounters().misses_at_sizes([]) == []
+
+    def test_vectorised_no_reuse(self):
+        counters = DepthCounters()
+        counters.record_many([COLD_MISS] * 3)
+        assert counters.misses_at_sizes([0, 5]) == [3, 3]
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(SimulationError):
+            DepthCounters().misses_at_size(-1)
+        with pytest.raises(SimulationError):
+            DepthCounters().misses_at_sizes([1, -1])
+
+    def test_miss_ratio_curve_shape(self):
+        counters = DepthCounters()
+        counters.record_many([COLD_MISS, 0, 1, 3, 3])
+        curve = counters.miss_ratio_curve(5)
+        assert curve.tolist() == [5, 4, 3, 3, 1, 1]
+
+    @given(
+        depths=st.lists(
+            st.integers(min_value=-1, max_value=40), min_size=1, max_size=200
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_nonincreasing_property(self, depths):
+        counters = DepthCounters()
+        counters.record_many(depths)
+        curve = counters.miss_ratio_curve(45)
+        assert all(a >= b for a, b in zip(curve, curve[1:]))
+        assert curve[0] == counters.total_accesses
+        assert curve[-1] == counters.cold_misses

@@ -1,0 +1,142 @@
+"""Resident-page LRU cache."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.lru import LRUCache
+from repro.errors import SimulationError
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = LRUCache(2)
+        assert cache.access(1) is False
+        assert cache.access(1) is True
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUCache(2)
+        cache.access(1)
+        cache.access(2)
+        cache.access(3)  # evicts 1
+        assert 1 not in cache
+        assert 2 in cache and 3 in cache
+
+    def test_access_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)  # 2 is now LRU
+        cache.access(3)
+        assert 2 not in cache
+        assert 1 in cache
+
+    def test_zero_capacity_never_caches(self):
+        cache = LRUCache(0)
+        assert cache.access(1) is False
+        assert cache.access(1) is False
+        assert len(cache) == 0
+
+    def test_resident_pages_mru_first(self):
+        cache = LRUCache(3)
+        for page in (1, 2, 3):
+            cache.access(page)
+        assert cache.resident_pages() == [3, 2, 1]
+
+    def test_lru_page(self):
+        cache = LRUCache(3)
+        assert cache.lru_page() is None
+        for page in (1, 2, 3):
+            cache.access(page)
+        assert cache.lru_page() == 1
+
+    def test_peek_does_not_touch(self):
+        cache = LRUCache(2)
+        cache.access(1)
+        cache.access(2)
+        cache.peek(1)
+        cache.access(3)  # 1 must still be LRU despite the peek
+        assert 1 not in cache
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(SimulationError):
+            LRUCache(-1)
+
+
+class TestLoad:
+    def test_load_returns_evicted(self):
+        cache = LRUCache(1)
+        assert cache.load(1) is None
+        assert cache.load(2) == 1
+
+    def test_load_rejects_resident(self):
+        cache = LRUCache(2)
+        cache.load(1)
+        with pytest.raises(SimulationError):
+            cache.load(1)
+
+    def test_load_zero_capacity_noop(self):
+        cache = LRUCache(0)
+        assert cache.load(1) is None
+        assert len(cache) == 0
+
+
+class TestResizeInvalidate:
+    def test_shrink_evicts_lru_first(self):
+        cache = LRUCache(3)
+        for page in (1, 2, 3):
+            cache.access(page)
+        evicted = cache.resize(1)
+        assert evicted == [1, 2]
+        assert cache.resident_pages() == [3]
+
+    def test_grow_keeps_contents(self):
+        cache = LRUCache(1)
+        cache.access(1)
+        assert cache.resize(3) == []
+        assert 1 in cache
+
+    def test_invalidate_counts_dropped(self):
+        cache = LRUCache(3)
+        for page in (1, 2, 3):
+            cache.access(page)
+        assert cache.invalidate([2, 99]) == 1
+        assert 2 not in cache
+
+    def test_clear(self):
+        cache = LRUCache(2)
+        cache.access(1)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_resize_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            LRUCache(2).resize(-1)
+
+
+class TestInclusionProperty:
+    """Mattson: a smaller LRU cache's contents are a subset of a larger one's."""
+
+    @given(
+        accesses=st.lists(st.integers(min_value=0, max_value=30), max_size=200),
+        small=st.integers(min_value=1, max_value=8),
+        extra=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_inclusion(self, accesses, small, extra):
+        small_cache = LRUCache(small)
+        big_cache = LRUCache(small + extra)
+        for page in accesses:
+            small_cache.access(page)
+            big_cache.access(page)
+        assert set(small_cache.resident_pages()) <= set(big_cache.resident_pages())
+
+    @given(accesses=st.lists(st.integers(min_value=0, max_value=20), max_size=150))
+    @settings(max_examples=50, deadline=None)
+    def test_size_never_exceeds_capacity(self, accesses):
+        cache = LRUCache(5)
+        for page in accesses:
+            cache.access(page)
+            assert len(cache) <= 5

@@ -1,0 +1,112 @@
+"""Miss-ratio curves, knees and working sets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.lru import LRUCache
+from repro.cache.mrc import build_mrc, working_set_pages
+from repro.errors import TraceError
+from repro.traces.trace import Trace
+
+
+def make_trace(pages, times=None, page_size=4096):
+    pages = np.asarray(pages, dtype=np.int64)
+    if times is None:
+        times = np.arange(pages.size, dtype=float)
+    return Trace(times=np.asarray(times, float), pages=pages, page_size=page_size)
+
+
+class TestBuildMrc:
+    def test_cyclic_pattern(self):
+        # 0,1,2 repeated: thrash below 3 pages, only cold misses at >= 3.
+        trace = make_trace([0, 1, 2] * 10)
+        mrc = build_mrc(trace)
+        assert mrc.ratio_at(0) == 1.0
+        assert mrc.ratio_at(2) == 1.0  # LRU pathological case
+        assert mrc.ratio_at(3) == pytest.approx(3 / 30)
+        assert mrc.floor == pytest.approx(3 / 30)
+
+    def test_matches_real_cache_everywhere(self):
+        rng = np.random.default_rng(17)
+        pages = rng.zipf(1.5, size=400) % 40
+        trace = make_trace(pages)
+        mrc = build_mrc(trace)
+        for capacity in (0, 1, 3, 7, 15, 40):
+            cache = LRUCache(capacity)
+            misses = sum(0 if cache.access(int(p)) else 1 for p in pages)
+            assert mrc.ratio_at(capacity) == pytest.approx(
+                misses / pages.size
+            ), capacity
+
+    @given(
+        pages=st.lists(
+            st.integers(min_value=0, max_value=20), min_size=1, max_size=150
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_nonincreasing_property(self, pages):
+        mrc = build_mrc(make_trace(pages))
+        assert np.all(np.diff(mrc.ratios) <= 1e-12)
+        assert mrc.ratios[-1] == pytest.approx(mrc.floor)
+
+    def test_empty_rejected(self):
+        empty = Trace(times=np.array([]), pages=np.array([], dtype=np.int64))
+        with pytest.raises(TraceError):
+            build_mrc(empty)
+
+
+class TestKneeAndTargets:
+    def test_knee_of_cyclic_pattern(self):
+        trace = make_trace([0, 1, 2] * 10)
+        mrc = build_mrc(trace)
+        assert mrc.knee_pages(epsilon=0.05) == 3
+
+    def test_bytes_for_ratio(self):
+        trace = make_trace([0, 1, 2] * 10)
+        mrc = build_mrc(trace)
+        assert mrc.bytes_for_ratio(0.5) == 3 * 4096
+
+    def test_unreachable_ratio_raises(self):
+        trace = make_trace([0, 1, 2] * 10)
+        mrc = build_mrc(trace)
+        with pytest.raises(TraceError, match="floor"):
+            mrc.bytes_for_ratio(0.01)
+
+    def test_validation(self):
+        mrc = build_mrc(make_trace([0, 1, 0, 1]))
+        with pytest.raises(TraceError):
+            mrc.ratio_at(-1)
+        with pytest.raises(TraceError):
+            mrc.knee_pages(epsilon=0.0)
+        with pytest.raises(TraceError):
+            mrc.bytes_for_ratio(1.5)
+
+
+class TestWorkingSet:
+    def test_constant_working_set(self):
+        # 4 distinct pages touched every second.
+        pages = [0, 1, 2, 3] * 25
+        times = np.repeat(np.arange(25, dtype=float), 4)
+        trace = make_trace(pages, times=times)
+        assert working_set_pages(trace, window_s=1.0) == pytest.approx(4.0)
+
+    def test_larger_window_sees_more(self):
+        rng = np.random.default_rng(3)
+        pages = rng.integers(0, 100, size=500)
+        times = np.sort(rng.uniform(0, 100, size=500))
+        trace = make_trace(pages, times=times)
+        small = working_set_pages(trace, window_s=5.0)
+        large = working_set_pages(trace, window_s=25.0)
+        assert large > small
+
+    def test_validation(self):
+        trace = make_trace([0, 1])
+        with pytest.raises(TraceError):
+            working_set_pages(trace, window_s=0.0)
+        empty = Trace(times=np.array([]), pages=np.array([], dtype=np.int64))
+        with pytest.raises(TraceError):
+            working_set_pages(empty, window_s=1.0)

@@ -1,0 +1,119 @@
+"""Resize predictor: disk IO and idle intervals at candidate sizes.
+
+The key property (the paper's central trick): the predictor's per-size
+miss counts and idle intervals must equal what an actual LRU cache of
+that size would produce on the same access stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.lru import LRUCache
+from repro.cache.predictor import ResizePredictor
+from repro.cache.stack_distance import StackDistanceTracker
+from repro.errors import SimulationError
+
+
+def build_predictor(times, pages):
+    tracker = StackDistanceTracker()
+    predictor = ResizePredictor()
+    for t, p in zip(times, pages):
+        predictor.record(t, tracker.access(p))
+    return predictor
+
+
+class TestAgainstRealCache:
+    @given(
+        pages=st.lists(st.integers(min_value=0, max_value=12), min_size=1, max_size=150),
+        capacity=st.integers(min_value=0, max_value=14),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_miss_count_matches_real_lru(self, pages, capacity):
+        times = np.arange(len(pages), dtype=float)
+        predictor = build_predictor(times, pages)
+        [prediction] = predictor.predict(
+            [capacity], window_s=0.0, period_start=0.0, period_end=len(pages)
+        )
+        cache = LRUCache(capacity)
+        real_misses = sum(0 if cache.access(p) else 1 for p in pages)
+        assert prediction.num_disk_accesses == real_misses
+        assert prediction.num_cache_accesses == len(pages)
+
+    @given(
+        pages=st.lists(st.integers(min_value=0, max_value=10), min_size=2, max_size=100)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_misses_decrease_with_memory(self, pages):
+        times = np.arange(len(pages), dtype=float)
+        predictor = build_predictor(times, pages)
+        sizes = [0, 1, 2, 4, 8, 16]
+        predictions = predictor.predict(
+            sizes, window_s=0.0, period_start=0.0, period_end=len(pages)
+        )
+        misses = [p.num_disk_accesses for p in predictions]
+        assert all(a >= b for a, b in zip(misses, misses[1:]))
+
+
+class TestIdleIntervals:
+    def test_interval_merging_with_memory_growth(self):
+        # Two pages, reused: with memory 0 everything is a disk access;
+        # with memory 2 only the cold misses remain and intervals merge.
+        times = [0.0, 10.0, 20.0, 30.0]
+        pages = [1, 2, 1, 2]
+        predictor = build_predictor(times, pages)
+        small, large = predictor.predict(
+            [0, 2], window_s=0.0, period_start=0.0, period_end=40.0
+        )
+        assert small.num_disk_accesses == 4
+        assert small.idle.lengths.tolist() == [10.0, 10.0, 10.0, 10.0]
+        assert large.num_disk_accesses == 2
+        assert large.idle.lengths.tolist() == [10.0, 30.0]
+
+    def test_window_filtering_applied(self):
+        times = [0.0, 0.05, 10.0]
+        pages = [1, 2, 3]
+        predictor = build_predictor(times, pages)
+        [prediction] = predictor.predict(
+            [0], window_s=0.1, period_start=0.0, period_end=10.0
+        )
+        assert prediction.idle.lengths.tolist() == [pytest.approx(9.95)]
+
+    def test_empty_period(self):
+        predictor = ResizePredictor()
+        [prediction] = predictor.predict(
+            [4], window_s=0.1, period_start=0.0, period_end=600.0
+        )
+        assert prediction.num_disk_accesses == 0
+        assert prediction.idle.lengths.tolist() == [600.0]
+
+
+class TestBookkeeping:
+    def test_reset(self):
+        predictor = build_predictor([0.0, 1.0], [1, 1])
+        assert len(predictor) == 2
+        predictor.reset()
+        assert len(predictor) == 0
+
+    def test_rejects_time_regression(self):
+        predictor = ResizePredictor()
+        predictor.record(5.0, -1)
+        with pytest.raises(SimulationError):
+            predictor.record(4.0, -1)
+
+    def test_rejects_invalid_depth(self):
+        with pytest.raises(SimulationError):
+            ResizePredictor().record(0.0, -2)
+
+    def test_rejects_negative_capacity(self):
+        predictor = build_predictor([0.0], [1])
+        with pytest.raises(SimulationError):
+            predictor.predict([-1], window_s=0.0, period_start=0.0, period_end=1.0)
+
+    def test_rejects_inverted_period(self):
+        predictor = ResizePredictor()
+        with pytest.raises(SimulationError):
+            predictor.predict([1], window_s=0.0, period_start=5.0, period_end=1.0)

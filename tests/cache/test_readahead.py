@@ -1,0 +1,81 @@
+"""Sequential-miss clustering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.readahead import DiskRequest, ReadaheadClusterer
+from repro.errors import SimulationError
+
+
+class TestClustering:
+    def test_sequential_run_merges(self):
+        clusterer = ReadaheadClusterer(merge_window_s=1.0)
+        requests = clusterer.cluster([0.0, 0.1, 0.2], [5, 6, 7])
+        assert len(requests) == 1
+        assert requests[0].start_page == 5
+        assert requests[0].num_pages == 3
+
+    def test_non_sequential_breaks_run(self):
+        clusterer = ReadaheadClusterer(merge_window_s=1.0)
+        requests = clusterer.cluster([0.0, 0.1, 0.2], [5, 6, 9])
+        assert [r.num_pages for r in requests] == [2, 1]
+
+    def test_backward_page_breaks_run(self):
+        clusterer = ReadaheadClusterer(merge_window_s=1.0)
+        requests = clusterer.cluster([0.0, 0.1], [5, 4])
+        assert [r.start_page for r in requests] == [5, 4]
+
+    def test_time_window_breaks_run(self):
+        clusterer = ReadaheadClusterer(merge_window_s=0.5)
+        requests = clusterer.cluster([0.0, 2.0], [5, 6])
+        assert len(requests) == 2
+
+    def test_max_pages_caps_request(self):
+        clusterer = ReadaheadClusterer(merge_window_s=10.0, max_pages=2)
+        requests = clusterer.cluster(
+            [0.0, 0.1, 0.2, 0.3], [1, 2, 3, 4]
+        )
+        assert [r.num_pages for r in requests] == [2, 2]
+
+    def test_request_timestamp_is_first_miss(self):
+        clusterer = ReadaheadClusterer(merge_window_s=1.0)
+        requests = clusterer.cluster([3.0, 3.5], [1, 2])
+        assert requests[0].time_s == 3.0
+
+    def test_size_bytes(self):
+        request = DiskRequest(time_s=0.0, start_page=0, num_pages=3)
+        assert request.size_bytes(4096) == 12288
+
+    def test_flush_returns_pending(self):
+        clusterer = ReadaheadClusterer()
+        assert clusterer.flush() is None
+        clusterer.add(0.0, 1)
+        pending = clusterer.flush()
+        assert pending is not None and pending.num_pages == 1
+        assert clusterer.flush() is None
+
+
+class TestValidation:
+    def test_rejects_time_regression(self):
+        clusterer = ReadaheadClusterer()
+        clusterer.add(1.0, 1)
+        with pytest.raises(SimulationError):
+            clusterer.add(0.5, 2)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(SimulationError):
+            ReadaheadClusterer(merge_window_s=-1.0)
+        with pytest.raises(SimulationError):
+            ReadaheadClusterer(max_pages=0)
+
+    def test_rejects_misaligned_batch(self):
+        with pytest.raises(SimulationError):
+            ReadaheadClusterer().cluster([0.0], [1, 2])
+
+    def test_pages_conserved(self):
+        clusterer = ReadaheadClusterer(merge_window_s=0.2, max_pages=4)
+        times = [i * 0.1 for i in range(20)]
+        pages = [1, 2, 3, 7, 8, 20, 21, 22, 23, 24, 30, 5, 6, 7, 8, 9, 50, 51, 60, 61]
+        requests = clusterer.cluster(times, pages)
+        assert sum(r.num_pages for r in requests) == len(pages)

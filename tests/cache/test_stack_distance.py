@@ -1,0 +1,106 @@
+"""Streaming stack distances: correctness against a brute-force LRU stack."""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.stack_distance import COLD, StackDistanceTracker
+from repro.errors import SimulationError
+
+
+def brute_force_distances(accesses: List[int]) -> List[int]:
+    """Reference implementation with an explicit LRU stack."""
+    stack: List[int] = []  # MRU first
+    out = []
+    for page in accesses:
+        if page in stack:
+            depth = stack.index(page)
+            out.append(depth)
+            stack.remove(page)
+        else:
+            out.append(COLD)
+        stack.insert(0, page)
+    return out
+
+
+class TestBasics:
+    def test_docstring_example(self):
+        tracker = StackDistanceTracker()
+        got = [tracker.access(p) for p in (1, 2, 1, 2, 3, 1)]
+        assert got == [-1, -1, 1, 1, -1, 2]
+
+    def test_repeated_access_is_distance_zero(self):
+        tracker = StackDistanceTracker()
+        tracker.access(7)
+        assert tracker.access(7) == 0
+        assert tracker.access(7) == 0
+
+    def test_cold_for_every_new_page(self):
+        tracker = StackDistanceTracker()
+        assert [tracker.access(p) for p in range(5)] == [COLD] * 5
+        assert tracker.distinct_pages == 5
+
+    def test_forget_makes_page_cold_again(self):
+        tracker = StackDistanceTracker()
+        tracker.access(1)
+        tracker.forget(1)
+        assert tracker.access(1) == COLD
+
+    def test_forget_unknown_page_is_noop(self):
+        tracker = StackDistanceTracker()
+        tracker.forget(42)
+        assert tracker.distinct_pages == 0
+
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(SimulationError):
+            StackDistanceTracker(initial_capacity=2)
+
+
+class TestAgainstBruteForce:
+    @given(
+        accesses=st.lists(st.integers(min_value=0, max_value=25), max_size=300)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_reference(self, accesses):
+        tracker = StackDistanceTracker()
+        got = [tracker.access(p) for p in accesses]
+        assert got == brute_force_distances(accesses)
+
+    def test_compaction_preserves_distances(self):
+        # A tiny capacity forces many compactions.
+        tracker = StackDistanceTracker(initial_capacity=8)
+        accesses = [i % 5 for i in range(200)] + list(range(100, 130)) * 3
+        got = [tracker.access(p) for p in accesses]
+        assert got == brute_force_distances(accesses)
+
+    def test_compaction_grows_when_needed(self):
+        tracker = StackDistanceTracker(initial_capacity=8)
+        accesses = list(range(64))  # 64 distinct pages > initial capacity
+        got = [tracker.access(p) for p in accesses]
+        assert got == [COLD] * 64
+        # All pages still tracked: re-scanning them in the same order means
+        # each one has exactly 63 distinct pages above it in the stack.
+        assert [tracker.access(p) for p in range(64)] == [63] * 64
+
+
+class TestLRUConsistency:
+    """distance < m  <=>  hit in an m-page LRU cache."""
+
+    @given(
+        accesses=st.lists(st.integers(min_value=0, max_value=15), max_size=150),
+        capacity=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_distance_predicts_lru_hit(self, accesses, capacity):
+        from repro.cache.lru import LRUCache
+
+        tracker = StackDistanceTracker()
+        cache = LRUCache(capacity)
+        for page in accesses:
+            depth = tracker.access(page)
+            hit = cache.access(page)
+            assert hit == (depth != COLD and depth < capacity)

@@ -1,0 +1,59 @@
+"""The disk constants must match the paper's Section V-A arithmetic."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config.disk_spec import DiskSpec
+from repro.errors import ConfigError
+
+
+class TestPaperArithmetic:
+    def test_static_power_is_6_6_watts(self):
+        assert DiskSpec().static_power_watts == pytest.approx(6.6)
+
+    def test_dynamic_power_is_5_watts(self):
+        assert DiskSpec().dynamic_power_watts == pytest.approx(5.0)
+
+    def test_break_even_time_is_11_7_seconds(self):
+        # 77.5 J / 6.6 W = 11.74 s
+        assert DiskSpec().break_even_time_s == pytest.approx(11.74, abs=0.05)
+
+    def test_transition_round_trip_is_10_seconds(self):
+        spec = DiskSpec()
+        assert spec.transition_time_s == pytest.approx(10.0)
+        assert spec.spin_down_time_s + spec.spin_up_time_s == pytest.approx(10.0)
+
+    def test_standby_and_sleep_draw_the_same_power(self):
+        spec = DiskSpec()
+        assert spec.mode_power_watts["standby"] == spec.mode_power_watts["sleep"]
+
+    def test_rotational_latency_7200rpm(self):
+        spec = DiskSpec()
+        assert spec.rotation_time_s == pytest.approx(60.0 / 7200.0)
+        assert spec.avg_rotational_latency_s == pytest.approx(spec.rotation_time_s / 2)
+
+
+class TestValidation:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigError):
+            DiskSpec(capacity_bytes=0)
+
+    def test_rejects_mismatched_transition_split(self):
+        with pytest.raises(ConfigError):
+            DiskSpec(spin_down_time_s=3.0, spin_up_time_s=8.0)
+
+    def test_rejects_missing_mode(self):
+        with pytest.raises(ConfigError):
+            DiskSpec(mode_power_watts={"active": 12.5, "idle": 7.5})
+
+    def test_rejects_negative_transition_energy(self):
+        with pytest.raises(ConfigError):
+            DiskSpec(transition_energy_joules=-1.0)
+
+    def test_replace_keeps_validation(self):
+        spec = DiskSpec()
+        changed = dataclasses.replace(spec, spin_down_time_s=5.0, spin_up_time_s=5.0)
+        assert changed.transition_time_s == pytest.approx(10.0)

@@ -1,0 +1,54 @@
+"""MachineConfig composition and derived quantities."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config.machine import MachineConfig, paper_machine, scaled_machine
+from repro.config.memory_spec import MemorySpec
+from repro.errors import ConfigError
+from repro.units import GB, MB
+
+
+def test_break_even_memory_is_about_10_gb():
+    # Paper Section V-B1: 6.6 / (0.656e-3 * 1024) ~ 10 GB.
+    machine = paper_machine()
+    assert machine.break_even_memory_bytes == pytest.approx(9.82 * GB, rel=0.02)
+
+
+def test_enumeration_unit_must_align_with_banks():
+    base = paper_machine()
+    bad_manager = dataclasses.replace(
+        base.manager, enumeration_unit_bytes=24 * MB
+    )
+    with pytest.raises(ConfigError):
+        MachineConfig(memory=base.memory, disk=base.disk, manager=bad_manager)
+
+
+def test_page_bytes_comes_from_memory_spec():
+    machine = paper_machine()
+    assert machine.page_bytes == machine.memory.page_bytes == 4096
+
+
+def test_scaled_machine_factory_default():
+    machine = scaled_machine()
+    assert machine.scale == 1024
+    assert machine.page_bytes == 4 * MB
+
+
+def test_rejects_nonpositive_scale():
+    base = paper_machine()
+    with pytest.raises(ConfigError):
+        MachineConfig(
+            memory=base.memory, disk=base.disk, manager=base.manager, scale=0
+        )
+
+
+def test_memory_spec_unchanged_fields_survive_scaling():
+    machine = paper_machine().scaled(1024)
+    original = MemorySpec()
+    assert machine.memory.installed_bytes == original.installed_bytes
+    assert machine.memory.mode_power_watts == original.mode_power_watts
+    assert machine.memory.peak_power_watts == original.peak_power_watts

@@ -1,0 +1,40 @@
+"""ManagerConfig defaults (paper Table II) and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.manager import ManagerConfig
+from repro.errors import ConfigError
+from repro.units import MB
+
+
+def test_paper_table2_defaults():
+    cfg = ManagerConfig()
+    assert cfg.period_s == 600.0  # T = 10 min
+    assert cfg.aggregation_window_s == pytest.approx(0.1)  # w
+    assert cfg.max_utilization == pytest.approx(0.10)  # U
+    assert cfg.max_delayed_ratio == pytest.approx(0.001)  # D
+    assert cfg.long_latency_threshold_s == pytest.approx(0.5)
+    assert cfg.enumeration_unit_bytes == 16 * MB
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"period_s": 0.0},
+        {"period_s": -1.0},
+        {"aggregation_window_s": -0.1},
+        {"max_utilization": 0.0},
+        {"max_utilization": 1.5},
+        {"max_delayed_ratio": 0.0},
+        {"max_delayed_ratio": 2.0},
+        {"long_latency_threshold_s": 0.0},
+        {"enumeration_unit_bytes": 0},
+        {"min_memory_bytes": 0},
+        {"max_candidates": 1},
+    ],
+)
+def test_rejects_invalid(kwargs):
+    with pytest.raises(ConfigError):
+        ManagerConfig(**kwargs)

@@ -1,0 +1,74 @@
+"""The RDRAM constants must match the paper's Section V-A arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.memory_spec import MemorySpec
+from repro.errors import ConfigError
+from repro.units import GB, MB
+
+
+class TestPaperArithmetic:
+    def test_static_power_per_mb_matches_paper(self):
+        # 10.5 mW / 16 MB = 0.656 mW/MB
+        spec = MemorySpec()
+        assert spec.static_power_per_mb == pytest.approx(0.656e-3, rel=1e-3)
+
+    def test_dynamic_energy_per_mb_matches_paper(self):
+        # 1325 mW / (1.6 GB/s) = 0.809 mJ/MB
+        spec = MemorySpec()
+        per_mb = spec.dynamic_energy_per_byte * MB
+        assert per_mb == pytest.approx(0.809e-3, rel=1e-3)
+
+    def test_powerdown_timeout_matches_paper(self):
+        # (1325 * 30) / (312 - 3.5) = 129 us
+        spec = MemorySpec()
+        assert spec.powerdown_timeout_s == pytest.approx(129e-6, rel=1e-2)
+
+    def test_bank_count(self):
+        spec = MemorySpec()
+        assert spec.num_banks == 128 * GB // (16 * MB) == 8192
+
+    def test_pages_per_bank(self):
+        spec = MemorySpec()
+        assert spec.pages_per_bank == 16 * MB // (4 * 1024) == 4096
+
+    def test_nap_is_default_static_mode(self):
+        spec = MemorySpec()
+        assert spec.mode_power_watts["nap"] == pytest.approx(10.5e-3)
+        assert spec.static_power_per_byte * spec.bank_bytes == pytest.approx(
+            spec.mode_power_watts["nap"]
+        )
+
+    def test_mode_power_ordering(self):
+        spec = MemorySpec()
+        p = spec.mode_power_watts
+        assert (
+            p["attention"] > p["idle"] > p["nap"] > p["powerdown"] > p["disable"]
+        )
+
+
+class TestValidation:
+    def test_rejects_zero_installed(self):
+        with pytest.raises(ConfigError):
+            MemorySpec(installed_bytes=0)
+
+    def test_rejects_bank_larger_than_installed(self):
+        with pytest.raises(ConfigError):
+            MemorySpec(installed_bytes=16 * MB, bank_bytes=32 * MB)
+
+    def test_rejects_partial_banks(self):
+        with pytest.raises(ConfigError):
+            MemorySpec(installed_bytes=24 * MB, bank_bytes=16 * MB)
+
+    def test_rejects_bank_not_whole_pages(self):
+        with pytest.raises(ConfigError):
+            MemorySpec(bank_bytes=16 * MB + 1, installed_bytes=2 * (16 * MB + 1))
+
+    def test_dynamic_energy_per_access_scales_with_page(self):
+        small = MemorySpec()
+        big = MemorySpec(page_bytes=16 * 1024)
+        assert big.dynamic_energy_per_access == pytest.approx(
+            4 * small.dynamic_energy_per_access
+        )

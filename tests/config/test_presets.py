@@ -1,0 +1,58 @@
+"""Hardware presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.presets import laptop_disk, sdram_machine, sdram_memory
+from repro.units import GB, MB
+
+
+class TestSdram:
+    def test_rank_granularity(self):
+        memory = sdram_memory()
+        assert memory.bank_bytes == 512 * MB
+        assert memory.num_banks == 256
+
+    def test_per_mb_power_matches_rdram(self):
+        """The paper's energy trade-off must be hardware-neutral: per-MB
+        static power equals the RDRAM figure (0.656 mW/MB)."""
+        memory = sdram_memory()
+        assert memory.static_power_per_mb == pytest.approx(0.656e-3, rel=1e-3)
+
+    def test_machine_composition(self):
+        machine = sdram_machine()
+        assert machine.manager.enumeration_unit_bytes == 512 * MB
+        assert machine.break_even_memory_bytes == pytest.approx(
+            9.82 * GB, rel=0.02
+        )
+
+    def test_scaled_sdram_machine(self):
+        machine = sdram_machine().scaled(1024)
+        assert machine.page_bytes == 4 * MB
+        assert machine.memory.bank_bytes == 512 * MB
+
+    def test_joint_runs_on_sdram(self, small_trace):
+        from repro.sim.runner import run_method
+
+        machine = sdram_machine().scaled(1024)
+        result = run_method(
+            "JOINT", small_trace, machine, duration_s=600.0, audit=True
+        )
+        assert result.decisions
+        # Decisions move in 512-MB steps.
+        for decision in result.decisions:
+            assert decision.memory_bytes % (512 * MB) == 0
+
+
+class TestLaptopDisk:
+    def test_break_even_much_shorter(self):
+        disk = laptop_disk()
+        assert disk.break_even_time_s < 7.0
+        assert disk.static_power_watts == pytest.approx(1.55)
+
+    def test_spin_cycle_consistent(self):
+        disk = laptop_disk()
+        assert disk.spin_down_time_s + disk.spin_up_time_s == pytest.approx(
+            disk.transition_time_s
+        )

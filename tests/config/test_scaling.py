@@ -1,0 +1,93 @@
+"""Granularity scaling invariants (DESIGN.md Section 5).
+
+Everything physical must stay at its paper value; only the bookkeeping
+granularity (page size) changes, and the disk's random-access rate is
+recalibrated to the drive's average data rate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.machine import paper_machine
+from repro.disk.service import ServiceModel
+from repro.errors import ConfigError
+from repro.units import GB, MB
+
+
+@pytest.mark.parametrize("factor", [4, 64, 256, 1024, 4096])
+class TestInvariants:
+    def test_sizes_unchanged(self, factor):
+        machine = paper_machine().scaled(factor)
+        assert machine.memory.installed_bytes == 128 * GB
+        assert machine.disk.capacity_bytes == 160 * GB
+
+    def test_times_unchanged(self, factor):
+        machine = paper_machine().scaled(factor)
+        assert machine.disk.break_even_time_s == pytest.approx(11.74, abs=0.05)
+        assert machine.disk.transition_time_s == 10.0
+        assert machine.manager.period_s == 600.0
+        assert machine.manager.aggregation_window_s == pytest.approx(0.1)
+
+    def test_powers_unchanged(self, factor):
+        machine = paper_machine().scaled(factor)
+        assert machine.disk.static_power_watts == pytest.approx(6.6)
+        assert machine.memory.static_power_per_mb == pytest.approx(
+            0.656e-3, rel=1e-3
+        )
+
+    def test_break_even_memory_unchanged(self, factor):
+        base = paper_machine()
+        machine = base.scaled(factor)
+        assert machine.break_even_memory_bytes == pytest.approx(
+            base.break_even_memory_bytes
+        )
+
+    def test_page_grows_by_factor(self, factor):
+        machine = paper_machine().scaled(factor)
+        assert machine.page_bytes == 4096 * factor
+        assert machine.scale == factor
+
+    def test_bank_holds_whole_pages(self, factor):
+        machine = paper_machine().scaled(factor)
+        assert machine.memory.bank_bytes % machine.page_bytes == 0
+        assert machine.memory.bank_bytes >= machine.page_bytes
+
+    def test_single_page_read_achieves_average_rate(self, factor):
+        machine = paper_machine().scaled(factor)
+        rate = machine.single_page_service_rate()
+        if machine.page_bytes / machine.disk.average_data_rate > 0.02:
+            # Once the page is big enough for the calibration to engage,
+            # a one-page random read must hit the drive's average rate.
+            assert rate == pytest.approx(machine.disk.average_data_rate, rel=0.01)
+
+    def test_sequential_rate_never_recalibrated(self, factor):
+        machine = paper_machine().scaled(factor)
+        assert machine.disk.sequential_transfer_rate == 58 * MB
+
+
+class TestScalingMechanics:
+    def test_scale_one_is_identity(self):
+        base = paper_machine()
+        assert base.scaled(1) is base
+
+    def test_scaling_compounds(self):
+        machine = paper_machine().scaled(4).scaled(256)
+        assert machine.scale == 1024
+        assert machine.page_bytes == 4 * MB
+
+    def test_rejects_non_integer_factor(self):
+        with pytest.raises(ConfigError):
+            paper_machine().scaled(2.5)  # type: ignore[arg-type]
+
+    def test_rejects_negative_factor(self):
+        with pytest.raises(ConfigError):
+            paper_machine().scaled(-2)
+
+    def test_bandwidth_table_monotone_in_request_size(self):
+        machine = paper_machine().scaled(1024)
+        service = ServiceModel(machine.disk, machine.page_bytes)
+        table = service.bandwidth_table([1, 2, 4, 8, 16, 64])
+        rates = list(table.values())
+        assert all(a < b for a, b in zip(rates, rates[1:]))
+        assert rates[0] == pytest.approx(machine.disk.average_data_rate, rel=0.01)

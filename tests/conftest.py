@@ -1,0 +1,52 @@
+"""Shared fixtures: small machines and workloads for fast tests."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config.machine import MachineConfig, paper_machine
+from repro.traces.specweb import generate_trace
+from repro.units import GB, MB
+
+
+@pytest.fixture(scope="session")
+def paper_cfg() -> MachineConfig:
+    """The unscaled, paper-exact machine."""
+    return paper_machine()
+
+
+@pytest.fixture(scope="session")
+def machine() -> MachineConfig:
+    """Granularity-1024 machine (4-MB pages) used by most tests."""
+    return paper_machine().scaled(1024)
+
+
+@pytest.fixture(scope="session")
+def fast_machine() -> MachineConfig:
+    """A machine with short periods for quick end-to-end tests."""
+    base = paper_machine().scaled(1024)
+    manager = dataclasses.replace(base.manager, period_s=120.0)
+    return MachineConfig(
+        memory=base.memory, disk=base.disk, manager=manager, scale=base.scale
+    )
+
+
+@pytest.fixture(scope="session")
+def small_trace(machine):
+    """A 4-GB, 100-MB/s, 10-minute trace at the test machine's granularity."""
+    return generate_trace(
+        dataset_bytes=4 * GB,
+        data_rate=100 * MB,
+        duration_s=600.0,
+        page_size=machine.page_bytes,
+        seed=1234,
+        file_scale=machine.scale,
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(98765)

@@ -1,0 +1,155 @@
+"""Per-candidate power estimation (eq. 4 + memory statics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.predictor import CandidatePrediction
+from repro.config.machine import paper_machine
+from repro.core.energy_model import MIN_INTERVALS_FOR_FIT, evaluate_candidate
+from repro.disk.service import ServiceModel
+from repro.stats.intervals import IdleIntervals
+from repro.units import GB
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return paper_machine().scaled(1024)
+
+
+@pytest.fixture(scope="module")
+def service(machine):
+    return ServiceModel(machine.disk, machine.page_bytes)
+
+
+def prediction(machine, capacity_bytes, disk_accesses, idle_lengths, total=10_000):
+    lengths = np.asarray(idle_lengths, dtype=float)
+    idle = IdleIntervals(lengths=lengths, window_s=0.1, num_accesses=disk_accesses)
+    return CandidatePrediction(
+        capacity_pages=capacity_bytes // machine.page_bytes,
+        num_disk_accesses=disk_accesses,
+        idle=idle,
+        num_cache_accesses=total,
+    )
+
+
+class TestMemoryTerm:
+    def test_memory_power_proportional_to_size(self, machine, service):
+        small = evaluate_candidate(
+            machine, service, prediction(machine, 8 * GB, 0, []), 600.0
+        )
+        large = evaluate_candidate(
+            machine, service, prediction(machine, 16 * GB, 0, []), 600.0
+        )
+        assert large.memory_power_w == pytest.approx(2 * small.memory_power_w)
+        # 8 GB at 0.656 mW/MB = 5.4 W.
+        assert small.memory_power_w == pytest.approx(5.37, rel=0.01)
+
+
+class TestSilentDisk:
+    def test_no_accesses_spins_down(self, machine, service):
+        ev = evaluate_candidate(
+            machine, service, prediction(machine, 8 * GB, 0, []), 600.0
+        )
+        assert ev.timeout_s == 0.0
+        assert ev.disk_dynamic_power_w == 0.0
+        assert ev.meets_utilization
+        # Static power reduces to one round trip per period.
+        expected = 6.6 * machine.disk.break_even_time_s / 600.0
+        assert ev.disk_static_power_w == pytest.approx(expected, rel=0.01)
+
+
+class TestFewIntervalsFallback:
+    def test_falls_back_to_two_competitive(self, machine, service):
+        ev = evaluate_candidate(
+            machine,
+            service,
+            prediction(machine, 8 * GB, 10, [30.0, 40.0]),
+            600.0,
+        )
+        assert ev.fit is None
+        assert ev.timeout_s == pytest.approx(machine.disk.break_even_time_s)
+        assert ev.disk_static_power_w == pytest.approx(6.6)
+
+
+class TestFittedPath:
+    def test_long_idleness_spins_down(self, machine, service):
+        # 20 idle intervals of 60-300 s: plenty to save.
+        rng = np.random.default_rng(5)
+        lengths = rng.uniform(60.0, 300.0, size=20)
+        ev = evaluate_candidate(
+            machine,
+            service,
+            prediction(machine, 8 * GB, 20, lengths),
+            3600.0,
+        )
+        assert ev.fit is not None
+        assert ev.timeout_s is not None
+        assert ev.disk_static_power_w < 6.6
+
+    def test_short_idleness_stays_up(self, machine, service):
+        # Intervals way below the break-even time: spinning down loses.
+        lengths = np.full(50, 0.2)
+        ev = evaluate_candidate(
+            machine,
+            service,
+            prediction(machine, 8 * GB, 50, lengths),
+            600.0,
+        )
+        assert ev.timeout_s is None
+        assert ev.disk_static_power_w == pytest.approx(6.6)
+
+    def test_minimum_interval_count(self, machine, service):
+        lengths = [50.0] * (MIN_INTERVALS_FOR_FIT - 1)
+        ev = evaluate_candidate(
+            machine,
+            service,
+            prediction(machine, 8 * GB, 5, lengths),
+            600.0,
+        )
+        assert ev.fit is None
+
+
+class TestUtilisationConstraint:
+    def test_heavy_traffic_fails_constraint(self, machine, service):
+        # 600 one-page random accesses in 600 s at ~0.385 s each: 38%.
+        lengths = np.full(20, 1.0)
+        ev = evaluate_candidate(
+            machine,
+            service,
+            prediction(machine, 8 * GB, 600, lengths),
+            600.0,
+        )
+        assert not ev.meets_utilization
+        assert ev.predicted_utilization > machine.manager.max_utilization
+
+    def test_light_traffic_passes(self, machine, service):
+        lengths = np.full(20, 30.0)
+        ev = evaluate_candidate(
+            machine,
+            service,
+            prediction(machine, 8 * GB, 50, lengths),
+            600.0,
+        )
+        assert ev.meets_utilization
+
+    def test_dynamic_power_tracks_utilisation(self, machine, service):
+        lengths = np.full(20, 10.0)
+        light = evaluate_candidate(
+            machine, service, prediction(machine, 8 * GB, 50, lengths), 600.0
+        )
+        heavy = evaluate_candidate(
+            machine, service, prediction(machine, 8 * GB, 100, lengths), 600.0
+        )
+        assert heavy.disk_dynamic_power_w == pytest.approx(
+            2 * light.disk_dynamic_power_w, rel=0.01
+        )
+
+    def test_total_power_sums_terms(self, machine, service):
+        ev = evaluate_candidate(
+            machine, service, prediction(machine, 8 * GB, 0, []), 600.0
+        )
+        assert ev.total_power_w == pytest.approx(
+            ev.memory_power_w + ev.disk_static_power_w + ev.disk_dynamic_power_w
+        )

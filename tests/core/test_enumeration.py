@@ -1,0 +1,62 @@
+"""Candidate-size enumeration."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config.machine import MachineConfig, paper_machine
+from repro.core.enumeration import candidate_sizes
+from repro.units import GB, MB
+
+
+def machine_with(max_candidates=None, enumeration_unit=None, min_memory=None):
+    base = paper_machine()
+    manager = base.manager
+    changes = {}
+    if max_candidates is not None:
+        changes["max_candidates"] = max_candidates
+    if enumeration_unit is not None:
+        changes["enumeration_unit_bytes"] = enumeration_unit
+    if min_memory is not None:
+        changes["min_memory_bytes"] = min_memory
+    manager = dataclasses.replace(manager, **changes)
+    return MachineConfig(memory=base.memory, disk=base.disk, manager=manager)
+
+
+class TestEnumeration:
+    def test_candidates_ascend_and_align(self):
+        sizes = candidate_sizes(machine_with(max_candidates=32))
+        assert sizes == sorted(sizes)
+        assert all(size % (16 * MB) == 0 for size in sizes)
+
+    def test_endpoints_included(self):
+        machine = machine_with(max_candidates=16)
+        sizes = candidate_sizes(machine)
+        assert sizes[0] == machine.manager.min_memory_bytes
+        assert sizes[-1] == machine.memory.installed_bytes
+
+    def test_cap_respected(self):
+        sizes = candidate_sizes(machine_with(max_candidates=10))
+        assert len(sizes) <= 10
+
+    def test_full_enumeration_when_small(self):
+        # 1-GB units over 128 GB = 128 candidates < 200.
+        machine = machine_with(
+            max_candidates=200, enumeration_unit=1 * GB, min_memory=1 * GB
+        )
+        sizes = candidate_sizes(machine)
+        assert len(sizes) == 128
+        assert sizes[0] == 1 * GB and sizes[-1] == 128 * GB
+
+    def test_paper_unit_is_16mb(self):
+        # With the paper's unit the enumeration is dense ("within several
+        # thousand") and must be down-sampled to the configured cap.
+        machine = machine_with(max_candidates=64)
+        sizes = candidate_sizes(machine)
+        assert len(sizes) == 64
+
+    def test_candidates_unique(self):
+        sizes = candidate_sizes(machine_with(max_candidates=64))
+        assert len(set(sizes)) == len(sizes)

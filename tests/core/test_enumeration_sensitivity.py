@@ -1,0 +1,66 @@
+"""Enumeration coarseness: the cost of capping the candidate grid.
+
+The paper enumerates every 16-MB multiple; we spread ``max_candidates``
+over the same range.  The worst case a coarser grid can do is overshoot
+the fine grid's choice by one grid step of memory -- so its extra energy
+is bounded by (step x per-byte static power x measured window).  This
+test pins that bound (and the fact that constraints hold either way).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config.machine import MachineConfig
+from repro.sim.runner import run_method
+from repro.units import GB
+
+
+def with_candidates(machine, count):
+    manager = dataclasses.replace(machine.manager, max_candidates=count)
+    return MachineConfig(
+        memory=machine.memory,
+        disk=machine.disk,
+        manager=manager,
+        scale=machine.scale,
+    )
+
+
+class TestEnumerationSensitivity:
+    @pytest.fixture(scope="class")
+    def runs(self, fast_machine, small_trace):
+        results = {}
+        for count in (16, 64):
+            machine = with_candidates(fast_machine, count)
+            results[count] = run_method(
+                "JOINT",
+                small_trace,
+                machine,
+                duration_s=600.0,
+                warmup_s=120.0,
+            )
+        return results
+
+    def test_extra_energy_bounded_by_one_grid_step(self, runs, fast_machine):
+        fine = runs[64].total_energy_j
+        coarse = runs[16].total_energy_j
+        assert coarse >= fine - 1e-6  # a finer grid can only do better
+        step_bytes = 128 * GB / 15  # 16 candidates spread over 128 GB
+        window_s = runs[16].duration_s
+        bound = (
+            fast_machine.memory.static_power_per_byte * step_bytes * window_s
+        )
+        assert coarse - fine <= bound + 1e-6
+
+    def test_chosen_sizes_close(self, runs):
+        fine = runs[64].decisions[-1].memory_bytes
+        coarse = runs[16].decisions[-1].memory_bytes
+        # Within one coarse-grid step (128 GB / 15 intervals).
+        step = 128 * GB / 15
+        assert abs(fine - coarse) <= step + 1e-9
+
+    def test_both_respect_constraints(self, runs, fast_machine):
+        for result in runs.values():
+            assert result.long_latency_per_s < 3.0

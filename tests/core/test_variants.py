@@ -1,0 +1,71 @@
+"""Joint-manager ablation variants (DATE-2005 mode, single-knob modes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.joint import JointPowerManager
+from repro.policies.registry import parse_method
+from repro.sim.runner import run_method
+from repro.units import GB
+
+
+class TestVariantConstruction:
+    def test_timeout_only_pins_memory(self, fast_machine):
+        manager = JointPowerManager(fast_machine, adapt_memory=False)
+        assert manager.candidates_bytes == [fast_machine.memory.installed_bytes]
+        decision = manager.end_period(fast_machine.manager.period_s)
+        assert decision.memory_bytes == fast_machine.memory.installed_bytes
+
+    def test_resize_only_keeps_2t_timeout(self, fast_machine):
+        manager = JointPowerManager(fast_machine, adapt_timeout=False)
+        decision = manager.end_period(fast_machine.manager.period_s)
+        assert decision.timeout_s == pytest.approx(
+            fast_machine.disk.break_even_time_s
+        )
+
+    def test_registry_round_trip(self):
+        assert parse_method("DATE2005").enforce_constraints is False
+        assert parse_method("joint-to").adapt_memory is False
+        assert parse_method("Joint-Mem").adapt_timeout is False
+
+
+class TestVariantBehaviour:
+    @pytest.fixture(scope="class")
+    def results(self, fast_machine, small_trace):
+        return {
+            name: run_method(
+                name,
+                small_trace,
+                fast_machine,
+                duration_s=600.0,
+                warmup_s=120.0,
+                audit=True,
+            )
+            for name in ("JOINT", "JOINT-NC", "JOINT-MEM", "JOINT-TO")
+        }
+
+    def test_timeout_only_never_resizes(self, results):
+        sizes = {d.memory_bytes for d in results["JOINT-TO"].decisions}
+        assert sizes == {128 * GB}
+
+    def test_timeout_only_spins_down(self, results):
+        assert results["JOINT-TO"].spin_down_cycles > 0
+
+    def test_resize_only_uses_break_even_timeout(self, results, fast_machine):
+        for decision in results["JOINT-MEM"].decisions:
+            assert decision.timeout_s == pytest.approx(
+                fast_machine.disk.break_even_time_s
+            )
+
+    def test_full_joint_beats_timeout_only(self, results):
+        # Timeout-only pays for all 128 GB of memory.
+        assert (
+            results["JOINT"].total_energy_j
+            < results["JOINT-TO"].total_energy_j
+        )
+
+    def test_variants_resize_memory_down(self, results):
+        for name in ("JOINT", "JOINT-NC", "JOINT-MEM"):
+            final = results[name].decisions[-1].memory_bytes
+            assert final < 128 * GB, name

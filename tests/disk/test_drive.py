@@ -1,0 +1,173 @@
+"""SimDisk: power-state timing, wake latency, FCFS queueing, energy."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.config.disk_spec import DiskSpec
+from repro.disk.drive import SimDisk
+from repro.disk.service import ServiceModel
+from repro.errors import SimulationError
+from repro.units import KB
+
+
+@pytest.fixture()
+def spec():
+    return DiskSpec()
+
+
+@pytest.fixture()
+def disk(spec):
+    return SimDisk(spec, ServiceModel(spec, page_bytes=4 * KB))
+
+
+def svc(disk, n=1, sequential=False):
+    return disk.service.service_time(n, sequential)
+
+
+class TestAlwaysOn:
+    def test_request_latency_is_service_time(self, disk):
+        result = disk.submit(5.0, 1)
+        assert result.latency_s == pytest.approx(svc(disk))
+        assert result.wake_delay_s == 0.0
+
+    def test_idle_time_accounted(self, disk):
+        disk.submit(0.0, 1)
+        disk.finalize(100.0)
+        assert disk.energy.idle_s == pytest.approx(100.0 - svc(disk))
+        assert disk.energy.active_s == pytest.approx(svc(disk))
+        assert disk.energy.spin_down_cycles == 0
+
+    def test_fcfs_queueing(self, disk):
+        first = disk.submit(0.0, 1)
+        second = disk.submit(0.0, 1)
+        assert second.start_s == pytest.approx(first.finish_s)
+        assert second.latency_s == pytest.approx(2 * svc(disk))
+
+    def test_sequential_request_cheaper(self, disk):
+        disk.submit(0.0, 1)
+        fast = disk.submit(1.0, 1, sequential=True)
+        assert fast.latency_s == pytest.approx(svc(disk, sequential=True))
+        assert fast.latency_s < svc(disk) / 5
+
+
+class TestSpinDown:
+    def test_spin_down_after_timeout(self, disk):
+        disk.set_timeout(0.0, 10.0)
+        disk.submit(0.0, 1)
+        disk.advance(50.0)
+        assert disk.is_spun_down
+        assert disk.energy.spin_down_cycles == 1
+        # Idle time ran from completion to the spin-down decision.
+        assert disk.energy.idle_s == pytest.approx(10.0)
+
+    def test_no_spin_down_before_timeout(self, disk):
+        disk.set_timeout(0.0, 10.0)
+        disk.submit(0.0, 1)
+        disk.advance(5.0)
+        assert not disk.is_spun_down
+
+    def test_wake_on_demand(self, disk, spec):
+        disk.set_timeout(0.0, 10.0)
+        done = disk.submit(0.0, 1).finish_s
+        result = disk.submit(100.0, 1)
+        # Spin-down at done+10, standby until 100, spin-up 8 s.
+        assert result.wake_delay_s == pytest.approx(spec.spin_up_time_s)
+        assert result.latency_s == pytest.approx(
+            spec.spin_up_time_s + svc(disk)
+        )
+        assert disk.energy.standby_s == pytest.approx(
+            100.0 - (done + 10.0 + spec.spin_down_time_s)
+        )
+        assert not disk.is_spun_down
+
+    def test_arrival_during_spin_down_waits_full_round_trip(self, disk, spec):
+        disk.set_timeout(0.0, 10.0)
+        done = disk.submit(0.0, 1).finish_s
+        arrival = done + 10.0 + 1.0  # 1 s into the 2-s spin-down
+        result = disk.submit(arrival, 1)
+        expected_ready = done + 10.0 + spec.spin_down_time_s + spec.spin_up_time_s
+        assert result.start_s == pytest.approx(expected_ready)
+        assert result.wake_delay_s == pytest.approx(expected_ready - arrival)
+        assert disk.energy.standby_s == pytest.approx(0.0)
+
+    def test_timeout_zero_spins_down_immediately(self, disk):
+        disk.set_timeout(0.0, 0.0)
+        disk.submit(0.0, 1)
+        disk.advance(1.0)
+        assert disk.is_spun_down
+
+    def test_repeated_cycles_counted(self, disk):
+        disk.set_timeout(0.0, 5.0)
+        for start in (0.0, 100.0, 200.0):
+            disk.submit(start, 1)
+        disk.advance(300.0)
+        assert disk.energy.spin_down_cycles == 3
+
+
+class TestTimeoutChanges:
+    def test_new_timeout_applies_to_current_idle_period(self, disk):
+        disk.submit(0.0, 1)  # no timeout yet: stays up
+        disk.advance(50.0)
+        assert not disk.is_spun_down
+        disk.set_timeout(50.0, 5.0)  # idle already 50 s > 5 s
+        disk.advance(51.0)
+        assert disk.is_spun_down
+        # But not retroactively: the spin-down starts at the set_timeout.
+        assert disk.spin_down_end >= 50.0
+
+    def test_disabling_timeout(self, disk):
+        disk.set_timeout(0.0, math.inf)
+        disk.submit(0.0, 1)
+        disk.advance(1000.0)
+        assert not disk.is_spun_down
+        assert disk.timeout_s is None
+
+    def test_rejects_negative_timeout(self, disk):
+        with pytest.raises(SimulationError):
+            disk.set_timeout(0.0, -1.0)
+
+
+class TestAccountingIntegrity:
+    def test_time_conservation_with_wake(self, disk, spec):
+        disk.set_timeout(0.0, 10.0)
+        disk.submit(0.0, 1)
+        disk.submit(100.0, 1)
+        end = 200.0
+        disk.finalize(end)
+        # active + idle + standby + transition covers the timeline (the
+        # last idle stretch runs to `end`).
+        assert disk.energy.accounted_s == pytest.approx(end, rel=1e-6)
+
+    def test_time_conservation_while_spun_down_at_end(self, disk):
+        disk.set_timeout(0.0, 10.0)
+        disk.submit(0.0, 1)
+        disk.finalize(500.0)
+        assert disk.energy.accounted_s == pytest.approx(500.0, rel=1e-6)
+
+    def test_checkpoint_no_double_count(self, disk):
+        disk.submit(0.0, 1)
+        disk.checkpoint(50.0)
+        disk.checkpoint(50.0)
+        disk.finalize(100.0)
+        assert disk.energy.idle_s == pytest.approx(100.0 - svc(disk))
+
+    def test_rejects_time_regression(self, disk):
+        disk.advance(10.0)
+        with pytest.raises(SimulationError):
+            disk.advance(5.0)
+
+    def test_energy_bounds(self, disk, spec):
+        disk.set_timeout(0.0, 11.7)
+        for t in (0.0, 40.0, 41.0, 200.0, 203.0, 400.0):
+            disk.submit(t, 2)
+        disk.finalize(600.0)
+        total = disk.energy.total_joules(spec)
+        lower = spec.mode_power_watts["standby"] * 600.0
+        upper = (
+            spec.mode_power_watts["active"] * 600.0
+            + disk.energy.spin_down_cycles * spec.transition_energy_joules
+        )
+        assert lower <= total <= upper

@@ -1,0 +1,67 @@
+"""Disk time/energy bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.disk_spec import DiskSpec
+from repro.disk.energy import DiskEnergy
+from repro.errors import SimulationError
+
+
+class TestAccounting:
+    def test_total_joules(self):
+        spec = DiskSpec()
+        energy = DiskEnergy()
+        energy.add_time("active", 10.0)
+        energy.add_time("idle", 100.0)
+        energy.add_time("standby", 50.0)
+        energy.spin_down_cycles = 2
+        expected = 10 * 12.5 + 100 * 7.5 + 50 * 0.9 + 2 * 77.5
+        assert energy.total_joules(spec) == pytest.approx(expected)
+
+    def test_breakdown_matches_total(self):
+        spec = DiskSpec()
+        energy = DiskEnergy()
+        energy.add_time("active", 3.0)
+        energy.add_time("idle", 4.0)
+        energy.add_time("standby", 5.0)
+        energy.add_time("transition", 10.0)
+        energy.spin_down_cycles = 1
+        breakdown = energy.breakdown_joules(spec)
+        assert sum(breakdown.values()) == pytest.approx(energy.total_joules(spec))
+
+    def test_utilization(self):
+        energy = DiskEnergy()
+        energy.add_time("active", 25.0)
+        assert energy.utilization(100.0) == pytest.approx(0.25)
+        assert energy.utilization(0.0) == 0.0
+
+    def test_accounted_time(self):
+        energy = DiskEnergy()
+        energy.add_time("active", 1.0)
+        energy.add_time("idle", 2.0)
+        assert energy.accounted_s == pytest.approx(3.0)
+
+    def test_tiny_negative_tolerated(self):
+        energy = DiskEnergy()
+        energy.add_time("idle", -1e-12)
+        assert energy.idle_s == 0.0
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(SimulationError):
+            DiskEnergy().add_time("idle", -1.0)
+
+    def test_rejects_unknown_category(self):
+        with pytest.raises(SimulationError):
+            DiskEnergy().add_time("warp", 1.0)
+
+    def test_minus_window(self):
+        energy = DiskEnergy()
+        energy.add_time("active", 5.0)
+        snap = energy.snapshot()
+        energy.add_time("active", 3.0)
+        energy.spin_down_cycles += 1
+        delta = energy.minus(snap)
+        assert delta.active_s == pytest.approx(3.0)
+        assert delta.spin_down_cycles == 1

@@ -1,0 +1,111 @@
+"""Zoned geometry and the LBA mapping."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk.geometry import DiskGeometry
+from repro.errors import ConfigError
+from repro.units import GB
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return DiskGeometry()
+
+
+class TestProfile:
+    def test_outer_tracks_hold_more(self, geometry):
+        assert geometry.sectors_per_track(0) == geometry.sectors_outer
+        assert geometry.sectors_per_track(
+            geometry.num_cylinders - 1
+        ) == pytest.approx(geometry.sectors_inner)
+        mid = geometry.sectors_per_track(geometry.num_cylinders // 2)
+        assert geometry.sectors_inner < mid < geometry.sectors_outer
+
+    def test_capacity_near_160_gb(self, geometry):
+        # The default approximates the paper's 160-GB Barracuda.
+        assert geometry.capacity_bytes == pytest.approx(160 * GB, rel=0.06)
+
+    def test_cumulative_consistency(self, geometry):
+        # sectors_before(k+1) - sectors_before(k) = cylinder_sectors(k).
+        for cylinder in (0, 1, 1000, geometry.num_cylinders - 2):
+            delta = geometry.sectors_before(cylinder + 1) - geometry.sectors_before(
+                cylinder
+            )
+            assert delta == pytest.approx(geometry.cylinder_sectors(cylinder))
+
+    def test_flat_profile_supported(self):
+        flat = DiskGeometry(sectors_outer=600, sectors_inner=600)
+        assert flat.cylinder_of_lba(600 * 4 * 5) == 5
+
+
+class TestLbaMapping:
+    def test_first_and_last_lba(self, geometry):
+        assert geometry.cylinder_of_lba(0) == 0
+        assert (
+            geometry.cylinder_of_lba(geometry.total_sectors - 1)
+            == geometry.num_cylinders - 1
+        )
+
+    def test_lba_outside_rejected(self, geometry):
+        with pytest.raises(ConfigError):
+            geometry.cylinder_of_lba(-1)
+        with pytest.raises(ConfigError):
+            geometry.cylinder_of_lba(geometry.total_sectors)
+
+    @given(fraction=st.floats(min_value=0.0, max_value=0.999999))
+    @settings(max_examples=100, deadline=None)
+    def test_inverse_property(self, geometry, fraction):
+        """cylinder_of_lba inverts sectors_before exactly."""
+        lba = int(fraction * geometry.total_sectors)
+        cylinder = geometry.cylinder_of_lba(lba)
+        assert geometry.sectors_before(cylinder) <= lba
+        if cylinder < geometry.num_cylinders - 1:
+            assert lba < geometry.sectors_before(cylinder + 1)
+
+    def test_monotone_mapping(self, geometry):
+        lbas = [0, 10**6, 10**7, 10**8, geometry.total_sectors - 1]
+        cylinders = [geometry.cylinder_of_lba(lba) for lba in lbas]
+        assert cylinders == sorted(cylinders)
+
+    def test_byte_addressing(self, geometry):
+        assert geometry.lba_of_byte(0) == 0
+        assert geometry.lba_of_byte(512) == 1
+        assert geometry.lba_of_byte(1023) == 1
+        with pytest.raises(ConfigError):
+            geometry.lba_of_byte(geometry.capacity_bytes)
+
+
+class TestMediaRate:
+    def test_outer_zone_faster(self, geometry):
+        outer = geometry.media_rate_at(0, rpm=7200)
+        inner = geometry.media_rate_at(geometry.num_cylinders - 1, rpm=7200)
+        assert outer == pytest.approx(2 * inner, rel=0.01)
+
+    def test_outer_rate_realistic(self, geometry):
+        # ~1170 sectors * 512 B * 120 rev/s = ~68 MB/s outer zone.
+        rate = geometry.media_rate_at(0, rpm=7200)
+        assert 50e6 < rate < 90e6
+
+    def test_bad_rpm(self, geometry):
+        with pytest.raises(ConfigError):
+            geometry.media_rate_at(0, rpm=0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_cylinders": 1},
+            {"num_heads": 0},
+            {"sectors_inner": 0},
+            {"sectors_inner": 2000},  # > outer
+            {"sector_bytes": 0},
+        ],
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(ConfigError):
+            DiskGeometry(**kwargs)

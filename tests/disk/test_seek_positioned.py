@@ -1,0 +1,141 @@
+"""Seek curve calibration and position-aware pricing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.disk_spec import DiskSpec
+from repro.disk.positioned import PositionedServiceModel
+from repro.disk.seek import SeekModel
+from repro.errors import ConfigError, SimulationError
+from repro.units import MB
+
+
+class TestSeekModel:
+    @pytest.fixture(scope="class")
+    def seek(self):
+        return SeekModel.calibrated(
+            track_to_track_s=1e-3,
+            average_s=8.5e-3,
+            full_stroke_s=18e-3,
+            num_cylinders=90_000,
+        )
+
+    def test_anchors_hit(self, seek):
+        assert seek.seek_time(1) == pytest.approx(1e-3, rel=1e-6)
+        assert seek.seek_time(90_000 // 3) == pytest.approx(8.5e-3, rel=1e-3)
+        assert seek.seek_time(89_999) == pytest.approx(18e-3, rel=1e-6)
+
+    def test_zero_distance_free(self, seek):
+        assert seek.seek_time(0) == 0.0
+
+    def test_monotone(self, seek):
+        times = [seek.seek_time(d) for d in (1, 10, 100, 1000, 10_000, 80_000)]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_average_random_seek_near_datasheet(self, seek):
+        assert seek.average_random_seek() == pytest.approx(8.5e-3, rel=0.25)
+
+    def test_negative_distance_rejected(self, seek):
+        with pytest.raises(ConfigError):
+            seek.seek_time(-1)
+
+    def test_calibration_validation(self):
+        with pytest.raises(ConfigError):
+            SeekModel.calibrated(2e-3, 1e-3, 18e-3, 90_000)  # avg < t2t
+        with pytest.raises(ConfigError):
+            SeekModel.calibrated(1e-3, 8e-3, 18e-3, 4)  # too few cylinders
+
+
+class TestPositionedModel:
+    @pytest.fixture()
+    def model(self, machine):
+        return PositionedServiceModel(machine.disk, machine.page_bytes)
+
+    def test_same_cylinder_streaming_is_cheap(self, model):
+        first = model.price(0)
+        again = model.price(0)
+        assert again.seek_s < first.seek_s or first.seek_s == again.seek_s
+        assert again.rotation_s == 0.0
+        assert again.total_s < first.total_s or first.rotation_s == 0.0
+
+    def test_long_jump_costs_more_than_neighbour(self, model):
+        model.price(0)
+        pages_total = model.geometry.capacity_bytes // model.page_bytes
+        far = model.price(int(pages_total * 0.9))
+        model.reset_head(0)
+        model.price(0)
+        near = model.price(1)
+        assert far.seek_s > near.seek_s
+
+    def test_outer_data_streams_faster(self, model):
+        pages_total = model.geometry.capacity_bytes // model.page_bytes
+        outer = model.price(0, num_pages=4)
+        inner = model.price(int(pages_total * 0.98), num_pages=4)
+        assert outer.transfer_s < inner.transfer_s
+
+    def test_head_moves(self, model):
+        pages_total = model.geometry.capacity_bytes // model.page_bytes
+        cost = model.price(int(pages_total * 0.5))
+        assert model.head_cylinder == cost.cylinder
+        assert cost.cylinder > 0
+
+    def test_pages_beyond_capacity_wrap(self, model):
+        pages_total = model.geometry.capacity_bytes // model.page_bytes
+        wrapped = model.cylinder_of_page(pages_total + 3)
+        assert wrapped == model.cylinder_of_page(3)
+
+    def test_average_random_page_near_analytic_model(self, machine):
+        """The positioned model and the calibrated analytic model agree
+        on the average one-page random service time within a factor."""
+        import numpy as np
+
+        from repro.disk.service import ServiceModel
+
+        model = PositionedServiceModel(machine.disk, machine.page_bytes)
+        analytic = ServiceModel(machine.disk, machine.page_bytes)
+        rng = np.random.default_rng(9)
+        pages_total = model.geometry.capacity_bytes // machine.page_bytes
+        samples = [
+            model.service_time(int(rng.integers(0, pages_total)))
+            for _ in range(300)
+        ]
+        positioned_avg = float(np.mean(samples))
+        # The analytic model is calibrated to 10.4 MB/s for one page; the
+        # geometric model reflects the real drive (~60 MB/s media), so it
+        # is faster -- but both sit in the tens-of-ms-to-sub-second range
+        # and the geometric one must not be slower.
+        assert positioned_avg <= analytic.service_time(1)
+        assert positioned_avg > machine.disk.avg_seek_time_s
+
+    def test_validation(self, model):
+        with pytest.raises(SimulationError):
+            model.price(-1)
+        with pytest.raises(SimulationError):
+            model.price(0, num_pages=0)
+        with pytest.raises(SimulationError):
+            model.reset_head(10**9)
+
+
+class TestEngineIntegration:
+    def test_geometry_run_matches_analytic_counts(self, fast_machine, small_trace):
+        from repro.memory.system import NapMemorySystem
+        from repro.policies.fixed_timeout import FixedTimeoutPolicy
+        from repro.sim.engine import SimulationEngine
+        from repro.units import GB
+
+        def run(use_geometry):
+            memory = NapMemorySystem(fast_machine.memory, 8 * GB)
+            engine = SimulationEngine(
+                fast_machine,
+                memory,
+                disk_policy=FixedTimeoutPolicy(11.7),
+                use_geometry=use_geometry,
+            )
+            return engine.run(small_trace, duration_s=480.0)
+
+        analytic = run(False)
+        geometric = run(True)
+        # Same cache: identical miss streams; only timings differ.
+        assert geometric.disk_page_accesses == analytic.disk_page_accesses
+        assert geometric.disk_energy.active_s != analytic.disk_energy.active_s

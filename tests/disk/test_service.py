@@ -1,0 +1,72 @@
+"""Disk service-time model and bandwidth table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.disk_spec import DiskSpec
+from repro.disk.service import ServiceModel
+from repro.errors import SimulationError
+from repro.units import KB, MB
+
+
+@pytest.fixture()
+def service():
+    return ServiceModel(DiskSpec(), page_bytes=4 * KB)
+
+
+class TestServiceTimes:
+    def test_random_overhead_components(self, service):
+        spec = service.spec
+        expected = (
+            spec.avg_seek_time_s
+            + spec.avg_rotational_latency_s
+            + spec.controller_overhead_s
+        )
+        assert service.random_overhead_s == pytest.approx(expected)
+
+    def test_first_page_includes_transfer(self, service):
+        expected = service.random_overhead_s + 4 * KB / (58 * MB)
+        assert service.first_page_time() == pytest.approx(expected)
+
+    def test_continuation_is_cheap(self, service):
+        assert service.continuation_time() < service.first_page_time() / 10
+
+    def test_multi_page_request(self, service):
+        assert service.service_time(3) == pytest.approx(
+            service.first_page_time() + 2 * service.continuation_time()
+        )
+
+    def test_sequential_request_skips_positioning(self, service):
+        assert service.service_time(2, sequential=True) == pytest.approx(
+            2 * service.continuation_time()
+        )
+
+    def test_rejects_empty_request(self, service):
+        with pytest.raises(SimulationError):
+            service.service_time(0)
+
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(SimulationError):
+            ServiceModel(DiskSpec(), page_bytes=0)
+
+
+class TestBandwidthTable:
+    def test_monotone_increasing(self, service):
+        table = service.bandwidth_table([1, 4, 16, 64, 256])
+        rates = list(table.values())
+        assert all(a < b for a, b in zip(rates, rates[1:]))
+
+    def test_large_requests_approach_media_rate(self, service):
+        rate = service.effective_rate(100_000)
+        assert rate == pytest.approx(58 * MB, rel=0.1)
+
+    def test_small_random_requests_are_seek_bound(self, service):
+        # A 4-kB random read on a 2004 disk moves well under 1 MB/s.
+        assert service.effective_rate(1) < 0.5 * MB
+
+    def test_effective_rate_definition(self, service):
+        n = 8
+        assert service.effective_rate(n) == pytest.approx(
+            n * 4 * KB / service.service_time(n)
+        )

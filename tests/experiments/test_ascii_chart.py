@@ -1,0 +1,72 @@
+"""Terminal charts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.ascii_chart import bar_chart, series_panel, sparkline
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        text = bar_chart({"a": 1.0, "b": 0.5}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_labels_aligned(self):
+        text = bar_chart({"long-name": 1.0, "x": 1.0})
+        lines = text.splitlines()
+        assert lines[0].index("█") == lines[1].index("█")
+
+    def test_reference_marker(self):
+        text = bar_chart({"a": 0.5}, width=10, reference=1.0)
+        assert "|" in text
+
+    def test_title(self):
+        assert bar_chart({"a": 1.0}, title="T").splitlines()[0] == "T"
+
+    def test_zero_values_ok(self):
+        text = bar_chart({"a": 0.0, "b": 2.0})
+        assert "0" in text
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            bar_chart({})
+        with pytest.raises(ReproError):
+            bar_chart({"a": 1.0}, width=2)
+        with pytest.raises(ReproError):
+            bar_chart({"a": -1.0})
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_extremes(self):
+        line = sparkline([0, 10])
+        assert line[0] == "▁"
+        assert line[1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▄" * 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            sparkline([])
+
+
+class TestSeriesPanel:
+    def test_panel_layout(self):
+        text = series_panel({"8GB": [1, 2, 3], "16GB": [3, 2, 1]}, title="Fig9")
+        lines = text.splitlines()
+        assert lines[0] == "Fig9"
+        assert len(lines) == 3
+        assert "[1 .. 3]" in lines[1]
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ReproError):
+            series_panel({"x": []})
+        with pytest.raises(ReproError):
+            series_panel({})

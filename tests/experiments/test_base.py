@@ -1,0 +1,93 @@
+"""Experiment configuration profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, ReproError
+from repro.experiments.base import (
+    ExperimentConfig,
+    ExperimentResult,
+    config_from_env,
+    full_config,
+    quick_config,
+)
+from repro.experiments.registry import get_experiment, list_experiments
+from repro.units import MB
+
+
+class TestConfigs:
+    def test_full_profile_matches_paper(self):
+        config = full_config()
+        assert config.period_s == 600.0
+        assert config.dataset_gb == 16.0
+        assert config.data_rate_mb == 100.0
+        assert config.popularity == 0.10
+
+    def test_durations(self):
+        config = ExperimentConfig(warmup_periods=2, measure_periods=5)
+        assert config.warmup_s == 1200.0
+        assert config.duration_s == 4200.0
+
+    def test_machine_period_override(self):
+        machine = full_config().machine(period_s=300.0)
+        assert machine.manager.period_s == 300.0
+
+    def test_machine_bank_override(self):
+        machine = full_config().machine(bank_mb=1024)
+        assert machine.memory.bank_bytes == 1024 * MB
+
+    def test_trace_generation_respects_machine(self):
+        config = quick_config()
+        machine = config.machine()
+        trace = config.make_trace(machine, duration_s=300.0)
+        assert trace.page_size == machine.page_bytes
+        assert trace.duration_s <= 300.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(measure_periods=0)
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "quick")
+        assert config_from_env().scale == quick_config().scale
+        monkeypatch.setenv("REPRO_PROFILE", "full")
+        assert config_from_env().scale == full_config().scale
+        monkeypatch.setenv("REPRO_PROFILE", "bogus")
+        with pytest.raises(ConfigError):
+            config_from_env()
+
+
+class TestRegistry:
+    def test_all_paper_artefacts_present(self):
+        names = list_experiments()
+        for artefact in (
+            "fig5",
+            "fig7",
+            "fig8rate",
+            "fig8pop",
+            "fig9",
+            "table3",
+            "table4",
+            "table5",
+        ):
+            assert artefact in names
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("FIG5") is get_experiment("fig5")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ReproError):
+            get_experiment("fig99")
+
+
+class TestResultRendering:
+    def test_render_includes_notes(self):
+        result = ExperimentResult(
+            name="demo",
+            title="Demo",
+            rows=[{"a": 1}],
+            notes="a note",
+        )
+        text = result.render()
+        assert "Demo" in text and "a note" in text

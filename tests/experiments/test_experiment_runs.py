@@ -1,0 +1,143 @@
+"""Each experiment runner end-to-end on a minimal profile.
+
+These are structural smoke tests (row schema, label coverage, value
+sanity); the paper-shape assertions live in the benchmarks, which run
+the full profile.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ablation,
+    hw_sensitivity,
+    idle_fit,
+    fig5_pareto,
+    fig7_dataset,
+    fig8_popularity,
+    fig8_rate,
+    fig9_timeseries,
+    table3_accesses,
+    table4_period,
+    table5_bank,
+    writes,
+)
+from repro.experiments.base import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def mini():
+    return ExperimentConfig(
+        scale=1024,
+        period_s=120.0,
+        warmup_periods=1,
+        measure_periods=2,
+        dataset_gb=4.0,
+        data_rate_mb=50.0,
+        fm_sizes_gb=[8, 128],
+    )
+
+
+class TestFig5:
+    def test_rows_and_schema(self, mini):
+        result = fig5_pareto.run(mini)
+        assert result.name == "fig5"
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert set(row) >= {"alpha", "alpha_mom", "t_opt_eq5_s"}
+        assert "Pareto" in result.render()
+
+
+class TestFig7:
+    def test_single_point_sweep(self, mini):
+        result = fig7_dataset.run(mini, datasets_gb=[4.0])
+        labels = {row["method"] for row in result.rows}
+        assert "JOINT" in labels and "ALWAYS-ON" in labels
+        # joint + 2 disks x (2 FM + PD + DS) + always-on = 10
+        assert len(result.rows) == 10
+        base = next(r for r in result.rows if r["method"] == "ALWAYS-ON")
+        assert base["total_energy"] == pytest.approx(1.0)
+
+
+class TestTable3:
+    def test_counts_structure(self, mini):
+        result = table3_accesses.run(mini, datasets_gb=[4.0])
+        methods = [row["method"] for row in result.rows]
+        assert methods[-1] == "MA (memory accesses)"
+        ma = result.rows[-1]["4GB"]
+        for row in result.rows[:-1]:
+            assert 0 <= row["4GB"] <= ma
+
+
+class TestFig8:
+    def test_rate_sweep(self, mini):
+        result = fig8_rate.run(mini, rates_mb=[20.0])
+        assert {row["rate_mb_s"] for row in result.rows} == {20.0}
+        assert all(0 <= row["total_energy"] <= 1.5 for row in result.rows)
+
+    def test_popularity_sweep(self, mini):
+        result = fig8_popularity.run(mini, popularities=[0.2])
+        assert {row["popularity"] for row in result.rows} == {0.2}
+
+
+class TestSensitivity:
+    def test_period_sweep(self, mini):
+        result = table4_period.run(mini, periods_min=[2.0, 4.0])
+        assert [row["period_min"] for row in result.rows] == [2.0, 4.0]
+        assert all(row["total_energy"] > 0 for row in result.rows)
+
+    def test_bank_sweep(self, mini):
+        result = table5_bank.run(mini, banks_mb=[16, 256])
+        assert [row["bank_mb"] for row in result.rows] == [16, 256]
+
+
+class TestFig9:
+    def test_timeseries_rows(self, mini):
+        result = fig9_timeseries.run(mini, memories_gb=[8], num_periods=3)
+        assert {row["memory_gb"] for row in result.rows} == {8}
+        # One of the three periods is warm-up; two are measured.
+        assert len(result.rows) == 3 - mini.warmup_periods
+        assert "variation" in result.notes
+
+
+class TestWrites:
+    def test_write_sweep_rows(self, mini):
+        result = writes.run(mini, write_fractions=[0.0, 0.2])
+        fractions = {row["write_fraction"] for row in result.rows}
+        assert fractions == {0.0, 0.2}
+        zero = [r for r in result.rows if r["write_fraction"] == 0.0]
+        assert all(r["writeback_pages"] == 0 for r in zero)
+
+
+class TestHwSensitivity:
+    def test_variant_rows(self, mini):
+        result = hw_sensitivity.run(
+            mini, variants=[("paper", 1.0, 1.0), ("laptop-disk", 1.0, None)]
+        )
+        variants = {row["variant"] for row in result.rows}
+        assert variants == {"paper", "laptop-disk"}
+        laptop = next(r for r in result.rows if r["variant"] == "laptop-disk")
+        assert laptop["break_even_time_s"] == 6.0
+
+
+class TestIdleFit:
+    def test_histogram_rows(self, mini):
+        result = idle_fit.run(mini, memories_gb=[2.0])
+        assert {row["memory_gb"] for row in result.rows} == {2.0}
+        assert sum(row["intervals"] for row in result.rows) > 0
+        shares = sum(row["share_of_idle_time"] for row in result.rows)
+        assert shares == pytest.approx(1.0, abs=0.02)
+
+
+class TestAblation:
+    def test_variant_rows(self, mini):
+        result = ablation.run(mini, datasets_gb=[4.0])
+        variants = {row["variant"] for row in result.rows}
+        assert variants == {
+            "JOINT",
+            "JOINT-NC",
+            "JOINT-MEM",
+            "JOINT-TO",
+            "ALWAYS-ON",
+        }

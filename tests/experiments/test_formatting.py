@@ -1,0 +1,72 @@
+"""ASCII table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.formatting import format_value, render_series, render_table
+
+
+class TestFormatValue:
+    def test_none_dashes(self):
+        assert format_value(None) == "-"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_float_trimming(self):
+        assert format_value(1.5) == "1.5"
+        assert format_value(0.0) == "0"
+        assert format_value(2.000) == "2"
+
+    def test_large_and_tiny_use_general_format(self):
+        assert format_value(123456.789) == "1.23e+05"
+        assert "e" in format_value(1.2e-7)
+
+    def test_strings_pass_through(self):
+        assert format_value("JOINT") == "JOINT"
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        rows = [
+            {"method": "JOINT", "energy": 0.5},
+            {"method": "ALWAYS-ON", "energy": 1.0},
+        ]
+        text = render_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].startswith("method")
+        assert "JOINT" in lines[3]
+        # All rows align to the same width.
+        assert len({len(line) for line in lines[2:]}) <= 2
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = render_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_missing_cells_dash(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = render_table(rows, columns=["a", "b"])
+        assert "-" in text.splitlines()[2]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            render_table([])
+
+
+class TestRenderSeries:
+    def test_series_layout(self):
+        text = render_series(
+            "rate", [5, 50], {"JOINT": [0.3, 0.4], "ALWAYS-ON": [1.0, 1.0]}
+        )
+        lines = text.splitlines()
+        assert lines[0].split()[0] == "rate"
+        assert len(lines) == 4
+
+    def test_short_series_padded(self):
+        text = render_series("x", [1, 2], {"y": [9]})
+        assert "-" in text.splitlines()[-1]

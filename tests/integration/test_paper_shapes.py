@@ -1,0 +1,162 @@
+"""End-to-end assertions of the paper's qualitative results.
+
+These run the real pipeline (generator -> cache -> disk -> managers) at a
+reduced horizon and check the *shape* claims of Section V: who wins,
+which constraints hold, which methods degrade.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.compare import compare_methods
+from repro.sim.runner import run_method
+from repro.traces.specweb import generate_trace
+from repro.units import GB, MB
+
+DURATION = 960.0  # 8 periods of 120 s on the fast machine
+WARMUP = 240.0
+
+
+@pytest.fixture(scope="module")
+def small_dataset_comparison(fast_machine):
+    """4-GB data set: small enough that memory sizing dominates."""
+    trace = generate_trace(
+        dataset_bytes=4 * GB,
+        data_rate=100 * MB,
+        duration_s=DURATION,
+        page_size=fast_machine.page_bytes,
+        seed=77,
+        file_scale=fast_machine.scale,
+    )
+    return compare_methods(
+        trace,
+        fast_machine,
+        methods=[
+            "JOINT",
+            "2TFM-8GB",
+            "2TFM-32GB",
+            "2TFM-128GB",
+            "2TPD-128GB",
+            "2TDS-128GB",
+            "ALWAYS-ON",
+        ],
+        duration_s=DURATION,
+        warmup_s=WARMUP,
+    )
+
+
+class TestSmallDataSet:
+    def test_joint_beats_oversized_fm(self, small_dataset_comparison):
+        # Paper Fig. 7(a): at 4 GB the joint method saves ~19% over
+        # 2TFM-32GB by shrinking memory.
+        norm = small_dataset_comparison.normalized_by_label()
+        assert norm["JOINT"].total_energy < norm["2TFM-32GB"].total_energy
+        assert norm["JOINT"].total_energy < norm["2TFM-128GB"].total_energy
+
+    def test_joint_shrinks_memory_to_data_set(self, small_dataset_comparison):
+        joint = small_dataset_comparison["JOINT"]
+        final = joint.decisions[-1].memory_bytes
+        assert final <= 8 * GB  # close to the 4-GB data set, far below 128
+
+    def test_everyone_beats_always_on(self, small_dataset_comparison):
+        norm = small_dataset_comparison.normalized_by_label()
+        for label, n in norm.items():
+            if label != "ALWAYS-ON":
+                assert n.total_energy < 1.0, label
+
+    def test_pd_memory_share(self, small_dataset_comparison):
+        # Paper Fig. 7(c): PD memory energy stays above 30% of always-on.
+        norm = small_dataset_comparison.normalized_by_label()
+        assert norm["2TPD-128GB"].memory_energy > 0.30
+
+    def test_joint_respects_utilization_constraint(
+        self, small_dataset_comparison, fast_machine
+    ):
+        joint = small_dataset_comparison["JOINT"]
+        assert joint.utilization <= fast_machine.manager.max_utilization * 1.5
+
+    def test_joint_latency_small(self, small_dataset_comparison):
+        # Paper Fig. 7(d): joint stays in the millisecond range.
+        joint = small_dataset_comparison["JOINT"]
+        assert joint.mean_latency_s < 0.15
+
+
+class TestUndersizedMemory:
+    """16-GB data set, popularity 0.6, against an 8-GB FM cache.
+
+    Paper Fig. 8(d): "As the size of the most popular data exceeds the
+    memory size (0.6 * 16 = 9.6 GB > 8 GB), disk accesses occur
+    frequently" -- the 8-GB cache thrashes while 32 GB sails.
+    """
+
+    @pytest.fixture(scope="class")
+    def comparison(self, fast_machine):
+        trace = generate_trace(
+            dataset_bytes=16 * GB,
+            data_rate=100 * MB,
+            duration_s=DURATION,
+            popularity=0.6,
+            page_size=fast_machine.page_bytes,
+            seed=78,
+            file_scale=fast_machine.scale,
+        )
+        return compare_methods(
+            trace,
+            fast_machine,
+            methods=["JOINT", "2TFM-8GB", "2TFM-32GB", "ALWAYS-ON"],
+            duration_s=DURATION,
+            warmup_s=WARMUP,
+        )
+
+    def test_undersized_fm_has_higher_utilization(self, comparison):
+        assert (
+            comparison["2TFM-8GB"].utilization
+            > 2 * comparison["2TFM-32GB"].utilization
+        )
+
+    def test_undersized_fm_has_more_long_latency(self, comparison):
+        assert (
+            comparison["2TFM-8GB"].long_latency
+            > comparison["2TFM-32GB"].long_latency
+        )
+
+    def test_undersized_fm_latency_elevated(self, comparison):
+        assert (
+            comparison["2TFM-8GB"].mean_latency_s
+            > 2 * comparison["2TFM-32GB"].mean_latency_s
+        )
+
+    def test_joint_keeps_long_latency_low(self, comparison):
+        # Paper: "for the joint method, the number of long-latency
+        # requests per second is always below three".
+        assert comparison["JOINT"].long_latency_per_s < 3.0
+
+
+class TestDiskPolicyComparison:
+    def test_oracle_bounds_online_policies(self, fast_machine):
+        trace = generate_trace(
+            dataset_bytes=4 * GB,
+            data_rate=20 * MB,
+            duration_s=DURATION,
+            page_size=fast_machine.page_bytes,
+            seed=79,
+            file_scale=fast_machine.scale,
+        )
+        results = {
+            name: run_method(
+                name, trace, fast_machine, duration_s=DURATION, warmup_s=WARMUP
+            )
+            for name in ("ORFM-16GB", "2TFM-16GB", "ADFM-16GB", "ONFM-16GB")
+        }
+        oracle = results["ORFM-16GB"].disk_energy_j
+        # The oracle lower-bounds every online policy's disk energy...
+        assert oracle <= results["2TFM-16GB"].disk_energy_j + 1e-6
+        assert oracle <= results["ADFM-16GB"].disk_energy_j + 1e-6
+        # ... and 2T is within its competitive factor of 2 (plus dynamic
+        # energy common to all).
+        assert results["2TFM-16GB"].disk_energy_j <= 2.5 * max(oracle, 1.0)
+        # Both timeout policies beat never spinning down on idle workloads.
+        assert results["2TFM-16GB"].disk_energy_j <= (
+            results["ONFM-16GB"].disk_energy_j + 1e-6
+        )

@@ -1,0 +1,74 @@
+"""Soak: the joint manager over a long, phase-changing horizon.
+
+Twenty periods spanning three workload phases (busy read serving, a
+write-heavy batch, a quiet night).  The manager must adapt through every
+phase change, keep all invariants (audited), never leak memory-size
+state across phases, and end the quiet phase with a small cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.audit import assert_clean
+from repro.sim.runner import run_method
+from repro.traces.compose import concatenate
+from repro.traces.specweb import generate_trace
+from repro.units import GB, MB
+
+
+@pytest.fixture(scope="module")
+def phased_trace(fast_machine):
+    period = fast_machine.manager.period_s
+
+    def phase(rate_mb, write_fraction, seed, periods):
+        return generate_trace(
+            dataset_bytes=8 * GB,
+            data_rate=rate_mb * MB,
+            duration_s=periods * period,
+            page_size=fast_machine.page_bytes,
+            file_scale=fast_machine.scale,
+            write_fraction=write_fraction,
+            seed=seed,
+        )
+
+    busy = phase(80.0, 0.0, 1, periods=8)
+    batch = phase(30.0, 0.3, 2, periods=6)
+    night = phase(2.0, 0.0, 3, periods=6)
+    return concatenate([busy, batch, night])
+
+
+class TestSoak:
+    @pytest.fixture(scope="class")
+    def result(self, fast_machine, phased_trace):
+        period = fast_machine.manager.period_s
+        return run_method(
+            "JOINT",
+            phased_trace,
+            fast_machine,
+            duration_s=20 * period,
+            warmup_s=2 * period,
+        )
+
+    def test_run_audits_clean(self, result, fast_machine):
+        assert_clean(result, fast_machine)
+
+    def test_manager_decided_every_period(self, result):
+        assert len(result.decisions) == 20
+        indices = [d.period_index for d in result.decisions]
+        assert indices == list(range(20))
+
+    def test_adapts_down_in_the_night_phase(self, result):
+        busy_sizes = [d.memory_bytes for d in result.decisions[3:8]]
+        night_sizes = [d.memory_bytes for d in result.decisions[-3:]]
+        assert min(night_sizes) < min(busy_sizes)
+
+    def test_writes_flushed_during_batch_phase(self, result):
+        assert result.disk_write_pages > 0
+
+    def test_periods_tile_the_window(self, result):
+        spans = sum(p.duration_s for p in result.periods)
+        assert spans == pytest.approx(result.duration_s)
+
+    def test_constraints_hold_overall(self, result, fast_machine):
+        assert result.long_latency_per_s < 3.0

@@ -1,0 +1,48 @@
+"""Memory energy accumulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.energy import MemoryEnergy
+
+
+class TestAccumulation:
+    def test_buckets(self):
+        energy = MemoryEnergy()
+        energy.add_static(2.0, 10.0)
+        energy.add_access(0.5)
+        energy.add_transition(0.25)
+        assert energy.static_j == pytest.approx(20.0)
+        assert energy.dynamic_j == pytest.approx(0.5)
+        assert energy.transition_j == pytest.approx(0.25)
+        assert energy.total_j == pytest.approx(20.75)
+        assert energy.accesses == 1
+        assert energy.transitions == 1
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            MemoryEnergy().add_static(1.0, -1.0)
+
+
+class TestSnapshots:
+    def test_snapshot_is_independent(self):
+        energy = MemoryEnergy()
+        energy.add_static(1.0, 5.0)
+        snap = energy.snapshot()
+        energy.add_static(1.0, 5.0)
+        assert snap.static_j == pytest.approx(5.0)
+        assert energy.static_j == pytest.approx(10.0)
+
+    def test_minus_gives_window_delta(self):
+        energy = MemoryEnergy()
+        energy.add_static(1.0, 5.0)
+        energy.add_access(0.1)
+        snap = energy.snapshot()
+        energy.add_static(1.0, 3.0)
+        energy.add_access(0.1)
+        energy.add_access(0.1)
+        delta = energy.minus(snap)
+        assert delta.static_j == pytest.approx(3.0)
+        assert delta.dynamic_j == pytest.approx(0.2)
+        assert delta.accesses == 2

@@ -1,0 +1,136 @@
+"""Property-based invariants of the memory systems.
+
+Random access/resize schedules must keep energy accounting consistent:
+non-negative buckets, nap system's static energy exactly integrable from
+its resize history, PD bounded between power-down and nap baselines, and
+the DS system never exceeding the nap baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.memory_spec import MemorySpec
+from repro.memory.system import (
+    DisableMemorySystem,
+    NapMemorySystem,
+    PowerDownMemorySystem,
+)
+from repro.units import KB
+
+
+def small_spec():
+    return MemorySpec(
+        installed_bytes=64 * KB,
+        bank_bytes=16 * KB,
+        chip_bytes=16 * KB,
+        page_bytes=4 * KB,
+    )
+
+
+events = st.lists(
+    st.tuples(
+        st.floats(min_value=0.01, max_value=50.0),  # gap to next event
+        st.integers(min_value=0, max_value=30),  # page
+        st.booleans(),  # write?
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestNapIntegral:
+    @given(
+        schedule=events,
+        resize_banks=st.lists(
+            st.integers(min_value=0, max_value=4), min_size=0, max_size=4
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_static_energy_integrates_exactly(self, schedule, resize_banks):
+        spec = small_spec()
+        system = NapMemorySystem(spec, 64 * KB)
+        nap = spec.bank_power("nap")
+
+        expected = 0.0
+        banks = 4
+        last = 0.0
+        now = 0.0
+        resizes = list(resize_banks)
+        for index, (gap, page, is_write) in enumerate(schedule):
+            now += gap
+            system.access_rw(now, page, is_write)
+            if resizes and index % 7 == 3:
+                new_banks = resizes.pop()
+                expected += nap * banks * (now - last)
+                system.resize(now, new_banks * 16 * KB)
+                banks = new_banks
+                last = now
+        end = now + 10.0
+        expected += nap * banks * (end - last)
+        system.finalize(end)
+        assert system.energy.static_j == pytest.approx(expected)
+
+    @given(schedule=events)
+    @settings(max_examples=50, deadline=None)
+    def test_dynamic_energy_counts_every_access(self, schedule):
+        spec = small_spec()
+        system = NapMemorySystem(spec, 64 * KB)
+        now = 0.0
+        for gap, page, is_write in schedule:
+            now += gap
+            system.access_rw(now, page, is_write)
+        assert system.energy.accesses == len(schedule)
+        assert system.energy.dynamic_j == pytest.approx(
+            len(schedule) * spec.dynamic_energy_per_access
+        )
+
+
+class TestPolicyOrdering:
+    @given(schedule=events)
+    @settings(max_examples=60, deadline=None)
+    def test_static_energy_ordering(self, schedule):
+        """For any schedule: PD <= nap baseline; DS <= nap baseline; and
+        PD never drops below the all-power-down floor."""
+        spec = small_spec()
+        nap = NapMemorySystem(spec, spec.installed_bytes)
+        pd = PowerDownMemorySystem(spec)
+        ds = DisableMemorySystem(spec, timeout_s=40.0)
+        now = 0.0
+        for gap, page, is_write in schedule:
+            now += gap
+            for system in (nap, pd, ds):
+                system.access_rw(now, page, is_write)
+        end = now + 100.0
+        for system in (nap, pd, ds):
+            system.finalize(end)
+
+        assert pd.energy.static_j <= nap.energy.static_j + 1e-9
+        assert ds.energy.static_j <= nap.energy.static_j + 1e-9
+        floor = spec.bank_power("powerdown") * spec.num_banks * end
+        assert pd.energy.static_j >= floor - 1e-9
+        assert ds.energy.static_j >= 0.0
+
+    @given(schedule=events)
+    @settings(max_examples=40, deadline=None)
+    def test_dirty_accounting_conserves(self, schedule):
+        """Every written page is either still dirty, pending flush, or was
+        flushed -- never lost, never duplicated into both states."""
+        spec = small_spec()
+        system = NapMemorySystem(spec, 32 * KB)  # 8 pages
+        written = set()
+        flushed = []
+        now = 0.0
+        for gap, page, is_write in schedule:
+            now += gap
+            system.access_rw(now, page, is_write)
+            if is_write:
+                written.add(page)
+            flushed.extend(system.take_pending_flushes())
+        flushed.extend(system.flush_all())
+        # Each written page appears at least once in the flush stream.
+        assert written <= set(flushed)
+        assert system.dirty_pages == 0
+        assert system.take_pending_flushes() == []

@@ -1,0 +1,126 @@
+"""NapMemorySystem: the always-nap model behind FM and the joint method."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.memory_spec import MemorySpec
+from repro.errors import SimulationError
+from repro.memory.system import NapMemorySystem
+from repro.units import KB, MB
+
+
+@pytest.fixture()
+def spec():
+    # 4 pages per bank, 8 banks, page 4 kB.
+    return MemorySpec(
+        installed_bytes=128 * KB,
+        bank_bytes=16 * KB,
+        chip_bytes=16 * KB,
+        page_bytes=4 * KB,
+    )
+
+
+class TestEnergy:
+    def test_static_energy_proportional_to_enabled_banks(self, spec):
+        half = NapMemorySystem(spec, 64 * KB)  # 4 banks
+        full = NapMemorySystem(spec, 128 * KB)  # 8 banks
+        half.finalize(100.0)
+        full.finalize(100.0)
+        assert full.energy.static_j == pytest.approx(2 * half.energy.static_j)
+        expected = spec.mode_power_watts["nap"] * 8 * 100.0
+        assert full.energy.static_j == pytest.approx(expected)
+
+    def test_dynamic_energy_per_access(self, spec):
+        system = NapMemorySystem(spec, 64 * KB)
+        system.access(1.0, 5)
+        system.access(2.0, 5)
+        system.finalize(2.0)
+        assert system.energy.dynamic_j == pytest.approx(
+            2 * spec.dynamic_energy_per_access
+        )
+        assert system.energy.accesses == 2
+
+    def test_resize_accrues_before_changing_power(self, spec):
+        system = NapMemorySystem(spec, 128 * KB)
+        system.resize(50.0, 64 * KB)  # 8 banks for 50 s
+        system.finalize(100.0)  # 4 banks for 50 s
+        nap = spec.mode_power_watts["nap"]
+        assert system.energy.static_j == pytest.approx(nap * (8 * 50 + 4 * 50))
+
+    def test_checkpoint_idempotent(self, spec):
+        system = NapMemorySystem(spec, 64 * KB)
+        system.checkpoint(10.0)
+        first = system.energy.static_j
+        system.checkpoint(10.0)
+        assert system.energy.static_j == first
+
+
+class TestCacheBehaviour:
+    def test_hit_miss(self, spec):
+        system = NapMemorySystem(spec, 64 * KB)
+        assert system.access(0.0, 1) is False
+        assert system.access(1.0, 1) is True
+
+    def test_resize_evicts_lru(self, spec):
+        system = NapMemorySystem(spec, 128 * KB)
+        for i, page in enumerate(range(8)):
+            system.access(float(i), page)
+        evicted = system.resize(10.0, 16 * KB)  # down to 4 pages
+        assert evicted == [0, 1, 2, 3]
+        assert system.access(11.0, 7) is True
+        assert system.access(12.0, 0) is False
+
+    def test_capacity_properties(self, spec):
+        system = NapMemorySystem(spec, 64 * KB)
+        assert system.capacity_bytes == 64 * KB
+        assert system.capacity_pages == 16
+        assert system.enabled_banks == 4
+        assert system.resizable is True
+
+
+class TestValidation:
+    def test_rejects_misaligned_capacity(self, spec):
+        with pytest.raises(SimulationError):
+            NapMemorySystem(spec, 10 * KB)
+
+    def test_rejects_oversized_capacity(self, spec):
+        with pytest.raises(SimulationError):
+            NapMemorySystem(spec, 256 * KB)
+
+    def test_rejects_time_regression(self, spec):
+        system = NapMemorySystem(spec, 64 * KB)
+        system.access(5.0, 1)
+        with pytest.raises(SimulationError):
+            system.access(4.0, 2)
+
+    def test_resize_validation(self, spec):
+        system = NapMemorySystem(spec, 64 * KB)
+        with pytest.raises(SimulationError):
+            system.resize(1.0, 10 * KB)
+        with pytest.raises(SimulationError):
+            system.resize(1.0, 256 * KB)
+
+
+class TestPrefill:
+    def test_prefill_fills_and_orders(self, spec):
+        system = NapMemorySystem(spec, 16 * KB)  # 4 pages
+        placed = system.prefill([1, 2, 3, 4])
+        assert placed == 4
+        assert system.access(0.0, 4) is True  # hottest resident
+        # 1 was the coldest prefilled page: first to be evicted.
+        system.access(1.0, 99)
+        assert system.cache.peek(4)
+
+    def test_prefill_keeps_hottest_tail(self, spec):
+        system = NapMemorySystem(spec, 16 * KB)  # 4 pages
+        placed = system.prefill(list(range(10)))  # 0..9, hottest = 9
+        assert placed == 4
+        for page in (6, 7, 8, 9):
+            assert system.cache.peek(page)
+        assert not system.cache.peek(0)
+
+    def test_prefill_charges_no_energy(self, spec):
+        system = NapMemorySystem(spec, 16 * KB)
+        system.prefill([1, 2])
+        assert system.energy.total_j == 0.0

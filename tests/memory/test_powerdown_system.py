@@ -1,0 +1,89 @@
+"""PowerDownMemorySystem: the PD policy's energy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.memory_spec import MemorySpec
+from repro.memory.system import NapMemorySystem, PowerDownMemorySystem
+from repro.units import KB
+
+
+@pytest.fixture()
+def spec():
+    return MemorySpec(
+        installed_bytes=64 * KB,
+        bank_bytes=16 * KB,
+        chip_bytes=16 * KB,
+        page_bytes=4 * KB,
+    )
+
+
+class TestEnergy:
+    def test_idle_banks_converge_to_powerdown_power(self, spec):
+        # With no accesses, every bank naps for one timeout then powers
+        # down: energy ~ powerdown power x time for long horizons.
+        system = PowerDownMemorySystem(spec)
+        system.finalize(10_000.0)
+        pd_power = spec.mode_power_watts["powerdown"] * spec.num_banks
+        assert system.energy.static_j == pytest.approx(
+            pd_power * 10_000.0, rel=0.01
+        )
+
+    def test_paper_30_percent_of_nap(self, spec):
+        # Paper Section V-B1: power-down banks consume 30% of nap power,
+        # so an idle PD memory sits at about a third of the nap baseline.
+        pd = PowerDownMemorySystem(spec)
+        nap = NapMemorySystem(spec, spec.installed_bytes)
+        pd.finalize(10_000.0)
+        nap.finalize(10_000.0)
+        ratio = pd.energy.static_j / nap.energy.static_j
+        assert ratio == pytest.approx(3.5 / 10.5, rel=0.02)
+
+    def test_frequent_access_keeps_bank_in_nap(self, spec):
+        # Accesses every 50 us (under the ~129-us timeout) to one bank:
+        # that bank never powers down.
+        system = PowerDownMemorySystem(spec)
+        times = [i * 50e-6 for i in range(101)]
+        for t in times:
+            system.access(t, 0)  # page 0 -> bank 0
+        window = times[-1]
+        # Bank 0's static share over the window is nap power; extract it
+        # by subtracting the other banks' (powerdown after timeout) share.
+        system.finalize(window)
+        nap_share = spec.mode_power_watts["nap"] * window
+        assert system.energy.static_j >= nap_share * 0.99
+
+    def test_wake_transition_charged(self, spec):
+        system = PowerDownMemorySystem(spec)
+        system.access(10.0, 0)  # bank 0 idle 10 s >> timeout: wake
+        assert system.energy.transitions == 1
+        system.access(10.0 + 20e-6, 0)  # within timeout: no new wake
+        assert system.energy.transitions == 1
+
+    def test_data_survives_powerdown(self, spec):
+        system = PowerDownMemorySystem(spec)
+        assert system.access(0.0, 3) is False
+        # Hours later the page is still resident (power-down keeps data).
+        assert system.access(3600.0, 3) is True
+
+    def test_checkpoint_then_finalize_no_double_count(self, spec):
+        a = PowerDownMemorySystem(spec)
+        a.access(1.0, 0)
+        a.checkpoint(50.0)
+        a.access(60.0, 0)
+        a.finalize(100.0)
+
+        b = PowerDownMemorySystem(spec)
+        b.access(1.0, 0)
+        b.access(60.0, 0)
+        b.finalize(100.0)
+        assert a.energy.static_j == pytest.approx(b.energy.static_j)
+
+    def test_not_resizable(self, spec):
+        from repro.errors import SimulationError
+
+        system = PowerDownMemorySystem(spec)
+        assert system.resizable is False
+        with pytest.raises(SimulationError):
+            system.resize(0.0, 16 * KB)

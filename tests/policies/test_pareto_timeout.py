@@ -1,0 +1,67 @@
+"""Pareto-adaptive timeout policy (PT)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policies.base import NO_CHANGE
+from repro.policies.pareto_timeout import MIN_INTERVALS, ParetoTimeoutPolicy
+
+
+@pytest.fixture()
+def policy():
+    return ParetoTimeoutPolicy(break_even_s=11.7, aggregation_window_s=0.1)
+
+
+class TestObservation:
+    def test_initial_timeout_is_break_even(self, policy):
+        assert policy.initial_timeout() == pytest.approx(11.7)
+
+    def test_short_gaps_filtered(self, policy):
+        policy.on_request(0.0, 0.01, 0.0, 0.05)  # below the 0.1-s window
+        policy.on_request(1.0, 0.01, 0.0, 0.5)
+        assert len(policy._intervals) == 1
+
+    def test_requests_never_change_timeout_mid_period(self, policy):
+        assert policy.on_request(0.0, 0.01, 0.0, 30.0) is NO_CHANGE
+
+
+class TestPeriodRefit:
+    def test_too_few_intervals_keeps_timeout(self, policy):
+        for i in range(MIN_INTERVALS - 1):
+            policy.on_request(float(i), 0.01, 0.0, 10.0)
+        assert policy.on_period(600.0) is NO_CHANGE
+        assert policy.timeout_s == pytest.approx(11.7)
+
+    def test_refit_installs_eq5_timeout(self, policy):
+        # Intervals with mean 30, min 10 -> alpha = 30/20 = 1.5,
+        # timeout = 1.5 * 11.7 = 17.55 s.
+        for gap in (10.0, 20.0, 30.0, 40.0, 50.0):
+            policy.on_request(0.0, 0.01, 0.0, gap)
+        update = policy.on_period(600.0)
+        assert update == pytest.approx(1.5 * 11.7)
+        assert policy.timeout_s == pytest.approx(1.5 * 11.7)
+        assert policy.history == [(600.0, pytest.approx(1.5 * 11.7))]
+
+    def test_intervals_reset_each_period(self, policy):
+        for gap in (10.0, 20.0, 30.0, 40.0, 50.0):
+            policy.on_request(0.0, 0.01, 0.0, gap)
+        policy.on_period(600.0)
+        assert policy.on_period(1200.0) is NO_CHANGE
+
+    def test_many_short_intervals_raise_timeout(self, policy):
+        # Nearly-equal intervals -> huge alpha -> huge timeout (the disk
+        # effectively never spins down during bursts).
+        for _ in range(20):
+            policy.on_request(0.0, 0.01, 0.0, 1.0)
+        update = policy.on_period(600.0)
+        assert update > 1000.0
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(PolicyError):
+            ParetoTimeoutPolicy(break_even_s=0.0)
+        with pytest.raises(PolicyError):
+            ParetoTimeoutPolicy(break_even_s=10.0, aggregation_window_s=-1.0)

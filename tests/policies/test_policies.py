@@ -1,0 +1,123 @@
+"""Disk power-management policies."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policies.adaptive_timeout import AdaptiveTimeoutPolicy
+from repro.policies.always_on import AlwaysOnPolicy
+from repro.policies.base import NO_CHANGE, DiskPolicy
+from repro.policies.fixed_timeout import FixedTimeoutPolicy
+from repro.policies.oracle import OraclePolicy
+
+
+class TestBasePolicy:
+    def test_defaults_change_nothing(self):
+        policy = DiskPolicy()
+        assert policy.initial_timeout() is None
+        assert policy.on_request(0.0, 0.1, 0.0, 1.0) is NO_CHANGE
+        assert policy.on_idle_start(0.0, None) is NO_CHANGE
+        assert policy.on_period(0.0) is NO_CHANGE
+
+
+class TestAlwaysOn:
+    def test_never_spins_down(self):
+        assert AlwaysOnPolicy().initial_timeout() is None
+
+
+class TestFixedTimeout:
+    def test_two_competitive_value(self):
+        policy = FixedTimeoutPolicy(11.7)
+        assert policy.initial_timeout() == 11.7
+
+    def test_rejects_negative(self):
+        with pytest.raises(PolicyError):
+            FixedTimeoutPolicy(-1.0)
+
+    def test_never_adapts(self):
+        policy = FixedTimeoutPolicy(11.7)
+        assert policy.on_request(0.0, 20.0, 8.0, 100.0) is NO_CHANGE
+
+
+class TestAdaptiveTimeout:
+    def test_paper_defaults(self):
+        policy = AdaptiveTimeoutPolicy()
+        assert policy.initial_timeout() == 10.0
+        assert policy.min_s == 5.0 and policy.max_s == 30.0
+        assert policy.step_s == 5.0
+        assert policy.max_delay_ratio == 0.05
+
+    def test_costly_wake_increases_timeout(self):
+        policy = AdaptiveTimeoutPolicy()
+        # 8-s wake after a 20-s idle: ratio 0.4 > 0.05 -> too eager.
+        update = policy.on_request(100.0, 8.1, 8.0, 20.0)
+        assert update == 15.0
+
+    def test_cheap_wake_decreases_timeout(self):
+        policy = AdaptiveTimeoutPolicy()
+        # 8-s wake after 1000-s idle: ratio 0.008 < 0.05 -> spin earlier.
+        update = policy.on_request(100.0, 8.1, 8.0, 1000.0)
+        assert update == 5.0
+
+    def test_no_wake_no_adaptation(self):
+        policy = AdaptiveTimeoutPolicy()
+        assert policy.on_request(0.0, 0.01, 0.0, 100.0) is NO_CHANGE
+
+    def test_clamped_at_bounds(self):
+        policy = AdaptiveTimeoutPolicy()
+        for _ in range(10):
+            policy.on_request(0.0, 8.1, 8.0, 20.0)
+        assert policy.timeout_s == 30.0
+        # Saturated adaptation reports NO_CHANGE.
+        assert policy.on_request(0.0, 8.1, 8.0, 20.0) is NO_CHANGE
+        for _ in range(10):
+            policy.on_request(0.0, 8.1, 8.0, 1e6)
+        assert policy.timeout_s == 5.0
+
+    def test_zero_idle_counts_as_costly(self):
+        policy = AdaptiveTimeoutPolicy()
+        assert policy.on_request(0.0, 8.1, 8.0, 0.0) == 15.0
+
+    def test_history_recorded(self):
+        policy = AdaptiveTimeoutPolicy()
+        policy.on_request(42.0, 8.1, 8.0, 20.0)
+        assert policy.history == [(42.0, 15.0)]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"start_s": 40.0},
+            {"min_s": 0.0},
+            {"step_s": 0.0},
+            {"max_delay_ratio": 0.0},
+            {"max_delay_ratio": 1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(PolicyError):
+            AdaptiveTimeoutPolicy(**kwargs)
+
+
+class TestOracle:
+    def test_long_gap_spins_down_immediately(self):
+        policy = OraclePolicy(break_even_s=11.7)
+        assert policy.on_idle_start(0.0, 100.0) == 0.0
+
+    def test_short_gap_stays_up(self):
+        policy = OraclePolicy(break_even_s=11.7)
+        assert policy.on_idle_start(0.0, 5.0) == math.inf
+
+    def test_gap_equal_to_break_even_stays_up(self):
+        policy = OraclePolicy(break_even_s=11.7)
+        assert policy.on_idle_start(0.0, 11.7) == math.inf
+
+    def test_trace_end_spins_down(self):
+        policy = OraclePolicy(break_even_s=11.7)
+        assert policy.on_idle_start(0.0, None) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            OraclePolicy(break_even_s=0.0)

@@ -1,0 +1,95 @@
+"""Exponential-average predictive spin-down (EA)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policies.base import NO_CHANGE
+from repro.policies.predictive import PredictiveSpinDownPolicy
+
+
+@pytest.fixture()
+def policy():
+    return PredictiveSpinDownPolicy(break_even_s=11.7, smoothing=0.5)
+
+
+class TestPrediction:
+    def test_initial_prediction_conservative(self, policy):
+        # Starts at break-even exactly: not strictly above, so stay up.
+        assert policy.initial_timeout() is None
+
+    def test_long_idles_trigger_immediate_spin_down(self, policy):
+        update = policy.on_request(0.0, 0.01, 0.0, 100.0)
+        assert policy.prediction_s > 11.7
+        assert update == 0.0
+
+    def test_short_idles_keep_disk_up(self, policy):
+        for _ in range(6):
+            update = policy.on_request(0.0, 0.01, 0.0, 0.5)
+        assert policy.prediction_s < 11.7
+        assert update == math.inf
+
+    def test_exponential_average_formula(self, policy):
+        before = policy.prediction_s
+        policy.on_request(0.0, 0.01, 0.0, 20.0)
+        assert policy.prediction_s == pytest.approx(0.5 * 20.0 + 0.5 * before)
+
+    def test_saturation_clamp(self, policy):
+        for _ in range(20):
+            policy.on_request(0.0, 0.01, 0.0, 1e6)
+        assert policy.prediction_s == pytest.approx(10 * 11.7)
+        # One short idle pulls the prediction back down quickly.
+        policy.on_request(0.0, 0.01, 0.0, 1.0)
+        assert policy.prediction_s == pytest.approx(0.5 * 1.0 + 0.5 * 117.0)
+
+    def test_zero_idle_ignored(self, policy):
+        assert policy.on_request(0.0, 0.01, 0.0, 0.0) is NO_CHANGE
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"break_even_s": 0.0},
+            {"break_even_s": 10.0, "smoothing": 0.0},
+            {"break_even_s": 10.0, "smoothing": 1.5},
+            {"break_even_s": 10.0, "clamp_factor": 0.5},
+        ],
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(PolicyError):
+            PredictiveSpinDownPolicy(**kwargs)
+
+
+class TestEndToEnd:
+    def test_registry_and_run(self, fast_machine, small_trace):
+        from repro.policies.registry import parse_method
+        from repro.sim.runner import run_method
+
+        spec = parse_method("EAFM-16GB")
+        assert spec.disk == "EA"
+        result = run_method(
+            spec, small_trace, fast_machine, duration_s=480.0, audit=True
+        )
+        assert result.total_accesses > 0
+
+    def test_between_always_on_and_oracle(self, fast_machine, small_trace):
+        from repro.sim.runner import run_method
+
+        results = {
+            name: run_method(
+                name, small_trace, fast_machine, duration_s=600.0, warmup_s=120.0
+            )
+            for name in ("ONFM-16GB", "EAFM-16GB", "ORFM-16GB")
+        }
+        oracle = results["ORFM-16GB"].disk_energy_j
+        assert oracle <= results["EAFM-16GB"].disk_energy_j + 1e-6
+        # A predictive policy must find *some* savings on an idle-rich
+        # workload (or at worst tie the baseline).
+        assert (
+            results["EAFM-16GB"].disk_energy_j
+            <= results["ONFM-16GB"].disk_energy_j + 1e-6
+        )

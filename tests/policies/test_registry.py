@@ -1,0 +1,119 @@
+"""Method-name parsing and the standard comparison set."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.machine import paper_machine
+from repro.errors import PolicyError
+from repro.memory.system import (
+    DisableMemorySystem,
+    NapMemorySystem,
+    PowerDownMemorySystem,
+)
+from repro.policies.adaptive_timeout import AdaptiveTimeoutPolicy
+from repro.policies.always_on import AlwaysOnPolicy
+from repro.policies.fixed_timeout import FixedTimeoutPolicy
+from repro.policies.oracle import OraclePolicy
+from repro.policies.registry import parse_method, standard_methods
+from repro.units import GB
+
+
+class TestParsing:
+    def test_paper_names(self):
+        spec = parse_method("2TFM-8GB")
+        assert spec.disk == "2T"
+        assert spec.memory == "FM"
+        assert spec.memory_bytes == 8 * GB
+
+    def test_adpd(self):
+        spec = parse_method("ADPD-128GB")
+        assert spec.disk == "AD"
+        assert spec.memory == "PD"
+        assert spec.memory_bytes == 128 * GB
+
+    def test_joint(self):
+        assert parse_method("JOINT").is_joint
+        assert parse_method("joint").is_joint
+
+    def test_always_on(self):
+        spec = parse_method("ALWAYS-ON")
+        assert spec.disk == "ON"
+        assert spec.memory == "NAP"
+
+    def test_case_insensitive(self):
+        assert parse_method("2tds-128gb").label == "2TDS-128GB"
+
+    def test_fm_requires_size(self):
+        with pytest.raises(PolicyError):
+            parse_method("2TFM")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(PolicyError):
+            parse_method("XXYZ-1GB")
+
+
+class TestBuilders:
+    @pytest.fixture(scope="class")
+    def machine(self):
+        return paper_machine().scaled(1024)
+
+    def test_disk_policies(self, machine):
+        assert isinstance(
+            parse_method("2TFM-8GB").build_disk_policy(machine), FixedTimeoutPolicy
+        )
+        assert isinstance(
+            parse_method("ADFM-8GB").build_disk_policy(machine),
+            AdaptiveTimeoutPolicy,
+        )
+        assert isinstance(
+            parse_method("ALWAYS-ON").build_disk_policy(machine), AlwaysOnPolicy
+        )
+        assert isinstance(
+            parse_method("ORFM-8GB").build_disk_policy(machine), OraclePolicy
+        )
+
+    def test_two_competitive_uses_break_even(self, machine):
+        policy = parse_method("2TFM-8GB").build_disk_policy(machine)
+        assert policy.timeout_s == pytest.approx(machine.disk.break_even_time_s)
+
+    def test_joint_has_no_disk_policy(self, machine):
+        with pytest.raises(PolicyError):
+            parse_method("JOINT").build_disk_policy(machine)
+
+    def test_memory_systems(self, machine):
+        assert isinstance(
+            parse_method("2TFM-8GB").build_memory_system(machine), NapMemorySystem
+        )
+        assert isinstance(
+            parse_method("2TPD-128GB").build_memory_system(machine),
+            PowerDownMemorySystem,
+        )
+        assert isinstance(
+            parse_method("2TDS-128GB").build_memory_system(machine),
+            DisableMemorySystem,
+        )
+
+    def test_fm_capacity(self, machine):
+        memory = parse_method("2TFM-8GB").build_memory_system(machine)
+        assert memory.capacity_bytes == 8 * GB
+
+
+class TestStandardSet:
+    def test_paper_comparison_has_16_entries(self):
+        methods = standard_methods()
+        labels = [m.label for m in methods]
+        assert len(labels) == 16  # joint + 14 + always-on
+        assert labels[0] == "JOINT"
+        assert labels[-1] == "ALWAYS-ON"
+        assert "2TFM-8GB" in labels and "ADDS-128GB" in labels
+
+    def test_custom_fm_sizes(self):
+        methods = standard_methods(fm_sizes_gb=[4])
+        labels = [m.label for m in methods]
+        assert "2TFM-4GB" in labels
+        assert len(labels) == 8
+
+    def test_oracle_extension(self):
+        labels = [m.label for m in standard_methods(include_oracle=True)]
+        assert "ORFM-128GB" in labels

@@ -1,0 +1,106 @@
+"""Result auditing, plus property-based full-pipeline conservation checks."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.audit import assert_clean, audit_result
+from repro.sim.runner import run_method
+from repro.traces.trace import Trace
+
+
+class TestAuditOnRealRuns:
+    @pytest.mark.parametrize(
+        "method",
+        ["ALWAYS-ON", "2TFM-8GB", "ADFM-16GB", "2TPD-128GB", "2TDS-128GB", "JOINT"],
+    )
+    def test_every_method_audits_clean(self, fast_machine, small_trace, method):
+        result = run_method(
+            method,
+            small_trace,
+            fast_machine,
+            duration_s=600.0,
+            warmup_s=120.0,
+            audit=True,
+        )
+        assert audit_result(result, fast_machine) == []
+
+    def test_audit_clean_without_warmup(self, fast_machine, small_trace):
+        result = run_method(
+            "2TFM-16GB", small_trace, fast_machine, duration_s=600.0, audit=True
+        )
+        assert audit_result(result, fast_machine) == []
+
+    def test_audit_clean_on_partial_trailing_period(
+        self, fast_machine, small_trace
+    ):
+        # 300 s is 2.5 of the fast machine's 120-s periods.
+        result = run_method(
+            "2TFM-16GB", small_trace, fast_machine, duration_s=300.0
+        )
+        assert_clean(result, fast_machine)
+        assert sum(p.duration_s for p in result.periods) == pytest.approx(300.0)
+
+
+class TestAuditCatchesCorruption:
+    @pytest.fixture()
+    def clean(self, fast_machine, small_trace):
+        return run_method(
+            "2TFM-16GB", small_trace, fast_machine, duration_s=600.0
+        )
+
+    def test_detects_missing_disk_time(self, clean, fast_machine):
+        broken_energy = clean.disk_energy.snapshot()
+        broken_energy.idle_s -= 100.0
+        broken = dataclasses.replace(clean, disk_energy=broken_energy)
+        assert any("missing time" in p for p in audit_result(broken, fast_machine))
+
+    def test_detects_miss_count_mismatch(self, clean, fast_machine):
+        broken = dataclasses.replace(
+            clean, disk_page_accesses=clean.disk_page_accesses + 5
+        )
+        problems = audit_result(broken, fast_machine)
+        assert problems  # several invariants fire
+
+    def test_detects_wrong_utilisation(self, clean, fast_machine):
+        broken = dataclasses.replace(clean, utilization=0.5)
+        assert any("utilisation" in p for p in audit_result(broken, fast_machine))
+
+    def test_assert_clean_raises_with_details(self, clean, fast_machine):
+        broken = dataclasses.replace(clean, utilization=0.5)
+        with pytest.raises(AssertionError, match="utilisation"):
+            assert_clean(broken, fast_machine)
+
+
+class TestPropertyConservation:
+    """Random micro-traces through the full engine always conserve."""
+
+    @given(
+        gaps=st.lists(
+            st.floats(min_value=0.01, max_value=90.0), min_size=1, max_size=40
+        ),
+        pages=st.lists(
+            st.integers(min_value=0, max_value=30), min_size=1, max_size=40
+        ),
+        method=st.sampled_from(
+            ["ALWAYS-ON", "2TFM-16GB", "ADFM-16GB", "2TDS-128GB", "JOINT"]
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_trace_audits_clean(self, fast_machine, gaps, pages, method):
+        n = min(len(gaps), len(pages))
+        times = np.cumsum(np.asarray(gaps[:n]))
+        trace = Trace(
+            times=times,
+            pages=np.asarray(pages[:n], dtype=np.int64),
+            page_size=fast_machine.page_bytes,
+        )
+        result = run_method(
+            method, trace, fast_machine, duration_s=480.0, warm_start=False
+        )
+        assert audit_result(result, fast_machine) == []

@@ -1,0 +1,92 @@
+"""Metrics collection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.metrics import MetricsCollector
+
+
+@pytest.fixture()
+def metrics():
+    return MetricsCollector(period_s=100.0)
+
+
+class TestCounting:
+    def test_hits_and_misses(self, metrics):
+        metrics.on_hit(1.0)
+        metrics.on_miss(2.0, 0.05, 0.0)
+        assert metrics.total_accesses == 2
+        assert metrics.total_disk_pages == 1
+
+    def test_long_latency_threshold(self, metrics):
+        metrics.on_miss(1.0, 0.4, 0.0)
+        metrics.on_miss(2.0, 0.6, 0.0)
+        assert metrics.total_long_latency == 1
+
+    def test_wake_attribution(self, metrics):
+        metrics.on_miss(1.0, 9.0, 8.0)  # woke the disk
+        metrics.on_miss(2.0, 0.9, 0.0)  # queueing only
+        assert metrics.total_long_latency == 2
+        assert metrics.total_wake_long_latency == 1
+
+    def test_mean_latency_over_all_accesses(self, metrics):
+        # Paper semantics: hits are free but count in the denominator.
+        metrics.on_hit(1.0)
+        metrics.on_miss(2.0, 0.1, 0.0)
+        assert metrics.mean_latency_s == pytest.approx(0.05)
+
+    def test_mean_latency_empty(self, metrics):
+        assert metrics.mean_latency_s == 0.0
+
+    def test_avg_request_pages(self, metrics):
+        for t in (1.0, 2.0, 3.0, 4.0):
+            metrics.on_miss(t, 0.01, 0.0)
+        metrics.on_request()
+        metrics.on_request()
+        assert metrics.avg_request_pages == pytest.approx(2.0)
+
+    def test_avg_request_pages_defaults_to_one(self, metrics):
+        assert metrics.avg_request_pages == 1.0
+
+
+class TestPeriods:
+    def test_close_period_snapshots(self, metrics):
+        metrics.on_miss(10.0, 0.7, 0.0)
+        closed = metrics.close_period(100.0, memory_bytes=42, timeout_s=11.7)
+        assert closed.disk_page_accesses == 1
+        assert closed.long_latency == 1
+        assert closed.memory_bytes == 42
+        assert closed.timeout_s == 11.7
+        assert closed.duration_s == 100.0
+        assert metrics.periods == [closed]
+
+    def test_idle_lengths_per_period(self, metrics):
+        metrics.on_miss(10.0, 0.01, 0.0)
+        metrics.on_miss(30.0, 0.01, 0.0)
+        closed = metrics.close_period(100.0)
+        assert closed.mean_idle_s == pytest.approx(20.0)
+
+    def test_aggregation_window_respected(self):
+        metrics = MetricsCollector(period_s=100.0, aggregation_window_s=1.0)
+        metrics.on_miss(10.0, 0.01, 0.0)
+        metrics.on_miss(10.5, 0.01, 0.0)  # gap 0.5 < 1.0: filtered
+        metrics.on_miss(30.0, 0.01, 0.0)
+        closed = metrics.close_period(100.0)
+        assert closed.mean_idle_s == pytest.approx(19.5)
+
+    def test_next_period_index_advances(self, metrics):
+        metrics.close_period(100.0)
+        second = metrics.close_period(200.0)
+        assert second.index == 1
+        assert second.start_s == 100.0
+
+    def test_long_latency_per_s(self, metrics):
+        metrics.on_miss(1.0, 0.9, 0.0)
+        closed = metrics.close_period(100.0)
+        assert closed.long_latency_per_s == pytest.approx(0.01)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(SimulationError):
+            MetricsCollector(period_s=0.0)

@@ -1,0 +1,41 @@
+"""Warm-start page selection."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.prefill import warm_start_pages
+from repro.traces.trace import Trace
+
+
+def make_trace(pages):
+    return Trace(
+        times=np.arange(len(pages), dtype=float),
+        pages=np.asarray(pages, dtype=np.int64),
+    )
+
+
+class TestWarmStart:
+    def test_single_touch_pages_excluded(self):
+        pages = warm_start_pages(make_trace([1, 2, 3, 2, 3, 3]))
+        assert set(pages) == {2, 3}
+
+    def test_hottest_last(self):
+        pages = warm_start_pages(make_trace([1, 1, 2, 2, 2, 2, 3, 3, 3]))
+        assert pages[-1] == 2
+        assert pages[0] == 1
+
+    def test_recency_breaks_count_ties(self):
+        # Pages 5 and 7 both accessed twice; 7 more recently.
+        pages = warm_start_pages(make_trace([5, 7, 5, 7]))
+        assert pages == [5, 7]
+
+    def test_empty_trace(self):
+        assert warm_start_pages(make_trace([])) == []
+
+    def test_min_accesses_knob(self):
+        trace = make_trace([1, 1, 2, 2, 2])
+        assert set(warm_start_pages(trace, min_accesses=3)) == {2}
+
+    def test_all_unique_trace_gives_nothing(self):
+        assert warm_start_pages(make_trace([1, 2, 3, 4])) == []

@@ -1,0 +1,67 @@
+"""Reproducible run specs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim.replay import RunSpec, fingerprint
+
+SMALL = dict(
+    method="2TFM-8GB",
+    dataset_gb=2.0,
+    rate_mb=20.0,
+    periods=2,
+    warmup_periods=1,
+    period_s=120.0,
+    seed=9,
+)
+
+
+class TestDeterminism:
+    def test_two_executions_identical(self):
+        spec = RunSpec(**SMALL)
+        first = fingerprint(spec.execute())
+        second = fingerprint(spec.execute())
+        assert first == second
+
+    def test_seed_changes_result(self):
+        base = fingerprint(RunSpec(**SMALL).execute())
+        other = fingerprint(RunSpec(**{**SMALL, "seed": 10}).execute())
+        assert base != other
+
+    def test_joint_spec_executes(self):
+        spec = RunSpec(**{**SMALL, "method": "JOINT"})
+        result = spec.execute()
+        assert result.decisions
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        spec = RunSpec(**SMALL, notes={"why": "regression anchor"})
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        loaded = RunSpec.load(path)
+        assert loaded == spec
+
+    def test_saved_spec_reproduces_result(self, tmp_path):
+        spec = RunSpec(**SMALL)
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        direct = fingerprint(spec.execute())
+        replayed = fingerprint(RunSpec.load(path).execute())
+        assert direct == replayed
+
+    def test_version_and_field_validation(self, tmp_path):
+        with pytest.raises(ReproError):
+            RunSpec.from_dict({"method": "JOINT", "version": 99})
+        with pytest.raises(ReproError):
+            RunSpec.from_dict({"method": "JOINT", "bogus": 1})
+        with pytest.raises(ReproError):
+            RunSpec.load(tmp_path / "missing.json")
+
+    def test_derived_quantities(self):
+        spec = RunSpec(**SMALL)
+        assert spec.duration_s == 360.0
+        assert spec.warmup_s == 120.0
+        assert spec.machine().manager.period_s == 120.0

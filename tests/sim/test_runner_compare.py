@@ -1,0 +1,102 @@
+"""run_method / compare_methods on a small scaled workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.compare import compare_methods
+from repro.sim.runner import run_method
+from repro.units import GB
+
+
+@pytest.fixture(scope="module")
+def comparison(fast_machine, small_trace):
+    return compare_methods(
+        small_trace,
+        fast_machine,
+        methods=["JOINT", "2TFM-8GB", "2TPD-128GB", "2TDS-128GB", "ALWAYS-ON"],
+        duration_s=600.0,
+        warmup_s=120.0,
+    )
+
+
+class TestRunMethod:
+    def test_each_method_kind_runs(self, fast_machine, small_trace):
+        for name in ("ALWAYS-ON", "2TFM-8GB", "ADFM-8GB", "JOINT"):
+            result = run_method(
+                name, small_trace, fast_machine, duration_s=360.0, warmup_s=120.0
+            )
+            assert result.label == name
+            assert result.duration_s == pytest.approx(240.0)
+            assert result.total_energy_j > 0
+
+    def test_joint_produces_decisions(self, fast_machine, small_trace):
+        result = run_method(
+            "JOINT", small_trace, fast_machine, duration_s=360.0, warmup_s=120.0
+        )
+        assert len(result.decisions) == 3
+        assert result.decisions[0].memory_bytes <= 128 * GB
+
+    def test_oracle_two_pass(self, fast_machine, small_trace):
+        oracle = run_method(
+            "ORFM-128GB", small_trace, fast_machine, duration_s=360.0
+        )
+        always = run_method(
+            "ALWAYS-ON", small_trace, fast_machine, duration_s=360.0
+        )
+        # Identical miss streams; the oracle may only save disk energy.
+        assert oracle.disk_page_accesses == always.disk_page_accesses
+        assert oracle.disk_energy_j <= always.disk_energy_j + 1e-6
+
+    def test_cold_start_option(self, fast_machine, small_trace):
+        warm = run_method(
+            "ALWAYS-ON", small_trace, fast_machine, duration_s=360.0
+        )
+        cold = run_method(
+            "ALWAYS-ON",
+            small_trace,
+            fast_machine,
+            duration_s=360.0,
+            warm_start=False,
+        )
+        assert cold.disk_page_accesses > warm.disk_page_accesses
+
+
+class TestCompare:
+    def test_all_methods_present(self, comparison):
+        assert set(comparison.labels()) == {
+            "JOINT",
+            "2TFM-8GB",
+            "2TPD-128GB",
+            "2TDS-128GB",
+            "ALWAYS-ON",
+        }
+
+    def test_baseline_normalisation(self, comparison):
+        normalized = comparison.normalized_by_label()
+        base = normalized["ALWAYS-ON"]
+        assert base.total_energy == pytest.approx(1.0)
+        assert base.disk_energy == pytest.approx(1.0)
+        assert base.memory_energy == pytest.approx(1.0)
+
+    def test_everyone_beats_always_on(self, comparison):
+        normalized = comparison.normalized_by_label()
+        for label, norm in normalized.items():
+            if label != "ALWAYS-ON":
+                assert norm.total_energy < 1.0, label
+
+    def test_pd_memory_energy_about_a_third(self, comparison):
+        # Power-down banks draw 3.5/10.5 of nap power (paper: >30%).
+        norm = comparison.normalized_by_label()["2TPD-128GB"]
+        assert norm.memory_energy == pytest.approx(0.35, abs=0.05)
+
+    def test_getitem(self, comparison):
+        assert comparison["JOINT"].label == "JOINT"
+
+    def test_missing_baseline_raises(self, fast_machine, small_trace):
+        from repro.errors import SimulationError
+        from repro.sim.compare import ComparisonResult
+
+        empty = ComparisonResult()
+        with pytest.raises(SimulationError):
+            _ = empty.baseline

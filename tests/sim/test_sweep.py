@@ -1,0 +1,70 @@
+"""Generic parameter sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim.sweep import sweep
+
+
+class TestSweep:
+    def test_grid_cross_product(self, fast_machine):
+        rows = sweep(
+            fast_machine,
+            methods=["JOINT"],
+            grid={"dataset_gb": [2, 4], "rate_mb": [20]},
+            duration_s=240.0,
+            defaults={"popularity": 0.2},
+        )
+        # 2 points x (JOINT + auto-added ALWAYS-ON).
+        assert len(rows) == 4
+        assert {row["dataset_gb"] for row in rows} == {2, 4}
+        assert all(row["rate_mb"] == 20 for row in rows)
+
+    def test_baseline_auto_added_and_normalised(self, fast_machine):
+        rows = sweep(
+            fast_machine,
+            methods=["2TFM-8GB"],
+            grid={"dataset_gb": [2]},
+            duration_s=240.0,
+        )
+        base = [row for row in rows if row["method"] == "ALWAYS-ON"]
+        assert len(base) == 1
+        assert base[0]["total_energy"] == pytest.approx(1.0)
+
+    def test_rows_render(self, fast_machine):
+        from repro.experiments.formatting import render_table
+
+        rows = sweep(
+            fast_machine,
+            methods=["2TFM-8GB"],
+            grid={"rate_mb": [10]},
+            duration_s=240.0,
+            defaults={"dataset_gb": 2.0},
+        )
+        text = render_table(rows)
+        assert "total_energy" in text
+
+    def test_unknown_parameter_rejected(self, fast_machine):
+        with pytest.raises(ReproError, match="unknown sweep parameters"):
+            sweep(
+                fast_machine,
+                methods=["JOINT"],
+                grid={"bogus": [1]},
+                duration_s=240.0,
+            )
+
+    def test_empty_grid_rejected(self, fast_machine):
+        with pytest.raises(ReproError):
+            sweep(fast_machine, methods=["JOINT"], grid={}, duration_s=240.0)
+
+    def test_write_fraction_sweep(self, fast_machine):
+        rows = sweep(
+            fast_machine,
+            methods=["2TFM-8GB"],
+            grid={"write_fraction": [0.0, 0.3]},
+            duration_s=240.0,
+            defaults={"dataset_gb": 2.0, "rate_mb": 20.0},
+        )
+        assert {row["write_fraction"] for row in rows} == {0.0, 0.3}

@@ -1,0 +1,113 @@
+"""Ski-rental competitive analysis: Karlin's 2-competitive theorem."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.disk_spec import DiskSpec
+from repro.errors import FitError
+from repro.stats.competitive import (
+    competitive_ratio,
+    offline_optimal_energy,
+    timeout_policy_energy,
+    worst_case_ratio,
+)
+
+interval_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=60
+)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return DiskSpec()
+
+
+class TestEnergies:
+    def test_short_interval_costs_its_length(self, spec):
+        energy = timeout_policy_energy([5.0], timeout_s=10.0, spec=spec)
+        assert energy == pytest.approx(spec.static_power_watts * 5.0)
+
+    def test_long_interval_costs_timeout_plus_round_trip(self, spec):
+        t_be = spec.break_even_time_s
+        energy = timeout_policy_energy([100.0], timeout_s=10.0, spec=spec)
+        assert energy == pytest.approx(spec.static_power_watts * (10.0 + t_be))
+
+    def test_offline_optimum_caps_at_break_even(self, spec):
+        t_be = spec.break_even_time_s
+        assert offline_optimal_energy([5.0], spec) == pytest.approx(
+            spec.static_power_watts * 5.0
+        )
+        assert offline_optimal_energy([1000.0], spec) == pytest.approx(
+            spec.static_power_watts * t_be
+        )
+
+    def test_validation(self, spec):
+        with pytest.raises(FitError):
+            timeout_policy_energy([-1.0], 10.0, spec)
+        with pytest.raises(FitError):
+            timeout_policy_energy([1.0], -1.0, spec)
+        with pytest.raises(FitError):
+            offline_optimal_energy([-1.0], spec)
+
+
+class TestKarlinTheorem:
+    @given(intervals=interval_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_break_even_timeout_is_2_competitive(self, spec, intervals):
+        """The theorem: t_o = t_be never exceeds twice the optimum."""
+        ratio = competitive_ratio(intervals, spec.break_even_time_s, spec)
+        assert ratio <= 2.0 + 1e-9
+
+    @given(intervals=interval_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_policy_never_beats_offline(self, spec, intervals):
+        assert competitive_ratio(intervals, spec.break_even_time_s, spec) >= (
+            1.0 - 1e-9
+        )
+
+    def test_bound_is_tight(self, spec):
+        """The adversary achieves the factor of 2 in the limit: intervals
+        ending just after the spin-down."""
+        t_be = spec.break_even_time_s
+        adversarial = [t_be * 1.000001] * 20
+        ratio = competitive_ratio(adversarial, t_be, spec)
+        assert ratio == pytest.approx(2.0, rel=1e-3)
+
+    @given(factor=st.floats(min_value=0.05, max_value=20.0))
+    @settings(max_examples=60, deadline=None)
+    def test_other_timeouts_have_worse_worst_case(self, spec, factor):
+        t_be = spec.break_even_time_s
+        timeout = factor * t_be
+        assert worst_case_ratio(timeout, spec) >= (
+            worst_case_ratio(t_be, spec) - 1e-9
+        )
+
+    def test_worst_case_at_break_even_is_exactly_2(self, spec):
+        assert worst_case_ratio(spec.break_even_time_s, spec) == pytest.approx(2.0)
+
+    def test_empty_or_zero_sequences(self, spec):
+        assert competitive_ratio([], 10.0, spec) == 1.0
+        assert competitive_ratio([0.0, 0.0], 10.0, spec) == 1.0
+
+
+class TestEndToEndConsistency:
+    def test_simulated_2t_within_bound(self, fast_machine, small_trace):
+        """The simulated 2T drive's static+transition energy respects the
+        analytical bound computed from its own idle intervals."""
+        from repro.analysis.pareto_check import idle_intervals_of_trace
+        from repro.units import GB
+
+        intervals = idle_intervals_of_trace(
+            small_trace,
+            memory_pages=8 * GB // fast_machine.page_bytes,
+            window_s=0.0,
+            warmup_fraction=0.0,
+        )
+        spec = fast_machine.disk
+        ratio = competitive_ratio(
+            intervals.lengths.tolist(), spec.break_even_time_s, spec
+        )
+        assert 1.0 - 1e-9 <= ratio <= 2.0 + 1e-9

@@ -1,0 +1,94 @@
+"""Idle-interval extraction with the aggregation window."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.stats.intervals import extract_idle_intervals
+
+
+class TestExtraction:
+    def test_basic_gaps(self):
+        idle = extract_idle_intervals([0.0, 1.0, 4.0], window_s=0.0)
+        assert idle.lengths.tolist() == [1.0, 3.0]
+        assert idle.num_accesses == 3
+        assert idle.count == 2
+
+    def test_aggregation_window_filters_short_gaps(self):
+        # Paper Section IV-A: gaps shorter than w are not usable idleness.
+        idle = extract_idle_intervals([0.0, 0.05, 1.0], window_s=0.1)
+        assert idle.lengths.tolist() == [0.95]
+
+    def test_window_boundary_inclusive(self):
+        idle = extract_idle_intervals([0.0, 0.1], window_s=0.1)
+        assert idle.lengths.tolist() == [pytest.approx(0.1)]
+
+    def test_period_boundaries_add_gaps(self):
+        idle = extract_idle_intervals(
+            [10.0, 20.0], window_s=0.0, period_start=0.0, period_end=60.0
+        )
+        assert idle.lengths.tolist() == [10.0, 10.0, 40.0]
+
+    def test_empty_accesses_whole_period_idle(self):
+        idle = extract_idle_intervals(
+            [], window_s=0.1, period_start=0.0, period_end=600.0
+        )
+        assert idle.lengths.tolist() == [600.0]
+        assert idle.num_accesses == 0
+
+    def test_empty_accesses_no_period(self):
+        idle = extract_idle_intervals([], window_s=0.1)
+        assert idle.count == 0
+        assert idle.mean_length == 0.0
+        assert idle.min_length == 0.0
+
+    def test_statistics(self):
+        idle = extract_idle_intervals([0.0, 2.0, 6.0], window_s=0.0)
+        assert idle.mean_length == pytest.approx(3.0)
+        assert idle.min_length == pytest.approx(2.0)
+        assert idle.total_idle_time == pytest.approx(6.0)
+
+    def test_simultaneous_accesses_no_zero_intervals(self):
+        idle = extract_idle_intervals([1.0, 1.0, 2.0], window_s=0.0)
+        assert idle.lengths.tolist() == [1.0]
+
+
+class TestValidation:
+    def test_rejects_unsorted(self):
+        with pytest.raises(TraceError):
+            extract_idle_intervals([1.0, 0.5], window_s=0.0)
+
+    def test_rejects_negative_window(self):
+        with pytest.raises(TraceError):
+            extract_idle_intervals([0.0, 1.0], window_s=-1.0)
+
+    def test_rejects_access_before_period(self):
+        with pytest.raises(TraceError):
+            extract_idle_intervals([0.0], window_s=0.0, period_start=1.0)
+
+    def test_rejects_access_after_period(self):
+        with pytest.raises(TraceError):
+            extract_idle_intervals([5.0], window_s=0.0, period_end=4.0)
+
+    def test_rejects_inverted_period(self):
+        with pytest.raises(TraceError):
+            extract_idle_intervals(
+                [], window_s=0.0, period_start=5.0, period_end=4.0
+            )
+
+
+@given(
+    gaps=st.lists(st.floats(min_value=1e-4, max_value=100.0), min_size=1, max_size=50),
+    window=st.floats(min_value=0.0, max_value=10.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_filtered_intervals_respect_window_property(gaps, window):
+    times = np.cumsum(np.asarray(gaps))
+    idle = extract_idle_intervals(times, window_s=window)
+    assert np.all(idle.lengths >= window)
+    # Total filtered idle time never exceeds the span of the accesses.
+    assert idle.total_idle_time <= (times[-1] - times[0]) + 1e-6

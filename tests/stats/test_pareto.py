@@ -1,0 +1,187 @@
+"""Pareto distribution: functions, fitting, sampling."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FitError
+from repro.stats.pareto import (
+    ALPHA_MAX,
+    ParetoDistribution,
+    fit_hill,
+    fit_mle,
+    fit_moments,
+    fit_scipy,
+)
+
+alphas = st.floats(min_value=1.1, max_value=8.0)
+betas = st.floats(min_value=0.01, max_value=100.0)
+
+
+class TestDistributionFunctions:
+    def test_pdf_zero_below_beta(self):
+        dist = ParetoDistribution(alpha=2.0, beta=1.0)
+        assert dist.pdf(0.5) == 0.0
+        assert dist.pdf(1.0) == 0.0
+        assert dist.pdf(1.5) > 0.0
+
+    def test_pdf_matches_paper_eq1(self):
+        # f(l) = alpha * beta**alpha / l**(alpha+1)
+        dist = ParetoDistribution(alpha=2.5, beta=2.0)
+        x = 5.0
+        assert dist.pdf(x) == pytest.approx(2.5 * 2.0**2.5 / x**3.5)
+
+    def test_cdf_survival_complement(self):
+        dist = ParetoDistribution(alpha=1.7, beta=0.3)
+        for x in (0.3, 0.5, 1.0, 10.0, 1e4):
+            assert dist.cdf(x) + dist.survival(x) == pytest.approx(1.0)
+
+    def test_mean_formula(self):
+        # mean = alpha*beta/(alpha-1), the basis of the paper's estimator
+        dist = ParetoDistribution(alpha=3.0, beta=2.0)
+        assert dist.mean == pytest.approx(3.0)
+
+    def test_mean_infinite_at_alpha_below_one(self):
+        dist = ParetoDistribution(alpha=0.9, beta=1.0)
+        assert math.isinf(dist.mean)
+
+    def test_variance_formula(self):
+        dist = ParetoDistribution(alpha=3.0, beta=1.0)
+        expected = 3.0 / ((2.0**2) * 1.0)
+        assert dist.variance == pytest.approx(expected)
+
+    def test_variance_infinite_at_alpha_2(self):
+        assert math.isinf(ParetoDistribution(alpha=2.0, beta=1.0).variance)
+
+    def test_ppf_inverts_cdf(self):
+        dist = ParetoDistribution(alpha=2.2, beta=1.5)
+        for q in (0.0, 0.1, 0.5, 0.9, 0.999):
+            assert dist.cdf(dist.ppf(q)) == pytest.approx(q, abs=1e-9)
+
+    def test_ppf_rejects_bad_quantile(self):
+        dist = ParetoDistribution(alpha=2.0, beta=1.0)
+        with pytest.raises(FitError):
+            dist.ppf(1.0)
+        with pytest.raises(FitError):
+            dist.ppf(-0.1)
+
+    def test_mean_excess_is_linear_in_threshold(self):
+        dist = ParetoDistribution(alpha=3.0, beta=1.0)
+        assert dist.mean_excess(2.0) == pytest.approx(1.0)
+        assert dist.mean_excess(4.0) == pytest.approx(2.0)
+
+    @given(alpha=alphas, beta=betas)
+    @settings(max_examples=50, deadline=None)
+    def test_cdf_monotone_property(self, alpha, beta):
+        dist = ParetoDistribution(alpha=alpha, beta=beta)
+        xs = np.linspace(beta, beta * 50, 25)
+        cdfs = [dist.cdf(x) for x in xs]
+        assert all(a <= b + 1e-12 for a, b in zip(cdfs, cdfs[1:]))
+        assert all(0.0 <= c < 1.0 for c in cdfs)
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(FitError):
+            ParetoDistribution(alpha=0.0, beta=1.0)
+        with pytest.raises(FitError):
+            ParetoDistribution(alpha=1.0, beta=0.0)
+
+
+class TestSampling:
+    def test_samples_above_beta(self, rng):
+        dist = ParetoDistribution(alpha=2.0, beta=3.0)
+        samples = dist.sample(1000, rng)
+        assert samples.min() >= 3.0
+
+    def test_sample_mean_converges(self, rng):
+        dist = ParetoDistribution(alpha=4.0, beta=1.0)
+        samples = dist.sample(100_000, rng)
+        assert samples.mean() == pytest.approx(dist.mean, rel=0.05)
+
+    def test_empty_sample(self, rng):
+        dist = ParetoDistribution(alpha=2.0, beta=1.0)
+        assert dist.sample(0, rng).size == 0
+
+    def test_negative_sample_size_rejected(self, rng):
+        with pytest.raises(FitError):
+            ParetoDistribution(alpha=2.0, beta=1.0).sample(-1, rng)
+
+
+class TestMomentsFit:
+    """The paper's estimator: alpha = mean / (mean - beta)."""
+
+    def test_exact_on_constructed_sample(self):
+        # mean 3, min 1 -> alpha = 3 / (3 - 1) = 1.5
+        fit = fit_moments([1.0, 3.0, 5.0])
+        assert fit.beta == 1.0
+        assert fit.alpha == pytest.approx(1.5)
+
+    def test_beta_defaults_to_minimum(self):
+        fit = fit_moments([2.0, 4.0, 9.0])
+        assert fit.beta == 2.0
+
+    def test_explicit_beta(self):
+        fit = fit_moments([2.0, 4.0], beta=1.0)
+        assert fit.alpha == pytest.approx(3.0 / 2.0)
+
+    def test_degenerate_sample_clamps_alpha(self):
+        fit = fit_moments([2.0, 2.0, 2.0])
+        assert fit.alpha == ALPHA_MAX
+
+    @given(alpha=st.floats(min_value=1.5, max_value=5.0), beta=betas)
+    @settings(max_examples=25, deadline=None)
+    def test_recovers_parameters_property(self, alpha, beta):
+        dist = ParetoDistribution(alpha=alpha, beta=beta)
+        samples = dist.sample(50_000, np.random.default_rng(7))
+        fit = fit_moments(samples)
+        assert fit.alpha == pytest.approx(alpha, rel=0.25)
+        assert fit.beta == pytest.approx(beta, rel=0.05)
+
+    def test_rejects_empty(self):
+        with pytest.raises(FitError):
+            fit_moments([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(FitError):
+            fit_moments([1.0, -2.0])
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(FitError):
+            fit_moments([1.0, float("nan")])
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(FitError):
+            fit_moments([1.0, 2.0], beta=0.0)
+
+
+class TestOtherFits:
+    def test_mle_recovers_alpha(self, rng):
+        dist = ParetoDistribution(alpha=2.5, beta=1.0)
+        fit = fit_mle(dist.sample(50_000, rng))
+        assert fit.alpha == pytest.approx(2.5, rel=0.05)
+
+    def test_hill_recovers_alpha(self, rng):
+        dist = ParetoDistribution(alpha=2.5, beta=1.0)
+        fit = fit_hill(dist.sample(50_000, rng))
+        assert fit.alpha == pytest.approx(2.5, rel=0.1)
+
+    def test_scipy_cross_check(self, rng):
+        dist = ParetoDistribution(alpha=2.5, beta=1.0)
+        fit = fit_scipy(dist.sample(20_000, rng))
+        assert fit.alpha == pytest.approx(2.5, rel=0.1)
+        assert fit.beta == pytest.approx(1.0, rel=0.05)
+
+    def test_hill_rejects_bad_fraction(self):
+        with pytest.raises(FitError):
+            fit_hill([1.0, 2.0], tail_fraction=0.0)
+
+    def test_estimators_agree_on_clean_data(self, rng):
+        dist = ParetoDistribution(alpha=3.0, beta=2.0)
+        samples = dist.sample(80_000, rng)
+        fits = [fit_moments(samples), fit_mle(samples), fit_hill(samples)]
+        alphas_found = [f.alpha for f in fits]
+        assert max(alphas_found) - min(alphas_found) < 0.5

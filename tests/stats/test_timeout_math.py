@@ -1,0 +1,201 @@
+"""Equations (2) through (6) of the paper."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FitError
+from repro.stats.pareto import ParetoDistribution
+from repro.stats.timeout_math import (
+    constrained_min_timeout,
+    expected_off_time,
+    expected_power,
+    expected_spin_downs,
+    optimal_timeout,
+)
+
+alphas = st.floats(min_value=1.2, max_value=6.0)
+betas = st.floats(min_value=0.1, max_value=10.0)
+
+
+class TestEq2OffTime:
+    def test_formula(self):
+        # t_s = n_i * (beta/t_o)^(alpha-1) * beta / (alpha-1)
+        dist = ParetoDistribution(alpha=2.0, beta=1.0)
+        t_s = expected_off_time(dist, num_intervals=10, timeout_s=2.0)
+        assert t_s == pytest.approx(10 * (1.0 / 2.0) ** 1.0 * 1.0 / 1.0)
+
+    def test_matches_monte_carlo(self):
+        dist = ParetoDistribution(alpha=2.5, beta=2.0)
+        timeout = 5.0
+        samples = dist.sample(400_000, np.random.default_rng(3))
+        off = np.maximum(samples - timeout, 0.0)
+        # Off time only accrues for intervals longer than the timeout.
+        off[samples <= timeout] = 0.0
+        expected = expected_off_time(dist, 1.0, timeout)
+        assert off.mean() == pytest.approx(expected, rel=0.05)
+
+    def test_decreases_with_timeout(self):
+        dist = ParetoDistribution(alpha=2.0, beta=1.0)
+        values = [expected_off_time(dist, 1, t) for t in (1.0, 2.0, 5.0, 20.0)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_timeout_below_beta_clamps(self):
+        dist = ParetoDistribution(alpha=2.0, beta=3.0)
+        assert expected_off_time(dist, 1, 0.0) == expected_off_time(dist, 1, 3.0)
+
+    def test_heavy_tail_infinite(self):
+        dist = ParetoDistribution(alpha=1.0 + 1e-9, beta=1.0)
+        assert math.isinf(expected_off_time(dist, 1, 2.0)) or expected_off_time(
+            dist, 1, 2.0
+        ) > 1e6
+
+    def test_rejects_negative_inputs(self):
+        dist = ParetoDistribution(alpha=2.0, beta=1.0)
+        with pytest.raises(FitError):
+            expected_off_time(dist, -1, 2.0)
+        with pytest.raises(FitError):
+            expected_off_time(dist, 1, -2.0)
+
+
+class TestEq3SpinDowns:
+    def test_formula(self):
+        # h = n_i * (beta/t_o)^alpha
+        dist = ParetoDistribution(alpha=2.0, beta=1.0)
+        assert expected_spin_downs(dist, 100, 10.0) == pytest.approx(1.0)
+
+    def test_matches_survival(self):
+        dist = ParetoDistribution(alpha=3.0, beta=2.0)
+        h = expected_spin_downs(dist, 50, 7.0)
+        assert h == pytest.approx(50 * dist.survival(7.0))
+
+    @given(alpha=alphas, beta=betas, timeout=st.floats(min_value=0.1, max_value=100))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_by_interval_count_property(self, alpha, beta, timeout):
+        dist = ParetoDistribution(alpha=alpha, beta=beta)
+        h = expected_spin_downs(dist, 25, timeout)
+        assert 0.0 <= h <= 25.0 + 1e-9
+
+
+class TestEq4Power:
+    def test_always_on_limit(self):
+        # An enormous timeout means no spin-downs: power = static power.
+        dist = ParetoDistribution(alpha=2.0, beta=1.0)
+        power = expected_power(dist, 10, 1e12, 600.0, 6.6, 11.7)
+        assert power == pytest.approx(6.6, rel=1e-3)
+
+    def test_eq5_minimises_eq4(self):
+        # The paper's optimal timeout must be the argmin of eq. (4).
+        dist = ParetoDistribution(alpha=2.0, beta=1.0)
+        t_opt = optimal_timeout(dist, 11.7)
+        best = expected_power(dist, 10, t_opt, 600.0, 6.6, 11.7)
+        for timeout in np.linspace(max(1.0, t_opt - 20), t_opt + 20, 200):
+            assert best <= expected_power(dist, 10, timeout, 600.0, 6.6, 11.7) + 1e-9
+
+    @given(alpha=alphas, beta=betas)
+    @settings(max_examples=40, deadline=None)
+    def test_eq5_minimises_eq4_property(self, alpha, beta):
+        dist = ParetoDistribution(alpha=alpha, beta=beta)
+        t_opt = optimal_timeout(dist, 11.7)
+        best = expected_power(dist, 5, t_opt, 600.0, 6.6, 11.7)
+        for factor in (0.5, 0.8, 1.25, 2.0):
+            other = expected_power(dist, 5, t_opt * factor, 600.0, 6.6, 11.7)
+            assert best <= other + 1e-9
+
+    def test_power_non_negative(self):
+        dist = ParetoDistribution(alpha=1.5, beta=0.5)
+        assert expected_power(dist, 100, 1.0, 600.0, 6.6, 11.7) >= 0.0
+
+    def test_rejects_bad_period(self):
+        dist = ParetoDistribution(alpha=2.0, beta=1.0)
+        with pytest.raises(FitError):
+            expected_power(dist, 1, 1.0, 0.0, 6.6, 11.7)
+
+
+class TestEq5OptimalTimeout:
+    def test_formula(self):
+        # t_o = alpha * t_be
+        dist = ParetoDistribution(alpha=3.0, beta=1.0)
+        assert optimal_timeout(dist, 11.7) == pytest.approx(35.1)
+
+    def test_grows_with_alpha(self):
+        # Larger alpha = more short intervals = longer timeout (paper).
+        t1 = optimal_timeout(ParetoDistribution(alpha=1.5, beta=1.0), 11.7)
+        t2 = optimal_timeout(ParetoDistribution(alpha=3.0, beta=1.0), 11.7)
+        assert t2 > t1
+
+    def test_grows_with_break_even(self):
+        dist = ParetoDistribution(alpha=2.0, beta=1.0)
+        assert optimal_timeout(dist, 20.0) > optimal_timeout(dist, 10.0)
+
+    def test_rejects_bad_break_even(self):
+        with pytest.raises(FitError):
+            optimal_timeout(ParetoDistribution(alpha=2.0, beta=1.0), 0.0)
+
+
+class TestEq6Constraint:
+    def _timeout(self, **overrides):
+        params = dict(
+            dist=ParetoDistribution(alpha=2.0, beta=1.0),
+            num_intervals=100,
+            num_disk_accesses=1000,
+            num_cache_accesses=100_000,
+            period_s=600.0,
+            transition_time_s=10.0,
+            max_delayed_ratio=0.001,
+        )
+        params.update(overrides)
+        return constrained_min_timeout(**params)
+
+    def test_formula(self):
+        # t_o >= beta * (n_i*n_d*(t_tr-0.5) / (N*T*D))^(1/alpha)
+        ratio = 100 * 1000 * 9.5 / (100_000 * 600.0 * 0.001)
+        expected = 1.0 * ratio ** (1 / 2.0)
+        assert self._timeout() == pytest.approx(expected)
+
+    def test_constraint_satisfied_at_floor(self):
+        # At the returned timeout, the predicted delayed ratio equals D.
+        dist = ParetoDistribution(alpha=2.0, beta=1.0)
+        floor = self._timeout()
+        delayed = (
+            100 * dist.survival(floor) * (10.0 - 0.5) * 1000 / 600.0
+        ) / 100_000
+        assert delayed == pytest.approx(0.001, rel=1e-6)
+
+    def test_zero_when_easily_satisfied(self):
+        assert self._timeout(num_disk_accesses=1) == 0.0
+
+    def test_zero_when_transition_fast(self):
+        assert self._timeout(transition_time_s=0.4) == 0.0
+
+    def test_zero_when_no_accesses(self):
+        assert self._timeout(num_cache_accesses=0) == 0.0
+
+    def test_grows_with_interval_count(self):
+        assert self._timeout(num_intervals=1000) > self._timeout(num_intervals=100)
+
+    def test_grows_with_access_rate(self):
+        assert self._timeout(num_disk_accesses=10_000) > self._timeout()
+
+    def test_looser_constraint_lowers_floor(self):
+        assert self._timeout(max_delayed_ratio=0.01) < self._timeout()
+
+    def test_smaller_alpha_raises_floor(self):
+        # Paper Section IV-D: "The reduction of alpha requires increasing
+        # t_o" -- the opposite of eq. (5)'s behaviour.
+        tight = self._timeout(dist=ParetoDistribution(alpha=1.3, beta=1.0))
+        loose = self._timeout(dist=ParetoDistribution(alpha=3.0, beta=1.0))
+        assert tight > loose
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(FitError):
+            self._timeout(max_delayed_ratio=0.0)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(FitError):
+            self._timeout(period_s=-1.0)

@@ -1,0 +1,192 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments_and_methods(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for token in ("fig7", "table5", "ablation", "JOINT", "2TFM-8GB"):
+            assert token in out
+
+
+class TestExperiment:
+    def test_runs_fig5(self, capsys):
+        assert main(["experiment", "fig5", "--profile", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto" in out
+        assert "t_opt_eq5_s" in out
+
+    def test_unknown_experiment_errors(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            main(["experiment", "fig99"])
+
+
+class TestSimulate:
+    def test_simulate_fixed_method(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "2TFM-8GB",
+                "--dataset-gb",
+                "2",
+                "--rate-mb",
+                "20",
+                "--periods",
+                "2",
+                "--warmup-periods",
+                "1",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total energy" in out
+        assert "2TFM-8GB" in out
+
+    def test_simulate_joint(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "JOINT",
+                "--dataset-gb",
+                "2",
+                "--rate-mb",
+                "20",
+                "--periods",
+                "2",
+                "--warmup-periods",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "JOINT" in capsys.readouterr().out
+
+    def test_bad_method_name(self):
+        from repro.errors import PolicyError
+
+        with pytest.raises(PolicyError):
+            main(["simulate", "NOPE-1GB", "--periods", "1"])
+
+
+class TestReport:
+    def test_report_with_baseline(self, capsys):
+        code = main(
+            [
+                "report",
+                "2TFM-8GB",
+                "--dataset-gb",
+                "2",
+                "--rate-mb",
+                "20",
+                "--periods",
+                "2",
+                "--warmup-periods",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "energy (kJ)" in out
+        assert "vs ALWAYS-ON" in out
+
+    def test_report_baseline_itself(self, capsys):
+        code = main(
+            [
+                "report",
+                "ALWAYS-ON",
+                "--dataset-gb",
+                "2",
+                "--rate-mb",
+                "20",
+                "--periods",
+                "1",
+                "--warmup-periods",
+                "0",
+            ]
+        )
+        assert code == 0
+        assert "vs ALWAYS-ON" not in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_generate_and_characterise(self, capsys, tmp_path):
+        save = tmp_path / "t.npz"
+        code = main(
+            [
+                "trace",
+                "--dataset-gb",
+                "1",
+                "--rate-mb",
+                "10",
+                "--duration-s",
+                "300",
+                "--save",
+                str(save),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "miss ratio" in out
+        assert save.exists()
+
+    def test_import_block_csv(self, capsys, tmp_path):
+        path = tmp_path / "io.csv"
+        rows = ["time,offset,size"]
+        for i in range(50):
+            rows.append(f"{i * 2.0},{i * 4 * 1024 * 1024},{4 * 1024 * 1024}")
+        path.write_text("\n".join(rows) + "\n")
+        code = main(["trace", "--block-csv", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workload:" in out
+        assert "io.csv" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_help_exits_zero(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+
+
+class TestSuiteOption:
+    def test_simulate_with_suite(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "2TFM-8GB",
+                "--suite",
+                "small-dataset",
+                "--periods",
+                "1",
+                "--warmup-periods",
+                "0",
+            ]
+        )
+        assert code == 0
+        assert "total energy" in capsys.readouterr().out
+
+    def test_unknown_suite_rejected(self):
+        from repro.errors import TraceError
+
+        with pytest.raises(TraceError):
+            main(["simulate", "JOINT", "--suite", "nope", "--periods", "1"])
+
+    def test_list_shows_suites(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "workload suites" in out
+        assert "diurnal" in out

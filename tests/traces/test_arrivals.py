@@ -1,0 +1,136 @@
+"""Arrival processes: Poisson vs self-similar burstiness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.arrivals import (
+    bmodel_arrivals,
+    gap_tail_weight,
+    poisson_arrivals,
+)
+from repro.traces.fileset import specweb_fileset
+from repro.traces.specweb import SpecWebGenerator
+from repro.units import MB
+
+
+class TestPoisson:
+    def test_rate_and_bounds(self, rng):
+        arrivals = poisson_arrivals(10.0, 1000.0, rng)
+        assert arrivals.size == pytest.approx(10_000, rel=0.1)
+        assert arrivals.min() >= 0 and arrivals.max() < 1000.0
+        assert np.all(np.diff(arrivals) >= 0)
+
+    def test_validation(self, rng):
+        with pytest.raises(TraceError):
+            poisson_arrivals(0.0, 10.0, rng)
+        with pytest.raises(TraceError):
+            poisson_arrivals(1.0, 0.0, rng)
+
+
+class TestBModel:
+    def test_rate_and_bounds(self, rng):
+        arrivals = bmodel_arrivals(10.0, 1000.0, rng=rng)
+        assert arrivals.size == pytest.approx(10_000, rel=0.05)
+        assert arrivals.min() >= 0 and arrivals.max() < 1000.0
+        assert np.all(np.diff(arrivals) >= 0)
+
+    def test_bias_half_is_smooth(self, rng):
+        smooth = bmodel_arrivals(10.0, 1000.0, bias=0.5, rng=rng)
+        bursty = bmodel_arrivals(
+            10.0, 1000.0, bias=0.85, rng=np.random.default_rng(2)
+        )
+        assert gap_tail_weight(bursty) > 3 * gap_tail_weight(smooth)
+
+    def test_heavier_tail_than_poisson(self, rng):
+        poisson = poisson_arrivals(10.0, 2000.0, np.random.default_rng(1))
+        bursty = bmodel_arrivals(
+            10.0, 2000.0, bias=0.8, rng=np.random.default_rng(2)
+        )
+        assert gap_tail_weight(bursty) > 2 * gap_tail_weight(poisson)
+
+    def test_validation(self, rng):
+        with pytest.raises(TraceError):
+            bmodel_arrivals(10.0, 100.0, bias=0.4, rng=rng)
+        with pytest.raises(TraceError):
+            bmodel_arrivals(10.0, 100.0, bias=1.0, rng=rng)
+        with pytest.raises(TraceError):
+            bmodel_arrivals(10.0, 100.0, levels=0, rng=rng)
+        with pytest.raises(TraceError):
+            bmodel_arrivals(0.001, 1.0, rng=rng)
+
+
+class TestGeneratorIntegration:
+    def test_selfsimilar_trace_is_burstier(self, rng):
+        fileset = specweb_fileset(64 * MB, rng=np.random.default_rng(5))
+
+        def build(process):
+            generator = SpecWebGenerator(
+                fileset=fileset,
+                data_rate=2 * MB,
+                arrival_process=process,
+                burst_bias=0.8,
+                seed=9,
+            )
+            return generator.generate(2000.0)
+
+        poisson = build("poisson")
+        bursty = build("selfsimilar")
+        assert bursty.meta["arrival_process"] == "selfsimilar"
+        # Comparable volume, far heavier idle tail.
+        assert bursty.num_accesses == pytest.approx(
+            poisson.num_accesses, rel=0.25
+        )
+        assert gap_tail_weight(bursty.times) > 1.5 * gap_tail_weight(
+            poisson.times
+        )
+
+    def test_unknown_process_rejected(self, rng):
+        fileset = specweb_fileset(16 * MB, rng=rng)
+        with pytest.raises(TraceError):
+            SpecWebGenerator(
+                fileset=fileset, data_rate=1 * MB, arrival_process="fractal"
+            )
+
+
+class TestParetoFitOnBurstyTraffic:
+    """The paper's Pareto assumption targets bursty measured traffic.
+
+    At a web-serving rate (1 MB/s over this small set), smooth Poisson
+    arrivals leave almost no idle interval longer than the aggregation
+    window -- there is nothing for a spin-down policy to model.  The
+    self-similar stream at the same rate produces thousands of usable
+    intervals, a heavy-tail exponent (alpha ~ 1.5), and a fit whose
+    eq.-4 power error is small at a timeout in the break-even range --
+    exactly the regime the paper's analysis assumes.
+    """
+
+    @staticmethod
+    def _idle(process):
+        from repro.stats.intervals import extract_idle_intervals
+
+        fileset = specweb_fileset(64 * MB, rng=np.random.default_rng(5))
+        generator = SpecWebGenerator(
+            fileset=fileset,
+            data_rate=1 * MB,
+            arrival_process=process,
+            burst_bias=0.75,
+            seed=9,
+        )
+        trace = generator.generate(4000.0)
+        return extract_idle_intervals(trace.times, window_s=0.1)
+
+    def test_poisson_leaves_no_idleness_to_model(self):
+        assert self._idle("poisson").count < 100
+
+    def test_selfsimilar_idleness_fits_pareto_usably(self):
+        from repro.analysis.pareto_check import check_pareto_fit
+
+        idle = self._idle("selfsimilar")
+        assert idle.count > 1000
+        report = check_pareto_fit(idle.lengths)
+        assert 1.1 < report.fit.alpha < 2.5  # genuine heavy tail
+        assert 10.0 < report.timeout_s < 40.0  # break-even territory
+        assert report.usable

@@ -1,0 +1,115 @@
+"""Block-trace import."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.block_trace import from_requests, load_block_csv
+
+
+class TestFromRequests:
+    def test_single_page_request(self):
+        trace = from_requests([1.0], [8192], [100], page_size=4096)
+        assert trace.pages.tolist() == [2]
+        assert trace.times.tolist() == [1.0]
+
+    def test_spanning_request(self):
+        # Bytes [4000, 12000) with 4096-byte pages touch pages 0, 1, 2.
+        trace = from_requests([0.0], [4000], [8000], page_size=4096)
+        assert trace.pages.tolist() == [0, 1, 2]
+
+    def test_page_aligned_request(self):
+        trace = from_requests([0.0], [4096], [8192], page_size=4096)
+        assert trace.pages.tolist() == [1, 2]
+
+    def test_intra_request_spacing(self):
+        trace = from_requests(
+            [0.0], [0], [3 * 4096], page_size=4096, intra_request_gap_s=0.01
+        )
+        assert np.allclose(np.diff(trace.times), 0.01)
+
+    def test_requests_interleave_in_time_order(self):
+        trace = from_requests(
+            [0.0, 0.001],
+            [0, 40960],
+            [3 * 4096, 4096],
+            page_size=4096,
+            intra_request_gap_s=0.01,
+        )
+        assert np.all(np.diff(trace.times) >= 0)
+        assert set(trace.pages.tolist()) == {0, 1, 2, 10}
+
+    def test_files_column_tracks_request(self):
+        trace = from_requests([0.0, 1.0], [0, 8192], [4096, 4096])
+        assert trace.files.tolist() == [0, 1]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(times=[0.0], offsets=[0], sizes=[0]),
+            dict(times=[0.0], offsets=[-1], sizes=[10]),
+            dict(times=[], offsets=[], sizes=[]),
+            dict(times=[0.0, 1.0], offsets=[0], sizes=[10]),
+            dict(times=[0.0], offsets=[0], sizes=[10], page_size=0),
+            dict(times=[0.0], offsets=[0], sizes=[10], intra_request_gap_s=-1),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(TraceError):
+            from_requests(**kwargs)
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "io.csv"
+        path.write_text("time,offset,size\n0.5,4096,4096\n1.5,0,8192\n")
+        trace = load_block_csv(path, page_size=4096)
+        assert trace.pages.tolist() == [1, 0, 1]
+        assert trace.meta["requests"] == 2
+
+    def test_unsorted_input_is_sorted(self, tmp_path):
+        path = tmp_path / "io.csv"
+        path.write_text("time,offset,size\n2.0,0,100\n1.0,4096,100\n")
+        trace = load_block_csv(path, page_size=4096)
+        assert trace.times.tolist() == [1.0, 2.0]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_block_csv(tmp_path / "none.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(TraceError):
+            load_block_csv(path)
+
+    def test_header_only(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("time,offset,size\n")
+        with pytest.raises(TraceError):
+            load_block_csv(path)
+
+    def test_short_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,offset,size\n1.0,2\n")
+        with pytest.raises(TraceError):
+            load_block_csv(path)
+
+    def test_imported_trace_runs_through_engine(self, tmp_path, fast_machine):
+        from repro.sim.runner import run_method
+
+        rows = ["time,offset,size"]
+        rng = np.random.default_rng(5)
+        page = fast_machine.page_bytes
+        for i in range(200):
+            offset = int(rng.integers(0, 100)) * page
+            rows.append(f"{i * 2.0},{offset},{page}")
+        path = tmp_path / "real.csv"
+        path.write_text("\n".join(rows) + "\n")
+        trace = load_block_csv(path, page_size=page)
+        result = run_method(
+            "2TFM-16GB", trace, fast_machine, duration_s=480.0, audit=True
+        )
+        assert result.total_accesses == 200

@@ -1,0 +1,96 @@
+"""SPECWeb99-class file population."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.fileset import SPECWEB_CLASSES, FileSet, specweb_fileset
+from repro.units import KB, MB
+
+
+class TestFileSet:
+    def test_contiguous_page_layout(self):
+        fs = FileSet(sizes_bytes=np.array([4096, 8192, 100]), page_size=4096)
+        assert fs.num_pages.tolist() == [1, 2, 1]
+        assert fs.first_page.tolist() == [0, 1, 3]
+        assert fs.total_pages == 4
+
+    def test_file_of_page(self):
+        fs = FileSet(sizes_bytes=np.array([4096, 8192, 100]), page_size=4096)
+        assert fs.file_of_page(0) == 0
+        assert fs.file_of_page(1) == 1
+        assert fs.file_of_page(2) == 1
+        assert fs.file_of_page(3) == 2
+        with pytest.raises(TraceError):
+            fs.file_of_page(4)
+        with pytest.raises(TraceError):
+            fs.file_of_page(-1)
+
+    def test_totals(self):
+        fs = FileSet(sizes_bytes=np.array([1000, 3000]), page_size=4096)
+        assert fs.total_bytes == 4000
+        assert fs.mean_file_bytes == 2000.0
+        assert fs.num_files == 2
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            FileSet(sizes_bytes=np.array([]))
+        with pytest.raises(TraceError):
+            FileSet(sizes_bytes=np.array([0]))
+        with pytest.raises(TraceError):
+            FileSet(sizes_bytes=np.array([100]), page_size=0)
+
+
+class TestSpecwebGeneration:
+    def test_class_fractions_sum_to_one(self):
+        assert sum(c[2] for c in SPECWEB_CLASSES) == pytest.approx(1.0)
+
+    def test_total_size_near_target(self, rng):
+        target = 10 * MB
+        fs = specweb_fileset(target, rng=rng)
+        assert target <= fs.total_bytes <= target * 1.2
+
+    def test_sizes_within_class_bounds(self, rng):
+        fs = specweb_fileset(5 * MB, rng=rng)
+        low = SPECWEB_CLASSES[0][0]
+        high = SPECWEB_CLASSES[-1][1]
+        assert fs.sizes_bytes.min() >= low * 0.99
+        assert fs.sizes_bytes.max() <= high * 1.01
+
+    def test_file_scale_multiplies_sizes(self, rng):
+        small = specweb_fileset(5 * MB, rng=np.random.default_rng(1))
+        big = specweb_fileset(
+            5 * MB * 64, rng=np.random.default_rng(1), file_scale=64
+        )
+        assert big.mean_file_bytes == pytest.approx(
+            64 * small.mean_file_bytes, rel=0.3
+        )
+
+    def test_page_count_distribution_preserved_by_matching_scale(self):
+        """DESIGN.md Section 5: file_scale = granularity factor keeps the
+        pages-per-file distribution of the paper-scale workload."""
+        small = specweb_fileset(
+            8 * MB, page_size=4 * KB, rng=np.random.default_rng(5)
+        )
+        scaled = specweb_fileset(
+            8 * MB * 256,
+            page_size=4 * KB * 256,
+            rng=np.random.default_rng(5),
+            file_scale=256,
+        )
+        assert scaled.num_pages.mean() == pytest.approx(
+            small.num_pages.mean(), rel=0.25
+        )
+
+    def test_deterministic_with_seeded_rng(self):
+        a = specweb_fileset(2 * MB, rng=np.random.default_rng(3))
+        b = specweb_fileset(2 * MB, rng=np.random.default_rng(3))
+        assert np.array_equal(a.sizes_bytes, b.sizes_bytes)
+
+    def test_validation(self, rng):
+        with pytest.raises(TraceError):
+            specweb_fileset(0, rng=rng)
+        with pytest.raises(TraceError):
+            specweb_fileset(1 * MB, rng=rng, file_scale=0)

@@ -1,0 +1,102 @@
+"""Load modulation: diurnal and on/off time warping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.modulation import (
+    diurnal_profile,
+    modulate_rate,
+    onoff_profile,
+)
+from repro.traces.trace import Trace
+
+
+@pytest.fixture()
+def flat_trace():
+    n = 2000
+    return Trace(
+        times=np.linspace(0.0, 1000.0, n),
+        pages=np.arange(n, dtype=np.int64) % 50,
+    )
+
+
+def rate_in_window(trace, start, end):
+    mask = (trace.times >= start) & (trace.times < end)
+    return int(mask.sum()) / (end - start)
+
+
+class TestModulateRate:
+    def test_preserves_accesses_and_order(self, flat_trace):
+        warped = modulate_rate(flat_trace, diurnal_profile(1000.0))
+        assert warped.num_accesses == flat_trace.num_accesses
+        assert np.array_equal(warped.pages, flat_trace.pages)
+        assert np.all(np.diff(warped.times) >= 0)
+
+    def test_duration_roughly_preserved(self, flat_trace):
+        warped = modulate_rate(flat_trace, diurnal_profile(1000.0))
+        assert warped.duration_s <= 1000.0
+        assert warped.duration_s > 900.0
+
+    def test_constant_profile_is_identityish(self, flat_trace):
+        warped = modulate_rate(flat_trace, lambda t: 3.0)
+        # Uniform profile keeps accesses uniformly spread.
+        assert rate_in_window(warped, 0, 500) == pytest.approx(
+            rate_in_window(warped, 500, 1000), rel=0.05
+        )
+
+    def test_diurnal_peak_and_trough(self, flat_trace):
+        # One cycle with the peak in the first half (sin > 0 there).
+        profile = diurnal_profile(1000.0, peak_to_trough=5.0)
+        warped = modulate_rate(flat_trace, profile)
+        busy = rate_in_window(warped, 100, 400)
+        quiet = rate_in_window(warped, 600, 900)
+        assert busy > 2.0 * quiet
+
+    def test_onoff_valleys_are_quiet(self, flat_trace):
+        profile = onoff_profile(1000.0, on_fraction=0.5, period_s=500.0)
+        warped = modulate_rate(flat_trace, profile)
+        on_rate = rate_in_window(warped, 0, 240)
+        off_rate = rate_in_window(warped, 260, 490)
+        assert on_rate > 10.0 * max(off_rate, 1e-9)
+
+    def test_validation(self, flat_trace):
+        empty = Trace(times=np.array([]), pages=np.array([], dtype=np.int64))
+        with pytest.raises(TraceError):
+            modulate_rate(empty, lambda t: 1.0)
+        with pytest.raises(TraceError):
+            modulate_rate(flat_trace, lambda t: -1.0)
+        with pytest.raises(TraceError):
+            modulate_rate(flat_trace, lambda t: 0.0)
+        with pytest.raises(TraceError):
+            modulate_rate(flat_trace, lambda t: 1.0, steps=1)
+
+
+class TestProfiles:
+    def test_diurnal_bounds(self):
+        profile = diurnal_profile(100.0, peak_to_trough=5.0)
+        values = [profile(t) for t in np.linspace(0, 100, 200)]
+        assert max(values) / min(values) == pytest.approx(5.0, rel=0.05)
+        assert all(v > 0 for v in values)
+
+    def test_diurnal_validation(self):
+        with pytest.raises(TraceError):
+            diurnal_profile(0.0)
+        with pytest.raises(TraceError):
+            diurnal_profile(100.0, peak_to_trough=0.5)
+
+    def test_onoff_shape(self):
+        profile = onoff_profile(100.0, on_fraction=0.25, period_s=20.0)
+        assert profile(1.0) == 1.0
+        assert profile(10.0) == pytest.approx(0.02)
+        assert profile(21.0) == 1.0  # next cycle
+
+    def test_onoff_validation(self):
+        with pytest.raises(TraceError):
+            onoff_profile(100.0, on_fraction=0.0)
+        with pytest.raises(TraceError):
+            onoff_profile(100.0, off_rate=-0.1)
+        with pytest.raises(TraceError):
+            onoff_profile(0.0)

@@ -1,0 +1,99 @@
+"""SPECWeb99-class trace generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.fileset import specweb_fileset
+from repro.traces.specweb import SpecWebGenerator, generate_trace
+from repro.units import GB, KB, MB
+
+
+class TestGenerateTrace:
+    def test_hits_target_rate(self):
+        trace = generate_trace(
+            dataset_bytes=64 * MB,
+            data_rate=5 * MB,
+            duration_s=300.0,
+            seed=1,
+        )
+        assert trace.data_rate == pytest.approx(5 * MB, rel=0.15)
+
+    def test_timestamps_sorted_and_bounded(self):
+        trace = generate_trace(
+            dataset_bytes=32 * MB, data_rate=2 * MB, duration_s=120.0, seed=2
+        )
+        assert np.all(np.diff(trace.times) >= 0)
+        assert trace.times[0] >= 0.0
+
+    def test_pages_within_dataset(self):
+        trace = generate_trace(
+            dataset_bytes=32 * MB, data_rate=2 * MB, duration_s=60.0, seed=3
+        )
+        footprint_limit = (32 * MB * 1.3) // (4 * KB)
+        assert trace.pages.max() < footprint_limit
+
+    def test_deterministic_for_seed(self):
+        a = generate_trace(16 * MB, 1 * MB, 60.0, seed=7)
+        b = generate_trace(16 * MB, 1 * MB, 60.0, seed=7)
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.pages, b.pages)
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(16 * MB, 1 * MB, 60.0, seed=7)
+        b = generate_trace(16 * MB, 1 * MB, 60.0, seed=8)
+        assert not np.array_equal(a.pages, b.pages)
+
+    def test_measured_popularity_tracks_target(self):
+        dense = generate_trace(
+            64 * MB, 4 * MB, 600.0, popularity=0.1, seed=5
+        )
+        sparse = generate_trace(
+            64 * MB, 4 * MB, 600.0, popularity=0.5, seed=5
+        )
+        assert dense.measured_popularity() < sparse.measured_popularity()
+
+    def test_meta_records_parameters(self):
+        trace = generate_trace(16 * MB, 1 * MB, 60.0, popularity=0.2, seed=9)
+        assert trace.meta["generator"] == "specweb"
+        assert trace.meta["popularity"] == 0.2
+
+    def test_scaled_generation(self):
+        trace = generate_trace(
+            dataset_bytes=1 * GB,
+            data_rate=20 * MB,
+            duration_s=300.0,
+            page_size=4 * KB * 256,
+            file_scale=256,
+            seed=11,
+        )
+        assert trace.page_size == 4 * KB * 256
+        assert trace.data_rate == pytest.approx(20 * MB, rel=0.2)
+
+
+class TestGeneratorValidation:
+    def test_rejects_bad_parameters(self, rng):
+        fs = specweb_fileset(4 * MB, rng=rng)
+        with pytest.raises(TraceError):
+            SpecWebGenerator(fileset=fs, data_rate=0.0)
+        with pytest.raises(TraceError):
+            SpecWebGenerator(fileset=fs, data_rate=1 * MB, popularity=0.0)
+        with pytest.raises(TraceError):
+            SpecWebGenerator(fileset=fs, data_rate=1 * MB, connection_rate=0.0)
+        generator = SpecWebGenerator(fileset=fs, data_rate=1 * MB, seed=1)
+        with pytest.raises(TraceError):
+            generator.generate(0.0)
+
+    def test_file_requests_expand_to_whole_files(self, rng):
+        fs = specweb_fileset(4 * MB, rng=rng)
+        generator = SpecWebGenerator(fileset=fs, data_rate=1 * MB, seed=1)
+        trace = generator.generate(120.0)
+        assert trace.files is not None
+        # Every access's page must belong to its recorded file.
+        for t, page, file_id in list(
+            zip(trace.times, trace.pages, trace.files)
+        )[:200]:
+            first = fs.first_page[file_id]
+            assert first <= page < first + fs.num_pages[file_id]

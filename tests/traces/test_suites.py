@@ -1,0 +1,54 @@
+"""Named workload suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.suites import build, suite_names
+from repro.units import GB, MB
+
+
+class TestSuites:
+    def test_all_names_build(self, fast_machine):
+        for name in suite_names():
+            trace = build(name, fast_machine, duration_s=240.0, seed=1)
+            assert trace.num_accesses > 0
+            assert trace.meta["suite"] == name
+            assert trace.page_size == fast_machine.page_bytes
+
+    def test_paper_default_parameters(self, fast_machine):
+        trace = build("paper-default", fast_machine, duration_s=600.0)
+        assert trace.data_rate == pytest.approx(100 * MB, rel=0.2)
+
+    def test_popularity_pair_contrast(self, fast_machine):
+        dense = build("dense-popularity", fast_machine, 600.0, seed=3)
+        sparse = build("sparse-popularity", fast_machine, 600.0, seed=3)
+        assert dense.measured_popularity() < sparse.measured_popularity()
+
+    def test_rate_pair_contrast(self, fast_machine):
+        low = build("low-rate", fast_machine, 600.0, seed=3)
+        high = build("high-rate", fast_machine, 600.0, seed=3)
+        assert high.data_rate > 20 * low.data_rate
+
+    def test_write_heavy_has_writes(self, fast_machine):
+        trace = build("write-heavy", fast_machine, 600.0)
+        assert trace.write_fraction > 0.05
+
+    def test_diurnal_is_nonstationary(self, fast_machine):
+        trace = build("diurnal", fast_machine, 960.0, seed=4)
+        first = trace.slice_time(0.0, 480.0).num_accesses
+        second = trace.slice_time(480.0, 960.0).num_accesses
+        assert abs(first - second) > 0.3 * max(first, second)
+
+    def test_case_insensitive_lookup(self, fast_machine):
+        trace = build("Paper-Default", fast_machine, 240.0)
+        assert trace.meta["suite"] == "paper-default"
+
+    def test_unknown_name_rejected(self, fast_machine):
+        with pytest.raises(TraceError, match="available"):
+            build("nope", fast_machine, 240.0)
+
+    def test_small_dataset_footprint(self, fast_machine):
+        trace = build("small-dataset", fast_machine, 600.0)
+        assert trace.footprint_bytes < 6 * GB

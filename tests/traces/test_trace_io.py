@@ -1,0 +1,69 @@
+"""Trace persistence round trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.trace import Trace
+from repro.traces.trace_io import load_csv, load_npz, save_csv, save_npz
+
+
+@pytest.fixture()
+def trace():
+    return Trace(
+        times=np.array([0.0, 0.5, 1.25]),
+        pages=np.array([3, 1, 3], dtype=np.int64),
+        page_size=8192,
+        files=np.array([0, 1, 0], dtype=np.int64),
+        meta={"generator": "test", "seed": 42},
+    )
+
+
+class TestNpz:
+    def test_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_npz(trace, path)
+        loaded = load_npz(path)
+        assert np.array_equal(loaded.times, trace.times)
+        assert np.array_equal(loaded.pages, trace.pages)
+        assert np.array_equal(loaded.files, trace.files)
+        assert loaded.page_size == 8192
+        assert loaded.meta == {"generator": "test", "seed": 42}
+
+    def test_roundtrip_without_files(self, trace, tmp_path):
+        bare = Trace(times=trace.times, pages=trace.pages)
+        path = tmp_path / "bare.npz"
+        save_npz(bare, path)
+        assert load_npz(path).files is None
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_npz(tmp_path / "absent.npz")
+
+
+class TestCsv:
+    def test_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_csv(trace, path)
+        loaded = load_csv(path, page_size=8192)
+        assert np.allclose(loaded.times, trace.times)
+        assert np.array_equal(loaded.pages, trace.pages)
+        assert np.array_equal(loaded.files, trace.files)
+
+    def test_roundtrip_without_files(self, trace, tmp_path):
+        bare = Trace(times=trace.times, pages=trace.pages)
+        path = tmp_path / "bare.csv"
+        save_csv(bare, path)
+        assert load_csv(path).files is None
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_csv(tmp_path / "absent.csv")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(TraceError):
+            load_csv(path)

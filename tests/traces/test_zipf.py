@@ -1,0 +1,117 @@
+"""Zipf sampler and popularity calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.traces.zipf import ZipfSampler, calibrate_exponent, popularity_ratio
+
+
+class TestSampler:
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(100, 1.0)
+        assert sampler.probabilities.sum() == pytest.approx(1.0)
+
+    def test_probabilities_decreasing(self):
+        sampler = ZipfSampler(50, 0.8)
+        probs = sampler.probabilities
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_exponent_zero_is_uniform(self):
+        sampler = ZipfSampler(10, 0.0)
+        assert np.allclose(sampler.probabilities, 0.1)
+
+    def test_samples_in_range(self, rng):
+        sampler = ZipfSampler(20, 1.2)
+        samples = sampler.sample(5000, rng)
+        assert samples.min() >= 0
+        assert samples.max() < 20
+
+    def test_sample_frequencies_match_probabilities(self, rng):
+        sampler = ZipfSampler(5, 1.0)
+        samples = sampler.sample(200_000, rng)
+        freq = np.bincount(samples, minlength=5) / samples.size
+        assert np.allclose(freq, sampler.probabilities, atol=0.01)
+
+    def test_higher_exponent_concentrates_head(self, rng):
+        flat = ZipfSampler(100, 0.5).sample(20_000, rng)
+        steep = ZipfSampler(100, 2.0).sample(20_000, rng)
+        assert (steep == 0).mean() > (flat == 0).mean()
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            ZipfSampler(0, 1.0)
+        with pytest.raises(TraceError):
+            ZipfSampler(10, -1.0)
+        with pytest.raises(TraceError):
+            ZipfSampler(10, 1.0).sample(-1)
+
+
+class TestPopularityRatio:
+    def test_uniform_distribution_ratio(self):
+        # Uniform: 90% of accesses need 90% of the files.
+        probs = np.full(100, 0.01)
+        sizes = np.full(100, 10.0)
+        assert popularity_ratio(probs, sizes) == pytest.approx(0.9, abs=0.02)
+
+    def test_concentrated_distribution(self):
+        # One file takes 95% of accesses: the ratio is its size share.
+        probs = np.array([0.95, 0.025, 0.025])
+        sizes = np.array([10.0, 45.0, 45.0])
+        assert popularity_ratio(probs, sizes) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            popularity_ratio([0.5], [1.0, 2.0])
+        with pytest.raises(TraceError):
+            popularity_ratio([], [])
+        with pytest.raises(TraceError):
+            popularity_ratio([1.0], [1.0], mass_fraction=0.0)
+        with pytest.raises(TraceError):
+            popularity_ratio([1.0], [0.0])
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("target", [0.1, 0.2, 0.4, 0.6])
+    def test_hits_target(self, rng, target):
+        sizes = rng.integers(1, 100, size=2000).astype(float)
+        exponent = calibrate_exponent(sizes, target)
+        sampler = ZipfSampler(sizes.size, exponent)
+        assert popularity_ratio(sampler.probabilities, sizes) == pytest.approx(
+            target, abs=0.02
+        )
+
+    def test_denser_target_needs_larger_exponent(self, rng):
+        sizes = rng.integers(1, 100, size=1000).astype(float)
+        dense = calibrate_exponent(sizes, 0.05)
+        sparse = calibrate_exponent(sizes, 0.5)
+        assert dense > sparse
+
+    def test_unreachably_sparse_returns_uniform(self, rng):
+        sizes = rng.integers(1, 100, size=100).astype(float)
+        assert calibrate_exponent(sizes, 1.0) == 0.0
+
+    def test_unreachably_dense_rejected(self):
+        # Two equal files cannot concentrate 90% of mass in 1% of bytes.
+        with pytest.raises(TraceError):
+            calibrate_exponent([10.0, 10.0], 0.01)
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            calibrate_exponent([], 0.1)
+        with pytest.raises(TraceError):
+            calibrate_exponent([1.0], 0.0)
+
+    @given(target=st.floats(min_value=0.05, max_value=0.8))
+    @settings(max_examples=20, deadline=None)
+    def test_calibration_roundtrip_property(self, target):
+        rng = np.random.default_rng(11)
+        sizes = rng.integers(1, 50, size=800).astype(float)
+        exponent = calibrate_exponent(sizes, target)
+        sampler = ZipfSampler(sizes.size, exponent)
+        measured = popularity_ratio(sampler.probabilities, sizes)
+        assert measured == pytest.approx(target, abs=0.05)
