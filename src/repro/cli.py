@@ -10,6 +10,8 @@ Commands:
   against an always-on run of the same workload.
 * ``trace`` -- generate or import a workload and print its measured
   characteristics (rate, footprint, popularity, miss-ratio curve).
+* ``verify`` -- differentially test the fast paths against brute-force
+  oracles over fuzzed workloads (see docs/VERIFICATION.md).
 * ``list`` -- list experiments and method names.
 """
 
@@ -91,6 +93,28 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--scale", type=int, default=1024)
     trace.add_argument("--seed", type=int, default=42)
     trace.add_argument("--save", help="write the trace to this .npz path")
+
+    verify = sub.add_parser(
+        "verify",
+        help="differentially test fast paths against brute-force oracles",
+    )
+    verify.add_argument(
+        "--seeds", type=int, default=50, help="fuzzed workloads per check"
+    )
+    verify.add_argument("--first-seed", type=int, default=0)
+    verify.add_argument(
+        "--checks",
+        help="comma-separated subset (stack,intervals,predictor,joint,energy)",
+    )
+    verify.add_argument(
+        "--max-accesses",
+        type=int,
+        default=300,
+        help="upper bound on accesses per fuzzed workload",
+    )
+    verify.add_argument(
+        "--progress", action="store_true", help="print each (check, seed) pair"
+    )
 
     sub.add_parser("list", help="list experiments and method names")
     return parser
@@ -207,6 +231,26 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify.differential import run_differential
+
+    checks = None
+    if args.checks:
+        checks = [name.strip() for name in args.checks.split(",") if name.strip()]
+    on_progress = None
+    if args.progress:
+        on_progress = lambda name, seed: print(f"  {name}: seed {seed}")  # noqa: E731
+    report = run_differential(
+        seeds=args.seeds,
+        checks=checks,
+        first_seed=args.first_seed,
+        max_accesses=args.max_accesses,
+        on_progress=on_progress,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     del args
     print("experiments:")
@@ -233,6 +277,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "report": _cmd_report,
         "trace": _cmd_trace,
+        "verify": _cmd_verify,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

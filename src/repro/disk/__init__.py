@@ -12,6 +12,7 @@ a datasheet-calibrated seek curve and real head movement).
 
 from repro.disk.drive import SimDisk
 from repro.disk.energy import DiskEnergy
+from repro.disk.events import DiskEvent, DiskEventLog
 from repro.disk.geometry import DiskGeometry
 from repro.disk.modes import DiskMode
 from repro.disk.positioned import PositionedServiceModel
@@ -20,6 +21,8 @@ from repro.disk.service import ServiceModel
 
 __all__ = [
     "DiskEnergy",
+    "DiskEvent",
+    "DiskEventLog",
     "DiskGeometry",
     "DiskMode",
     "PositionedServiceModel",

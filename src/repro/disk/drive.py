@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING
 
 from repro.config.disk_spec import DiskSpec
 from repro.disk.energy import DiskEnergy
+from repro.disk.events import DiskEventLog
 from repro.disk.service import ServiceModel
 from repro.errors import SimulationError
 
@@ -58,6 +59,7 @@ class SimDisk:
         spec: DiskSpec,
         service: ServiceModel,
         positioned: Optional["PositionedServiceModel"] = None,
+        events: Optional[DiskEventLog] = None,
     ) -> None:
         if service.spec is not spec and service.spec != spec:
             raise SimulationError("service model was built for a different spec")
@@ -66,6 +68,9 @@ class SimDisk:
         #: Optional geometry-backed pricing; used when a request carries
         #: its page address (see :mod:`repro.disk.positioned`).
         self.positioned = positioned
+        #: Optional state-transition log (see :mod:`repro.disk.events`);
+        #: the verification oracle re-integrates energy from it.
+        self.events = events
         self.energy = DiskEnergy()
         self._now = 0.0
         self._busy_until = 0.0
@@ -117,6 +122,8 @@ class SimDisk:
             timeout_s = None
         self._timeout = timeout_s
         self._timeout_since = now
+        if self.events is not None:
+            self.events.record_set_timeout(now, timeout_s)
 
     def advance(self, now: float) -> None:
         """Move the clock to ``now``, spinning down if the timeout expired."""
@@ -143,6 +150,8 @@ class SimDisk:
         # (a cycle still spun down at finalize is slightly overcharged).
         self.energy.add_time("transition", self.spec.spin_down_time_s)
         self.energy.spin_down_cycles += 1
+        if self.events is not None:
+            self.events.record_spin_down(at_time)
 
     # --- requests ------------------------------------------------------------------
 
@@ -164,6 +173,7 @@ class SimDisk:
             service_time = self.positioned.service_time(page, num_pages)
         else:
             service_time = self.service.service_time(num_pages, sequential)
+        woke = self._spun_down
         if self._spun_down:
             spin_done = self.spin_down_end
             wake_start = max(now, spin_done)
@@ -189,6 +199,15 @@ class SimDisk:
         self.energy.add_time("active", service_time)
         self.energy.requests += 1
         self.energy.bytes_transferred += num_pages * self.service.page_bytes
+        if self.events is not None:
+            self.events.record_submit(
+                arrival_s=now,
+                start_s=start,
+                finish_s=finish,
+                wake_delay_s=wake_delay,
+                service_s=service_time,
+                woke=woke,
+            )
         return RequestResult(
             arrival_s=now, start_s=start, finish_s=finish, wake_delay_s=wake_delay
         )
@@ -212,6 +231,8 @@ class SimDisk:
             if now > idle_from:
                 self.energy.add_time("idle", now - idle_from)
         self._passive_mark = max(self._passive_mark, now)
+        if self.events is not None:
+            self.events.record_checkpoint(now)
 
     def finalize(self, end_time: float) -> None:
         """Account the tail of the timeline up to ``end_time``."""

@@ -23,16 +23,41 @@ Invariants:
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.config.machine import MachineConfig
+from repro.errors import SimulationError
 from repro.sim.results import SimResult
 
 
-def audit_result(result: SimResult, machine: MachineConfig) -> List[str]:
-    """Return human-readable descriptions of every violated invariant."""
+def conservation_tolerance(machine: MachineConfig) -> float:
+    """Default slack for disk time conservation, in seconds.
+
+    One transition time: a cycle still spun down when the run ends has
+    recorded its spin-down but never the matching spin-up, so up to one
+    transition of the window legitimately goes unaccounted.
+    """
+    return max(machine.disk.transition_time_s, 1e-6)
+
+
+def audit_result(
+    result: SimResult,
+    machine: MachineConfig,
+    tolerance_s: Optional[float] = None,
+) -> List[str]:
+    """Return human-readable descriptions of every violated invariant.
+
+    ``tolerance_s`` bounds the disk time-conservation slack; it defaults
+    to :func:`conservation_tolerance`.  Callers with an event-level energy
+    oracle (``repro.verify.oracles.integrate_disk_events``) can pass a
+    much tighter bound.
+    """
     problems: List[str] = []
-    tolerance = max(machine.disk.transition_time_s, 1e-6)
+    if tolerance_s is None:
+        tolerance_s = conservation_tolerance(machine)
+    if tolerance_s < 0:
+        raise SimulationError("audit tolerance must be non-negative")
+    tolerance = tolerance_s
 
     # --- disk time conservation -----------------------------------------------
     disk = result.disk_energy
@@ -143,9 +168,13 @@ def audit_result(result: SimResult, machine: MachineConfig) -> List[str]:
     return problems
 
 
-def assert_clean(result: SimResult, machine: MachineConfig) -> SimResult:
+def assert_clean(
+    result: SimResult,
+    machine: MachineConfig,
+    tolerance_s: Optional[float] = None,
+) -> SimResult:
     """Raise ``AssertionError`` listing every violated invariant."""
-    problems = audit_result(result, machine)
+    problems = audit_result(result, machine, tolerance_s=tolerance_s)
     if problems:
         raise AssertionError(
             f"audit of {result.label!r} found {len(problems)} problem(s):\n  "

@@ -55,6 +55,7 @@ class SimulationEngine:
         label: str = "run",
         use_geometry: bool = False,
         flush_interval_s: float = FLUSH_INTERVAL_S,
+        record_events: bool = False,
     ) -> None:
         if (disk_policy is None) == (joint_manager is None):
             raise SimulationError(
@@ -75,7 +76,14 @@ class SimulationEngine:
             positioned = PositionedServiceModel(
                 machine.disk, machine.page_bytes
             )
-        self.disk = SimDisk(machine.disk, self.service, positioned=positioned)
+        events = None
+        if record_events:
+            from repro.disk.events import DiskEventLog
+
+            events = DiskEventLog()
+        self.disk = SimDisk(
+            machine.disk, self.service, positioned=positioned, events=events
+        )
         self.idle_hints = (
             None if idle_hints is None else np.asarray(idle_hints, dtype=float)
         )

@@ -118,15 +118,33 @@ def _validate(samples: Sequence[float]) -> np.ndarray:
     return data
 
 
+def _degenerate(reason: str, strict: bool) -> float:
+    """Degenerate-sample policy shared by the estimators.
+
+    The simulation path keeps the historical behaviour -- clamp alpha to
+    :data:`ALPHA_MAX`, which models "every idle interval is essentially
+    beta" and lets a period's decision proceed.  Verification callers pass
+    ``strict=True`` to get a :class:`FitError` instead of a clamp, so a
+    silently degenerate fit cannot masquerade as a measurement.
+    """
+    if strict:
+        raise FitError(f"degenerate Pareto sample: {reason}")
+    return ALPHA_MAX
+
+
 def fit_moments(
-    samples: Sequence[float], beta: Optional[float] = None
+    samples: Sequence[float],
+    beta: Optional[float] = None,
+    strict: bool = False,
 ) -> ParetoDistribution:
     """The paper's estimator: ``alpha = mean / (mean - beta)``.
 
     ``beta`` defaults to the smallest observed interval, which is the
     paper's definition of beta ("the length of the shortest idle
     interval").  When the sample mean does not exceed ``beta`` (all
-    intervals nearly equal), alpha is clamped to :data:`ALPHA_MAX`.
+    intervals nearly equal, or an explicit ``beta`` above the data), alpha
+    is clamped to :data:`ALPHA_MAX` -- or, with ``strict=True``, a
+    :class:`FitError` is raised.
     """
     data = _validate(samples)
     if beta is None:
@@ -135,7 +153,9 @@ def fit_moments(
         raise FitError(f"beta must be positive, got {beta}")
     mean = float(data.mean())
     if mean <= beta:
-        alpha = ALPHA_MAX
+        alpha = _degenerate(
+            f"sample mean {mean} does not exceed beta {beta}", strict
+        )
     else:
         alpha = mean / (mean - beta)
     alpha = min(max(alpha, ALPHA_MIN), ALPHA_MAX)
@@ -143,7 +163,9 @@ def fit_moments(
 
 
 def fit_mle(
-    samples: Sequence[float], beta: Optional[float] = None
+    samples: Sequence[float],
+    beta: Optional[float] = None,
+    strict: bool = False,
 ) -> ParetoDistribution:
     """Maximum-likelihood fit: ``alpha = n / sum(log(x_i / beta))``."""
     data = _validate(samples)
@@ -151,14 +173,23 @@ def fit_mle(
         beta = float(data.min())
     if beta <= 0:
         raise FitError(f"beta must be positive, got {beta}")
+    if strict and bool(np.any(data < beta)):
+        raise FitError("samples below the explicit beta scale")
     logs = np.log(np.maximum(data, beta) / beta)
     total = float(logs.sum())
-    alpha = ALPHA_MAX if total <= 0.0 else data.size / total
+    if total <= 0.0:
+        alpha = _degenerate("all samples equal the beta scale", strict)
+    else:
+        alpha = data.size / total
     alpha = min(max(alpha, ALPHA_MIN), ALPHA_MAX)
     return ParetoDistribution(alpha=alpha, beta=beta)
 
 
-def fit_hill(samples: Sequence[float], tail_fraction: float = 0.5) -> ParetoDistribution:
+def fit_hill(
+    samples: Sequence[float],
+    tail_fraction: float = 0.5,
+    strict: bool = False,
+) -> ParetoDistribution:
     """Hill estimator over the largest ``tail_fraction`` of the samples.
 
     Robust when only the tail is Pareto (the usual case for measured disk
@@ -172,11 +203,15 @@ def fit_hill(samples: Sequence[float], tail_fraction: float = 0.5) -> ParetoDist
         k = data.size - 1
     if k < 1:
         # A single sample: degenerate, treat it as the scale.
-        return ParetoDistribution(alpha=ALPHA_MAX, beta=float(data[0]))
+        alpha = _degenerate("a single sample has no tail to fit", strict)
+        return ParetoDistribution(alpha=alpha, beta=float(data[0]))
     threshold = float(data[k])
     logs = np.log(data[:k] / threshold)
     total = float(logs.sum())
-    alpha = ALPHA_MAX if total <= 0.0 else k / total
+    if total <= 0.0:
+        alpha = _degenerate("tail samples all equal the threshold", strict)
+    else:
+        alpha = k / total
     alpha = min(max(alpha, ALPHA_MIN), ALPHA_MAX)
     return ParetoDistribution(alpha=alpha, beta=threshold)
 

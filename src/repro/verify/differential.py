@@ -1,0 +1,538 @@
+"""Differential runner: fast paths vs brute-force oracles over fuzzed seeds.
+
+Five checks, each pairing a production fast path with its oracle from
+:mod:`repro.verify.oracles`:
+
+========== ====================================================== =========
+check      fast path                                              oracle
+========== ====================================================== =========
+stack      ``cache.stack_distance.StackDistanceTracker``          explicit LRU stack
+intervals  ``stats.intervals.extract_idle_intervals``             plain-loop filter
+predictor  ``cache.predictor.ResizePredictor`` fed by the tracker per-size literal LRU
+joint      ``core.joint.JointPowerManager`` period decision       per-size LRU + numeric
+                                                                  eq. (2)-(6) + (m, t_o)
+                                                                  grid search
+energy     ``sim.engine`` / ``disk.drive`` incremental accounting event-log integration
+========== ====================================================== =========
+
+Each seed deterministically expands to a fuzzed workload
+(:func:`repro.verify.strategies.random_case`).  On the first divergence
+the runner delta-debugs the access stream down to a minimal reproducer
+and stops; ``repro verify`` prints it ready to paste into a test.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cache.predictor import ResizePredictor
+from repro.cache.stack_distance import StackDistanceTracker
+from repro.core.joint import JointPowerManager
+from repro.errors import SimulationError
+from repro.memory.system import NapMemorySystem
+from repro.policies.fixed_timeout import FixedTimeoutPolicy
+from repro.sim.engine import SimulationEngine
+from repro.stats.intervals import extract_idle_intervals
+from repro.stats.timeout_math import expected_power, optimal_timeout
+from repro.traces.trace import Trace
+from repro.verify import oracles
+from repro.verify.strategies import VerifyCase, random_case, random_small_machine
+
+#: Tracker capacity used by the stack/predictor/joint checks: tiny, so
+#: every fuzzed stream crosses several compaction boundaries.
+TRACKER_CAPACITY = 8
+
+#: Candidate cache sizes (pages) the predictor check sweeps.
+PREDICTOR_CAPACITIES = (0, 1, 2, 3, 5, 8, 13, 21, 34)
+
+#: Bounds within which the numeric Pareto oracles are trustworthy.
+NUMERIC_ALPHA_RANGE = (1.05, 50.0)
+
+
+# --- report types -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """A confirmed fast-path/oracle disagreement, minimized."""
+
+    check: str
+    seed: int
+    pattern: str
+    #: What differed, on the minimized input.
+    detail: str
+    #: The minimized access stream (times kept aligned with pages).
+    times: Tuple[float, ...]
+    pages: Tuple[int, ...]
+    window_s: float
+    period_s: float
+
+    def reproducer(self) -> str:
+        """A paste-ready snippet that re-triggers the divergence."""
+        times = "[" + ", ".join(f"{t:.6f}" for t in self.times) + "]"
+        pages = "[" + ", ".join(str(p) for p in self.pages) + "]"
+        return (
+            "from repro.verify.differential import CHECKS\n"
+            "from repro.verify.strategies import VerifyCase\n"
+            "import numpy as np\n"
+            f"case = VerifyCase(seed={self.seed}, times=np.array({times}),\n"
+            f"                  pages=np.array({pages}, dtype=np.int64),\n"
+            f"                  window_s={self.window_s!r}, period_s={self.period_s!r},\n"
+            f"                  pattern={self.pattern!r})\n"
+            f"print(CHECKS[{self.check!r}](case))"
+        )
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """Result of running one check over a range of seeds."""
+
+    name: str
+    seeds_run: int
+    divergence: Optional[Divergence] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None
+
+
+@dataclass
+class VerifyReport:
+    """Everything ``repro verify`` learned in one invocation."""
+
+    outcomes: List[CheckOutcome] = field(default_factory=list)
+    first_seed: int = 0
+    seeds: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    @property
+    def first_divergence(self) -> Optional[Divergence]:
+        for outcome in self.outcomes:
+            if outcome.divergence is not None:
+                return outcome.divergence
+        return None
+
+    def render(self) -> str:
+        lines = [
+            f"differential verification: {self.seeds} seed(s) starting at "
+            f"{self.first_seed}"
+        ]
+        for outcome in self.outcomes:
+            status = "ok" if outcome.ok else "DIVERGED"
+            lines.append(
+                f"  {outcome.name:<10} {outcome.seeds_run:>4} seed(s)  {status}"
+            )
+            if outcome.divergence is not None:
+                d = outcome.divergence
+                lines.append(
+                    f"    seed {d.seed} (pattern {d.pattern}): {d.detail}"
+                )
+                lines.append(
+                    f"    minimized to {len(d.pages)} access(es); reproducer:"
+                )
+                for row in d.reproducer().splitlines():
+                    lines.append("      " + row)
+        lines.append("PASS" if self.ok else "FAIL")
+        return "\n".join(lines)
+
+
+# --- delta debugging ----------------------------------------------------------
+
+
+def minimize_accesses(
+    items: List[Tuple[float, int]],
+    fails: Callable[[List[Tuple[float, int]]], bool],
+) -> List[Tuple[float, int]]:
+    """Classic ddmin over ``(time, page)`` pairs.
+
+    Repeatedly tries dropping contiguous chunks (halves, then quarters,
+    ...) while ``fails`` keeps returning True; subsequences preserve the
+    time ordering, so every candidate is a valid access stream.
+    """
+    if not fails(items):
+        raise SimulationError("minimizer needs a failing input to start from")
+    granularity = 2
+    while len(items) >= 2:
+        chunk = max(len(items) // granularity, 1)
+        reduced = False
+        for start in range(0, len(items), chunk):
+            candidate = items[:start] + items[start + chunk :]
+            if candidate != items and fails(candidate):
+                items = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(granularity * 2, len(items))
+    return items
+
+
+def _rebuild(case: VerifyCase, pairs: Sequence[Tuple[float, int]]) -> VerifyCase:
+    return VerifyCase(
+        seed=case.seed,
+        times=np.asarray([t for t, _ in pairs], dtype=np.float64),
+        pages=np.asarray([p for _, p in pairs], dtype=np.int64),
+        window_s=case.window_s,
+        period_s=case.period_s,
+        pattern=case.pattern,
+    )
+
+
+# --- the checks ---------------------------------------------------------------
+
+
+def check_stack_distance(case: VerifyCase) -> Optional[str]:
+    """Fenwick-tree stack distances vs the explicit LRU stack."""
+    pages = case.pages.tolist()
+    tracker = StackDistanceTracker(initial_capacity=TRACKER_CAPACITY)
+    fast = [tracker.access(page) for page in pages]
+    slow = oracles.naive_stack_distances(pages)
+    if fast != slow:
+        first = next(i for i, (a, b) in enumerate(zip(fast, slow)) if a != b)
+        return (
+            f"stack distance of access {first} (page {pages[first]}): "
+            f"fast {fast[first]} != oracle {slow[first]}"
+        )
+    return None
+
+
+def check_intervals(case: VerifyCase) -> Optional[str]:
+    """Vectorised idle-interval extraction vs the one-gap-at-a-time loop."""
+    # The disk sees the access times directly in this check.
+    times = case.times.tolist()
+    fast = extract_idle_intervals(
+        times, case.window_s, period_start=0.0, period_end=case.period_s
+    )
+    slow = oracles.naive_idle_intervals(
+        times, case.window_s, period_start=0.0, period_end=case.period_s
+    )
+    if fast.count != len(slow) or not np.allclose(
+        fast.lengths, np.asarray(slow), rtol=0.0, atol=1e-12
+    ):
+        return (
+            f"idle intervals differ: fast n={fast.count} "
+            f"{fast.lengths.tolist()} != oracle n={len(slow)} {slow}"
+        )
+    return None
+
+
+def check_predictor(case: VerifyCase) -> Optional[str]:
+    """One-pass per-size prediction vs literally simulating each size."""
+    times = case.times.tolist()
+    pages = case.pages.tolist()
+    tracker = StackDistanceTracker(initial_capacity=TRACKER_CAPACITY)
+    predictor = ResizePredictor()
+    for now, page in zip(times, pages):
+        predictor.record(now, tracker.access(page))
+    predictions = predictor.predict(
+        PREDICTOR_CAPACITIES,
+        window_s=case.window_s,
+        period_start=0.0,
+        period_end=case.period_s,
+    )
+    for prediction in predictions:
+        capacity = prediction.capacity_pages
+        slow_times = oracles.naive_lru_miss_times(times, pages, capacity)
+        if prediction.num_disk_accesses != len(slow_times):
+            return (
+                f"size {capacity}: fast predicts "
+                f"{prediction.num_disk_accesses} disk accesses, the literal "
+                f"LRU saw {len(slow_times)}"
+            )
+        slow_idle = oracles.naive_idle_intervals(
+            slow_times, case.window_s, period_start=0.0, period_end=case.period_s
+        )
+        if prediction.idle.count != len(slow_idle) or not np.allclose(
+            prediction.idle.lengths, np.asarray(slow_idle), rtol=0.0, atol=1e-9
+        ):
+            return (
+                f"size {capacity}: fast idle intervals "
+                f"{prediction.idle.lengths.tolist()} != oracle {slow_idle}"
+            )
+    return None
+
+
+def check_joint(case: VerifyCase) -> Optional[str]:
+    """The per-period ``(m, t_o)`` decision vs exhaustive search.
+
+    Four oracles in one pass: (1) per-candidate disk-IO predictions vs
+    the literal LRU, (2) candidate selection vs an exhaustive scan,
+    (3) the closed-form eq. (4) power vs numerical integration, and
+    (4) the eq. (5) timeout vs a dense timeout grid, plus the eq. (6)
+    delayed-ratio constraint at the chosen timeout.
+    """
+    machine = random_small_machine(case.seed)
+    manager = JointPowerManager(machine)
+    times = case.times.tolist()
+    pages = case.pages.tolist()
+    for now, page in zip(times, pages):
+        manager.record_access(now, page)
+    decision = manager.end_period(case.period_s)
+    evaluations = decision.evaluations
+    period_s = case.period_s
+    disk = machine.disk
+
+    # (1) predictions vs the literal per-size LRU simulation.
+    for evaluation in evaluations:
+        prediction = evaluation.prediction
+        slow_times = oracles.naive_lru_miss_times(
+            times, pages, prediction.capacity_pages
+        )
+        if prediction.num_disk_accesses != len(slow_times):
+            return (
+                f"candidate {prediction.capacity_pages} pages: fast predicts "
+                f"{prediction.num_disk_accesses} disk accesses, literal LRU "
+                f"saw {len(slow_times)}"
+            )
+        slow_idle = oracles.naive_idle_intervals(
+            slow_times,
+            machine.manager.aggregation_window_s,
+            period_start=0.0,
+            period_end=period_s,
+        )
+        if prediction.idle.count != len(slow_idle) or not np.allclose(
+            prediction.idle.lengths, np.asarray(slow_idle), rtol=0.0, atol=1e-9
+        ):
+            return (
+                f"candidate {prediction.capacity_pages} pages: idle intervals "
+                f"{prediction.idle.lengths.tolist()} != oracle {slow_idle}"
+            )
+
+    # (2) selection vs the exhaustive scan.
+    chosen = oracles.oracle_select(evaluations)
+    if chosen.capacity_bytes != decision.memory_bytes:
+        return (
+            f"selection: manager chose {decision.memory_bytes} B, exhaustive "
+            f"scan chose {chosen.capacity_bytes} B"
+        )
+    if not _timeouts_equal(chosen.timeout_s, decision.timeout_s):
+        return (
+            f"selection: manager timeout {decision.timeout_s} != oracle "
+            f"timeout {chosen.timeout_s}"
+        )
+
+    # (3)/(4) the timeout mathematics, candidate by candidate.
+    low, high = NUMERIC_ALPHA_RANGE
+    for evaluation in evaluations:
+        fit = evaluation.fit
+        if fit is None or not (low <= fit.alpha <= high):
+            continue
+        n_i = evaluation.prediction.idle.count
+        if n_i == 0 or evaluation.prediction.num_disk_accesses == 0:
+            continue
+        timeout = evaluation.timeout_s
+        if timeout is not None and timeout > 0:
+            closed = expected_power(
+                fit,
+                num_intervals=n_i,
+                timeout_s=timeout,
+                period_s=period_s,
+                static_power_w=disk.static_power_watts,
+                break_even_s=disk.break_even_time_s,
+            )
+            numeric = oracles.numeric_expected_power(
+                fit,
+                num_intervals=n_i,
+                timeout_s=timeout,
+                period_s=period_s,
+                static_power_w=disk.static_power_watts,
+                break_even_s=disk.break_even_time_s,
+            )
+            if not math.isclose(closed, numeric, rel_tol=1e-5, abs_tol=1e-9):
+                return (
+                    f"candidate {evaluation.capacity_bytes} B: eq. (4) closed "
+                    f"form {closed} != numeric integral {numeric}"
+                )
+        eq5 = optimal_timeout(fit, disk.break_even_time_s)
+        at_eq5 = oracles.unclamped_expected_power(
+            fit, n_i, eq5, period_s, disk.static_power_watts, disk.break_even_time_s
+        )
+        _, grid_power = oracles.grid_best_timeout(
+            fit,
+            n_i,
+            period_s,
+            disk.static_power_watts,
+            disk.break_even_time_s,
+        )
+        # Sign-safe slack: the unclamped power goes negative when t_s > T.
+        if at_eq5 > grid_power + max(abs(grid_power) * 1e-3, 1e-9):
+            return (
+                f"candidate {evaluation.capacity_bytes} B: eq. (5) timeout "
+                f"{eq5:.3f}s has power {at_eq5:.6f} W, the grid found "
+                f"{grid_power:.6f} W"
+            )
+        if timeout is not None and manager.enforce_constraints:
+            ratio = oracles.delayed_ratio(
+                fit,
+                num_intervals=n_i,
+                num_disk_accesses=evaluation.prediction.num_disk_accesses,
+                num_cache_accesses=evaluation.prediction.num_cache_accesses,
+                period_s=period_s,
+                timeout_s=timeout,
+                transition_time_s=disk.transition_time_s,
+                long_latency_threshold_s=machine.manager.long_latency_threshold_s,
+            )
+            limit = machine.manager.max_delayed_ratio
+            if ratio > limit * (1.0 + 1e-6) + 1e-12:
+                return (
+                    f"candidate {evaluation.capacity_bytes} B: timeout "
+                    f"{timeout:.3f}s violates eq. (6): delayed ratio "
+                    f"{ratio:.3e} > limit {limit:.3e}"
+                )
+    return None
+
+
+def check_energy(case: VerifyCase) -> Optional[str]:
+    """Incremental drive accounting vs event-by-event integration."""
+    machine = random_small_machine(case.seed)
+    rng = np.random.default_rng(case.seed ^ 0xD15C)
+    spec = machine.memory
+    banks = spec.installed_bytes // spec.bank_bytes
+    capacity = spec.bank_bytes * int(rng.integers(1, banks + 1))
+    timeout = float(
+        rng.choice([0.0, 1.0, machine.disk.break_even_time_s, 30.0, math.inf])
+    )
+    memory = NapMemorySystem(spec, capacity)
+    engine = SimulationEngine(
+        machine,
+        memory,
+        disk_policy=FixedTimeoutPolicy(timeout),
+        label="verify-energy",
+        record_events=True,
+    )
+    trace = Trace(
+        times=case.times, pages=case.pages, page_size=machine.page_bytes
+    )
+    engine.run(trace)
+    assert engine.disk.events is not None
+    integrated = oracles.integrate_disk_events(
+        engine.disk.events.events, machine.disk
+    )
+    booked = engine.disk.energy
+    for name in ("active_s", "idle_s", "standby_s", "transition_s"):
+        fast = getattr(booked, name)
+        slow = getattr(integrated, name)
+        if abs(fast - slow) > 1e-6:
+            return (
+                f"{name}: incremental accounting {fast:.9f} != event "
+                f"integration {slow:.9f} (timeout {timeout}, capacity "
+                f"{capacity} B)"
+            )
+    if booked.spin_down_cycles != integrated.spin_down_cycles:
+        return (
+            f"spin-down cycles: {booked.spin_down_cycles} != "
+            f"{integrated.spin_down_cycles}"
+        )
+    if booked.requests != integrated.requests:
+        return f"requests: {booked.requests} != {integrated.requests}"
+    fast_j = booked.total_joules(machine.disk)
+    slow_j = integrated.total_joules(machine.disk)
+    if not math.isclose(fast_j, slow_j, rel_tol=1e-9, abs_tol=1e-6):
+        return f"total energy: {fast_j} J != {slow_j} J"
+    return None
+
+
+def _timeouts_equal(a: Optional[float], b: Optional[float]) -> bool:
+    if a is None or b is None:
+        return a is None and b is None
+    return math.isclose(a, b, rel_tol=1e-12, abs_tol=1e-12)
+
+
+#: Check registry, in the order ``repro verify`` runs them.
+CHECKS: Dict[str, Callable[[VerifyCase], Optional[str]]] = {
+    "stack": check_stack_distance,
+    "intervals": check_intervals,
+    "predictor": check_predictor,
+    "joint": check_joint,
+    "energy": check_energy,
+}
+
+
+# --- the runner ---------------------------------------------------------------
+
+
+def run_differential(
+    seeds: int = 50,
+    checks: Optional[Sequence[str]] = None,
+    first_seed: int = 0,
+    max_accesses: int = 300,
+    on_progress: Optional[Callable[[str, int], None]] = None,
+) -> VerifyReport:
+    """Replay ``seeds`` fuzzed workloads through every requested check.
+
+    Stops each check at its first divergence and minimizes the failing
+    access stream with :func:`minimize_accesses`; the other checks still
+    run, so one report shows every broken subsystem.
+    """
+    if seeds <= 0:
+        raise SimulationError("need at least one seed")
+    names = list(CHECKS) if checks is None else list(checks)
+    for name in names:
+        if name not in CHECKS:
+            raise SimulationError(
+                f"unknown check {name!r}; available: {', '.join(CHECKS)}"
+            )
+    report = VerifyReport(first_seed=first_seed, seeds=seeds)
+    for name in names:
+        fn = CHECKS[name]
+        outcome = CheckOutcome(name=name, seeds_run=seeds)
+        for offset in range(seeds):
+            seed = first_seed + offset
+            if on_progress is not None:
+                on_progress(name, seed)
+            case = random_case(seed, max_accesses=max_accesses)
+            detail = _run_safely(fn, case)
+            if detail is not None:
+                minimized = _minimize(case, fn)
+                final_detail = _run_safely(fn, minimized) or detail
+                outcome = CheckOutcome(
+                    name=name,
+                    seeds_run=offset + 1,
+                    divergence=Divergence(
+                        check=name,
+                        seed=seed,
+                        pattern=case.pattern,
+                        detail=final_detail,
+                        times=tuple(minimized.times.tolist()),
+                        pages=tuple(int(p) for p in minimized.pages.tolist()),
+                        window_s=case.window_s,
+                        period_s=case.period_s,
+                    ),
+                )
+                break
+        report.outcomes.append(outcome)
+    return report
+
+
+def _run_safely(
+    fn: Callable[[VerifyCase], Optional[str]], case: VerifyCase
+) -> Optional[str]:
+    """An exception in either path is itself a divergence, not a crash."""
+    try:
+        return fn(case)
+    except Exception as exc:  # noqa: BLE001 - report, don't die mid-fuzz
+        return f"exception during check: {type(exc).__name__}: {exc}"
+
+
+def _minimize(
+    case: VerifyCase, fn: Callable[[VerifyCase], Optional[str]]
+) -> VerifyCase:
+    pairs = case.accesses
+
+    def fails(candidate: List[Tuple[float, int]]) -> bool:
+        return _run_safely(fn, _rebuild(case, candidate)) is not None
+
+    try:
+        return _rebuild(case, minimize_accesses(pairs, fails))
+    except SimulationError:
+        return case

@@ -3,13 +3,26 @@
 from __future__ import annotations
 
 import dataclasses
+import os
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.config.machine import MachineConfig, paper_machine
 from repro.traces.specweb import generate_trace
 from repro.units import GB, MB
+
+# Hypothesis profiles: "ci" is the smoke profile the GitHub workflow runs
+# (fewer examples, no flaky deadlines on shared runners); "dev" digs deeper.
+settings.register_profile(
+    "ci",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", max_examples=200, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture(scope="session")

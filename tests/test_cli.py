@@ -190,3 +190,40 @@ class TestSuiteOption:
         out = capsys.readouterr().out
         assert "workload suites" in out
         assert "diurnal" in out
+
+
+class TestVerifyCommand:
+    def test_verify_passes_on_clean_code(self, capsys):
+        code = main(["verify", "--seeds", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        for check in ("stack", "intervals", "predictor", "joint", "energy"):
+            assert check in out
+
+    def test_verify_check_subset(self, capsys):
+        code = main(["verify", "--seeds", "2", "--checks", "stack,intervals"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stack" in out and "intervals" in out
+        assert "energy" not in out
+
+    def test_verify_exits_nonzero_on_divergence(self, capsys, monkeypatch):
+        from repro.cache.stack_distance import StackDistanceTracker
+
+        original = StackDistanceTracker.access
+
+        def buggy(self, page):
+            depth = original(self, page)
+            return depth + 1 if depth >= 1 else depth
+
+        monkeypatch.setattr(StackDistanceTracker, "access", buggy)
+        code = main(["verify", "--seeds", "10", "--checks", "stack"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "DIVERGED" in out and "reproducer" in out
+
+    def test_verify_progress_flag(self, capsys):
+        code = main(["verify", "--seeds", "2", "--checks", "stack", "--progress"])
+        assert code == 0
+        assert "seed 0" in capsys.readouterr().out

@@ -1,0 +1,1 @@
+"""Differential-verification tests: oracles, strategies, runner, satellites."""

@@ -1,0 +1,129 @@
+"""The drive's incremental energy accounting vs the event-level oracle.
+
+Satellite of the differential-verification PR: real engine runs with the
+event log enabled, integrated independently by
+:func:`repro.verify.oracles.integrate_disk_events`, must reproduce the
+drive's own :class:`DiskEnergy` buckets -- and the audit's
+time-conservation check, now with a caller-chosen tolerance, must hold at
+a far tighter bound than its transition-time default.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.config.machine import MachineConfig, paper_machine
+from repro.errors import SimulationError
+from repro.memory.system import NapMemorySystem
+from repro.policies.fixed_timeout import FixedTimeoutPolicy
+from repro.sim.audit import assert_clean, audit_result, conservation_tolerance
+from repro.sim.engine import SimulationEngine
+from repro.traces.trace import Trace
+from repro.verify.oracles import integrate_disk_events
+
+
+@pytest.fixture(scope="module")
+def small_machine() -> MachineConfig:
+    base = paper_machine().scaled(1024)
+    manager = dataclasses.replace(base.manager, period_s=120.0)
+    return MachineConfig(
+        memory=base.memory, disk=base.disk, manager=manager, scale=base.scale
+    )
+
+
+def _bursty_trace(machine: MachineConfig, seed: int) -> Trace:
+    rng = np.random.default_rng(seed)
+    n = 200
+    gaps = np.where(
+        rng.random(n) < 0.6,
+        rng.exponential(0.05, size=n),
+        rng.exponential(20.0, size=n),
+    )
+    return Trace(
+        times=np.cumsum(gaps),
+        pages=rng.integers(0, 64, size=n),
+        page_size=machine.page_bytes,
+    )
+
+
+def _run(machine: MachineConfig, timeout_s: float, seed: int = 3):
+    memory = NapMemorySystem(machine.memory, machine.memory.bank_bytes * 2)
+    engine = SimulationEngine(
+        machine,
+        memory,
+        disk_policy=FixedTimeoutPolicy(timeout_s),
+        label="energy-oracle",
+        record_events=True,
+    )
+    result = engine.run(_bursty_trace(machine, seed))
+    return engine, result
+
+
+@pytest.mark.parametrize("timeout_s", [0.0, 1.0, 11.7, 30.0, math.inf])
+def test_event_integration_reproduces_incremental_buckets(
+    small_machine, timeout_s
+):
+    engine, _ = _run(small_machine, timeout_s)
+    booked = engine.disk.energy
+    integrated = integrate_disk_events(
+        engine.disk.events.events, small_machine.disk
+    )
+    assert integrated.active_s == pytest.approx(booked.active_s, abs=1e-9)
+    assert integrated.idle_s == pytest.approx(booked.idle_s, abs=1e-6)
+    assert integrated.standby_s == pytest.approx(booked.standby_s, abs=1e-6)
+    assert integrated.transition_s == pytest.approx(
+        booked.transition_s, abs=1e-9
+    )
+    assert integrated.spin_down_cycles == booked.spin_down_cycles
+    assert integrated.requests == booked.requests
+    assert integrated.total_joules(small_machine.disk) == pytest.approx(
+        booked.total_joules(small_machine.disk), rel=1e-12
+    )
+
+
+@pytest.mark.parametrize("timeout_s", [1.0, 11.7])
+def test_audit_passes_at_microsecond_tolerance(small_machine, timeout_s):
+    """With the event oracle agreeing, conservation holds far tighter than
+    the old hardwired transition-time slack."""
+    engine, result = _run(small_machine, timeout_s)
+    booked = engine.disk.energy
+    accounted = (
+        booked.active_s + booked.idle_s + booked.standby_s + booked.transition_s
+    )
+    # The run may end mid-cycle: allow the known unused-spin-up slack, then
+    # audit at 1 microsecond, six orders tighter than the default.
+    slack = result.duration_s - accounted
+    assert -1e-6 <= slack <= small_machine.disk.transition_time_s + 1e-6
+    if slack <= 1e-6:
+        assert audit_result(result, small_machine, tolerance_s=1e-6) == []
+        assert_clean(result, small_machine, tolerance_s=1e-6)
+
+
+def test_default_tolerance_unchanged(small_machine):
+    assert conservation_tolerance(small_machine) == pytest.approx(
+        small_machine.disk.transition_time_s
+    )
+    engine, result = _run(small_machine, 11.7)
+    assert audit_result(result, small_machine) == []
+
+
+def test_negative_tolerance_rejected(small_machine):
+    _, result = _run(small_machine, 1.0)
+    with pytest.raises(SimulationError):
+        audit_result(result, small_machine, tolerance_s=-1.0)
+
+
+def test_tight_tolerance_detects_dropped_time(small_machine):
+    """A corrupted bucket slips under the default slack but not a tight one."""
+    import copy
+
+    _, result = _run(small_machine, 1.0)
+    corrupted = copy.deepcopy(result)
+    corrupted.disk_energy.idle_s -= small_machine.disk.transition_time_s * 0.5
+    assert audit_result(corrupted, small_machine) == []  # default: hidden
+    problems = audit_result(corrupted, small_machine, tolerance_s=1e-3)
+    assert any("missing time" in p for p in problems)

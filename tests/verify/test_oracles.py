@@ -1,0 +1,196 @@
+"""Unit and property tests for the brute-force oracles themselves.
+
+The oracles are the trusted side of every differential check, so they get
+their own scrutiny: closed forms vs numerical integration, the eq. (5)
+optimum vs the timeout grid, the naive LRU vs the stack-distance
+derivation (inclusion property), and the event integrator's rejection of
+inconsistent logs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.disk_spec import DiskSpec
+from repro.disk.events import DiskEventLog
+from repro.errors import SimulationError
+from repro.stats.pareto import ParetoDistribution
+from repro.stats.timeout_math import (
+    expected_off_time,
+    expected_power,
+    expected_spin_downs,
+    optimal_timeout,
+)
+from repro.verify import oracles
+from repro.verify.strategies import access_patterns
+
+DISTS = st.builds(
+    ParetoDistribution,
+    alpha=st.floats(min_value=1.1, max_value=20.0),
+    beta=st.floats(min_value=0.1, max_value=30.0),
+)
+
+
+# --- naive LRU and the inclusion property -------------------------------------
+
+
+@given(pages=access_patterns(max_size=150))
+@settings(max_examples=100, deadline=None)
+def test_naive_lru_consistent_with_stack_distances(pages):
+    """``misses(m) == cold + #{distances >= m}`` -- Mattson's theorem,
+    checked between two independently-written oracles."""
+    distances = oracles.naive_stack_distances(pages)
+    cold, hist = oracles.naive_depth_histogram(pages)
+    assert len(distances) == len(pages)
+    for m in range(0, 20):
+        from_stack = cold + sum(n for d, n in hist.items() if d >= m)
+        if m == 0:
+            assert oracles.naive_lru_misses(pages, m) == len(pages)
+        else:
+            assert oracles.naive_lru_misses(pages, m) == from_stack
+
+
+def test_naive_lru_miss_times_align_with_counts():
+    times = [0.0, 1.0, 2.0, 3.0, 4.0]
+    pages = [1, 2, 1, 3, 1]
+    for m in range(0, 5):
+        miss_times = oracles.naive_lru_miss_times(times, pages, m)
+        assert len(miss_times) == oracles.naive_lru_misses(pages, m)
+    # m=2: [1, 2] then 1 hits, 3 evicts 2... the literal trace:
+    assert oracles.naive_lru_miss_times(times, pages, 2) == [0.0, 1.0, 3.0]
+
+
+def test_naive_idle_intervals_rejects_unsorted():
+    with pytest.raises(SimulationError):
+        oracles.naive_idle_intervals([2.0, 1.0], 0.0)
+
+
+# --- eq. (2)-(4): closed forms vs numerical integration ------------------------
+
+
+@given(
+    dist=DISTS,
+    n_i=st.floats(min_value=0.0, max_value=200.0),
+    timeout=st.floats(min_value=0.01, max_value=500.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_numeric_matches_closed_forms(dist, n_i, timeout):
+    closed_ts = expected_off_time(dist, n_i, timeout)
+    numeric_ts = oracles.numeric_expected_off_time(dist, n_i, timeout)
+    assert numeric_ts == pytest.approx(closed_ts, rel=1e-6, abs=1e-9)
+
+    closed_h = expected_spin_downs(dist, n_i, timeout)
+    numeric_h = oracles.numeric_expected_spin_downs(dist, n_i, timeout)
+    assert numeric_h == pytest.approx(closed_h, rel=1e-6, abs=1e-9)
+
+
+@given(
+    dist=DISTS,
+    n_i=st.floats(min_value=0.0, max_value=60.0),
+    timeout=st.floats(min_value=0.01, max_value=500.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_numeric_power_matches_closed_form(dist, n_i, timeout):
+    period, p_d, t_be = 600.0, 5.26, 11.7
+    closed = expected_power(dist, n_i, timeout, period, p_d, t_be)
+    numeric = oracles.numeric_expected_power(dist, n_i, timeout, period, p_d, t_be)
+    assert numeric == pytest.approx(closed, rel=1e-6, abs=1e-9)
+
+
+def test_numeric_oracles_refuse_fragile_alpha():
+    dist = ParetoDistribution(alpha=1.0 + 1e-6, beta=1.0)
+    with pytest.raises(SimulationError):
+        oracles.numeric_expected_off_time(dist, 1.0, 10.0)
+
+
+# --- eq. (5) vs the timeout grid ----------------------------------------------
+
+
+@given(dist=DISTS, n_i=st.floats(min_value=0.5, max_value=100.0))
+@settings(max_examples=80, deadline=None)
+def test_eq5_beats_the_grid(dist, n_i):
+    """alpha * t_be minimises un-capped eq. (4): no grid point does better."""
+    period, p_d, t_be = 600.0, 5.26, 11.7
+    eq5 = optimal_timeout(dist, t_be)
+    at_eq5 = oracles.unclamped_expected_power(dist, n_i, eq5, period, p_d, t_be)
+    _, grid_power = oracles.grid_best_timeout(dist, n_i, period, p_d, t_be)
+    # Sign-safe slack: the unclamped power goes negative when t_s > T.
+    assert at_eq5 <= grid_power + max(abs(grid_power) * 1e-3, 1e-9)
+
+
+def test_grid_locates_eq5_when_interior():
+    dist = ParetoDistribution(alpha=2.0, beta=5.0)
+    t_be = 11.7
+    best_t, _ = oracles.grid_best_timeout(
+        dist, 10.0, 600.0, 5.26, t_be, grid_points=4000
+    )
+    assert best_t == pytest.approx(dist.alpha * t_be, rel=0.01)
+
+
+# --- event integration error paths --------------------------------------------
+
+
+def test_integrator_rejects_wake_without_spin_down():
+    log = DiskEventLog()
+    log.record_submit(
+        arrival_s=1.0, start_s=3.0, finish_s=4.0, wake_delay_s=2.0,
+        service_s=1.0, woke=True,
+    )
+    with pytest.raises(SimulationError):
+        oracles.integrate_disk_events(log.events, DiskSpec())
+
+
+def test_integrator_rejects_double_spin_down():
+    log = DiskEventLog()
+    log.record_spin_down(10.0)
+    log.record_spin_down(20.0)
+    with pytest.raises(SimulationError):
+        oracles.integrate_disk_events(log.events, DiskSpec())
+
+
+def test_integrator_rejects_serving_while_spun_down():
+    log = DiskEventLog()
+    log.record_spin_down(10.0)
+    log.record_submit(
+        arrival_s=20.0, start_s=20.0, finish_s=21.0, wake_delay_s=0.0,
+        service_s=1.0, woke=False,
+    )
+    with pytest.raises(SimulationError):
+        oracles.integrate_disk_events(log.events, DiskSpec())
+
+
+def test_integrator_simple_timeline():
+    """Hand-computed two-request timeline with one spin-down cycle."""
+    spec = DiskSpec()
+    log = DiskEventLog()
+    log.record_submit(
+        arrival_s=10.0, start_s=10.0, finish_s=11.0, wake_delay_s=0.0,
+        service_s=1.0, woke=False,
+    )
+    log.record_spin_down(31.0)  # after a 20 s idle gap
+    wake_start = 100.0
+    start = wake_start + spec.spin_up_time_s
+    log.record_submit(
+        arrival_s=100.0, start_s=start, finish_s=start + 2.0,
+        wake_delay_s=start - 100.0, service_s=2.0, woke=True,
+    )
+    out = oracles.integrate_disk_events(log.events, spec)
+    assert out.requests == 2
+    assert out.spin_down_cycles == 1
+    assert out.active_s == pytest.approx(3.0)
+    assert out.idle_s == pytest.approx(10.0 + 20.0)
+    # standby: from spin-down completion to the wake start
+    assert out.standby_s == pytest.approx(100.0 - (31.0 + spec.spin_down_time_s))
+    assert out.transition_s == pytest.approx(spec.transition_time_s)
+
+
+# --- selection oracle ----------------------------------------------------------
+
+
+def test_oracle_select_requires_candidates():
+    with pytest.raises(SimulationError):
+        oracles.oracle_select([])

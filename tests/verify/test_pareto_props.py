@@ -1,0 +1,134 @@
+"""Property tests: the Pareto estimators recover known parameters.
+
+Satellite of the differential-verification PR: all three estimators
+(moments, MLE, Hill) are fed samples drawn from a *known* Pareto and must
+recover ``(alpha, beta)`` within tolerance; degenerate inputs must raise
+:class:`FitError` in strict mode and still never produce NaN in the
+default (clamping) simulation mode.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FitError
+from repro.stats.pareto import (
+    ALPHA_MAX,
+    ParetoDistribution,
+    fit_hill,
+    fit_mle,
+    fit_moments,
+)
+
+#: Shapes where the estimators are well-behaved with a few thousand
+#: samples: the mean exists comfortably and the tail is still heavy.
+ALPHAS = st.floats(min_value=1.3, max_value=6.0)
+BETAS = st.floats(min_value=0.05, max_value=60.0)
+
+
+def _samples(alpha: float, beta: float, n: int, seed: int) -> np.ndarray:
+    return ParetoDistribution(alpha=alpha, beta=beta).sample(
+        n, rng=np.random.default_rng(seed)
+    )
+
+
+@given(alpha=ALPHAS, beta=BETAS, seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_mle_recovers_known_parameters(alpha, beta, seed):
+    data = _samples(alpha, beta, 4000, seed)
+    fit = fit_mle(data)
+    # MLE is sqrt(n)-consistent: alpha to ~10% at n=4000, and beta (the
+    # sample minimum) converges even faster from above.
+    assert fit.alpha == pytest.approx(alpha, rel=0.15)
+    assert beta <= fit.beta <= beta * 1.05
+
+
+@given(alpha=ALPHAS, beta=BETAS, seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_moments_recovers_known_parameters(alpha, beta, seed):
+    # The sample mean of a heavy tail converges slowly; fix alpha >= 2 so
+    # the variance exists and the paper's estimator has a fair chance.
+    alpha = max(alpha, 2.0)
+    data = _samples(alpha, beta, 6000, seed)
+    fit = fit_moments(data, beta=beta)
+    assert fit.alpha == pytest.approx(alpha, rel=0.25)
+    assert fit.beta == beta
+
+
+@given(alpha=ALPHAS, beta=BETAS, seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_hill_recovers_alpha(alpha, beta, seed):
+    data = _samples(alpha, beta, 4000, seed)
+    fit = fit_hill(data, tail_fraction=0.5)
+    assert fit.alpha == pytest.approx(alpha, rel=0.2)
+
+
+# --- degenerate inputs ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("fit", [fit_moments, fit_mle, fit_hill])
+def test_empty_samples_raise(fit):
+    with pytest.raises(FitError):
+        fit([])
+
+
+@pytest.mark.parametrize("fit", [fit_moments, fit_mle, fit_hill])
+@pytest.mark.parametrize("bad", [[1.0, -2.0], [0.0, 3.0], [1.0, math.nan], [math.inf]])
+def test_nonpositive_or_nonfinite_samples_raise(fit, bad):
+    with pytest.raises(FitError):
+        fit(bad)
+
+
+@pytest.mark.parametrize(
+    "fit", [fit_moments, fit_mle, lambda s, strict: fit_hill(s, strict=strict)]
+)
+def test_constant_samples_strict_mode_raises(fit):
+    with pytest.raises(FitError):
+        fit([3.0, 3.0, 3.0, 3.0], strict=True)
+
+
+def test_sub_beta_samples_strict_mode_raises():
+    # Samples below an explicit beta contradict the model's support.
+    with pytest.raises(FitError):
+        fit_moments([1.0, 1.5, 2.0], beta=5.0, strict=True)
+    with pytest.raises(FitError):
+        fit_mle([1.0, 1.5, 2.0], beta=5.0, strict=True)
+
+
+def test_single_sample_hill_strict_mode_raises():
+    with pytest.raises(FitError):
+        fit_hill([7.0], strict=True)
+
+
+@given(
+    value=st.floats(min_value=1e-3, max_value=1e3),
+    n=st.integers(min_value=1, max_value=20),
+)
+@settings(max_examples=50, deadline=None)
+def test_default_mode_clamps_instead_of_nan(value, n):
+    """Simulation callers keep the historic clamp: never NaN, never raise."""
+    samples = [value] * n
+    for fit in (fit_moments, fit_mle, fit_hill):
+        dist = fit(samples)
+        assert math.isfinite(dist.alpha) and math.isfinite(dist.beta)
+        assert dist.alpha == ALPHA_MAX
+
+
+@given(
+    alpha=ALPHAS,
+    beta=BETAS,
+    seed=st.integers(0, 2**31 - 1),
+    n=st.integers(min_value=2, max_value=50),
+)
+@settings(max_examples=100, deadline=None)
+def test_fits_never_return_nan(alpha, beta, seed, n):
+    data = _samples(alpha, beta, n, seed)
+    for fit in (fit_moments, fit_mle, fit_hill):
+        dist = fit(data)
+        assert math.isfinite(dist.alpha) and math.isfinite(dist.beta)
+        assert dist.alpha >= 1.0 and dist.beta > 0.0
