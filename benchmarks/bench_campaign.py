@@ -1,0 +1,83 @@
+"""Campaign benchmark: fan-out wall-clock and cache effectiveness.
+
+Runs a multi-experiment campaign three ways and records the telemetry
+the orchestrator produces:
+
+* cold serial -- every task executed in-process (the reference cost),
+* cold parallel -- the same tasks over ``REPRO_JOBS`` workers,
+* warm -- a second invocation against the same cache, which should do
+  essentially no simulation work at all.
+
+``REPRO_JOBS`` (default: the CPU count, capped at 4) picks the worker
+count; single-core machines still run the parallel leg, they just can't
+expect a speedup, so the speedup assertion only applies with >1 CPU.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.executor import run_campaign
+from repro.experiments.registry import get_plan
+
+#: Experiments whose grids give the pool something to chew on.
+NAMES = ("fig7", "fig8rate", "ablation")
+
+
+def _jobs() -> int:
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        return max(int(env), 1)
+    return max(min(os.cpu_count() or 1, 4), 1)
+
+
+def _tasks(profile):
+    return [task for name in NAMES for task in get_plan(name, profile).tasks]
+
+
+def test_campaign_fanout(benchmark, profile, tmp_path):
+    tasks = _tasks(profile)
+    jobs = _jobs()
+    cache = ResultCache(tmp_path / "cache")
+
+    cold_serial = run_campaign(tasks, jobs=1)
+    cold_parallel = benchmark.pedantic(
+        run_campaign,
+        args=(tasks,),
+        kwargs={"jobs": jobs, "cache": cache},
+        rounds=1,
+        iterations=1,
+    )
+    warm = run_campaign(tasks, jobs=jobs, cache=cache)
+
+    assert cold_serial.ok and cold_parallel.ok and warm.ok
+    assert cold_parallel.payloads() == cold_serial.payloads()
+    assert warm.payloads() == cold_serial.payloads()
+    assert warm.stats.hit_ratio >= 0.95
+
+    telemetry = {
+        "jobs": jobs,
+        "tasks": len(tasks),
+        "cold_serial_s": round(cold_serial.stats.elapsed_s, 3),
+        "cold_parallel_s": round(cold_parallel.stats.elapsed_s, 3),
+        "cold_speedup": round(cold_parallel.stats.speedup, 3),
+        "worker_utilization": round(cold_parallel.stats.utilization, 3),
+        "warm_s": round(warm.stats.elapsed_s, 3),
+        "warm_hit_ratio": round(warm.stats.hit_ratio, 3),
+    }
+    print()
+    print(cold_parallel.render_summary())
+    print(warm.render_summary())
+
+    out_dir = os.path.join(os.path.dirname(__file__), "out")
+    os.makedirs(out_dir, exist_ok=True)
+    with open(os.path.join(out_dir, "campaign.json"), "w") as handle:
+        json.dump(telemetry, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    if (os.cpu_count() or 1) > 1 and jobs > 1:
+        # With real cores behind the pool the fan-out must beat serial
+        # execution on aggregate task time.
+        assert cold_parallel.stats.speedup > 1.0, telemetry

@@ -1,0 +1,96 @@
+"""Content-addressed on-disk result cache.
+
+Results are stored one JSON file per task key under
+``<root>/objects/<key[:2]>/<key>.json``.  The key already encodes the
+code fingerprint and the full task payload (:mod:`repro.campaign.hashing`),
+so a lookup can never return a result computed by different code or
+different parameters; there is no expiry logic.  Writes are atomic
+(temp file + ``os.replace``) so concurrent campaigns sharing one cache
+directory never observe half-written entries.
+
+The default root is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+CACHE_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_ENV, "").strip()
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+class ResultCache:
+    """Get/put JSON payloads by task key."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        self.root = Path(root).expanduser() if root else default_cache_root()
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    def _path(self, key: str) -> Path:
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None  # missing or corrupt entry is simply a miss
+        if not isinstance(entry, dict) or entry.get("key") != key:
+            return None
+        payload = entry.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"key": key, "created": time.time(), "payload": payload}
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        if not self.objects_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.objects_dir.glob("*/*.json"))
+
+
+class NullCache:
+    """The ``--no-cache`` cache: remembers nothing."""
+
+    root = None
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        del key
+        return None
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        del key, payload
+
+    def __len__(self) -> int:
+        return 0

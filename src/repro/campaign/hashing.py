@@ -1,0 +1,80 @@
+"""Content hashing for campaign tasks.
+
+A task's *key* is a SHA-256 digest over a canonical JSON encoding of
+everything that determines its result: the machine configuration, the
+workload parameters, the seed, the method, and a fingerprint of the
+``repro`` source tree itself.  Two tasks with the same key are guaranteed
+to compute the same rows, so the key doubles as the content address of
+the on-disk result cache (:mod:`repro.campaign.cache`) and the identity
+used by the run journal for checkpoint/resume.
+
+Presentation metadata (row labels, experiment names, point indices) is
+deliberately *excluded* from the key: overlapping grids from different
+experiments share cache entries whenever their simulations coincide.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from functools import lru_cache
+from pathlib import Path
+from typing import Any
+
+#: Bump when the task payload schema or result payload shape changes in a
+#: way that invalidates old cache entries.
+SCHEMA_VERSION = 1
+
+
+def _default(value: Any) -> Any:
+    """JSON fallback: dataclasses, numpy scalars, paths, sets."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return dataclasses.asdict(value)
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    if isinstance(value, Path):
+        return str(value)
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    raise TypeError(f"cannot canonicalise {type(value).__name__}: {value!r}")
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, stable float repr."""
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), default=_default
+    )
+
+
+def digest(value: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``value``."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over every ``repro`` source file (sorted, path-tagged).
+
+    Any edit to the package changes every task key, so a stale cache can
+    never leak results computed by different code.
+    """
+    root = Path(__file__).resolve().parent.parent  # src/repro
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        h.update(str(path.relative_to(root)).encode("utf-8"))
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+def task_key(payload: Any) -> str:
+    """The content address of one task: schema + code + task payload."""
+    return digest(
+        {
+            "schema": SCHEMA_VERSION,
+            "code": code_fingerprint(),
+            "task": payload,
+        }
+    )

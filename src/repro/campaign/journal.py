@@ -1,0 +1,90 @@
+"""JSONL run journal: the checkpoint/resume backbone of a campaign.
+
+Each campaign run owns a directory ``<runs_root>/<run_id>/`` holding
+
+* ``journal.jsonl`` -- one event per line, appended and flushed as the
+  run progresses (``run_started``, ``task_done``, ``task_failed``,
+  ``run_finished``); ``task_done`` events embed the full result payload,
+  so a journal is self-contained -- resuming does not require the result
+  cache to still exist;
+* ``campaign.json`` -- the machine-readable telemetry summary written at
+  the end of the run (see :mod:`repro.campaign.executor`).
+
+``repro campaign --resume RUN_ID`` replays the journal, seeds the result
+table with every completed task key, and only executes what is missing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, TextIO, Union
+
+from repro.errors import CampaignError
+
+JOURNAL_NAME = "journal.jsonl"
+SUMMARY_NAME = "campaign.json"
+
+
+class RunJournal:
+    """Append-only event log for one campaign run."""
+
+    def __init__(self, run_dir: Union[str, Path]) -> None:
+        self.run_dir = Path(run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.run_dir / JOURNAL_NAME
+        self._handle: Optional[TextIO] = None
+
+    def _file(self) -> TextIO:
+        if self._handle is None or self._handle.closed:
+            self._handle = self.path.open("a", encoding="utf-8")
+        return self._handle
+
+    def append(self, event: str, **fields: Any) -> None:
+        record = {"event": event, "ts": time.time()}
+        record.update(fields)
+        handle = self._file()
+        handle.write(json.dumps(record) + "\n")
+        handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_events(run_dir: Union[str, Path]) -> Iterator[Dict[str, Any]]:
+    """Yield journal events, skipping lines truncated by a crash."""
+    path = Path(run_dir) / JOURNAL_NAME
+    if not path.is_file():
+        raise CampaignError(f"no journal at {path}; nothing to resume")
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue  # interrupted mid-write; later events rewrite it
+            if isinstance(event, dict):
+                yield event
+
+
+def completed_payloads(run_dir: Union[str, Path]) -> Dict[str, Dict[str, Any]]:
+    """Task key -> result payload for every ``task_done`` in the journal."""
+    done: Dict[str, Dict[str, Any]] = {}
+    for event in read_events(run_dir):
+        if event.get("event") != "task_done":
+            continue
+        key = event.get("key")
+        payload = event.get("payload")
+        if isinstance(key, str) and isinstance(payload, dict):
+            done[key] = payload
+    return done

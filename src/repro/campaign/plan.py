@@ -1,0 +1,126 @@
+"""Campaign plans: task lists plus the pure function that assembles rows.
+
+A :class:`CampaignPlan` is the contract between the experiment/sweep
+modules and the executor: ``tasks`` is the flat list of independent
+units, ``assemble`` turns the aligned list of result payloads back into
+the artefact (an ``ExperimentResult`` or sweep rows).  Both the serial
+path (``run_plan`` with no runner) and ``repro campaign`` share this one
+code path, so parallel runs are byte-identical to serial ones by
+construction -- assembly only ever sees payloads in task order.
+
+:class:`GridPoint` models the shape every grid experiment has: one
+machine + one workload, simulated under several methods, with the
+always-on baseline among them for normalisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import CampaignError
+from repro.config.machine import MachineConfig
+from repro.policies.registry import MethodSpec, parse_method
+
+from repro.campaign.tasks import SimSummary, SimTask, Task, WorkloadSpec, execute_task
+
+#: Assemblers receive one payload dict per task, in task order.
+Assembler = Callable[[Sequence[Mapping[str, Any]]], Any]
+
+
+@dataclass
+class CampaignPlan:
+    """Tasks plus the function that turns their payloads into the artefact."""
+
+    tasks: List[Task]
+    assemble: Assembler
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One workload point simulated under several methods."""
+
+    machine: MachineConfig
+    workload: WorkloadSpec
+    methods: Tuple[MethodSpec, ...]
+    duration_s: float
+    warmup_s: float = 0.0
+    #: Row-identifying columns for this point, e.g. (("dataset_gb", 4.0),).
+    meta: Tuple[Tuple[str, Any], ...] = ()
+
+    def tasks(self) -> List[SimTask]:
+        return [
+            SimTask(
+                method=method,
+                machine=self.machine,
+                workload=self.workload,
+                duration_s=self.duration_s,
+                warmup_s=self.warmup_s,
+            )
+            for method in self.methods
+        ]
+
+
+def resolve_methods(
+    methods: Sequence[Union[str, MethodSpec]]
+) -> Tuple[MethodSpec, ...]:
+    return tuple(
+        parse_method(m) if isinstance(m, str) else m for m in methods
+    )
+
+
+def grid_tasks(points: Sequence[GridPoint]) -> List[SimTask]:
+    """Flatten points into tasks: point-major, method order preserved."""
+    tasks: List[SimTask] = []
+    for point in points:
+        tasks.extend(point.tasks())
+    return tasks
+
+
+def split_by_point(
+    points: Sequence[GridPoint],
+    payloads: Sequence[Mapping[str, Any]],
+) -> List[Tuple[GridPoint, Dict[str, SimSummary]]]:
+    """Regroup flat task payloads into per-point ``label -> summary`` maps.
+
+    The inverse of :func:`grid_tasks`; method order within each point is
+    preserved, which keeps assembled row order identical to the serial
+    comparison loop the experiments used before campaigns existed.
+    """
+    grouped: List[Tuple[GridPoint, Dict[str, SimSummary]]] = []
+    cursor = 0
+    for point in points:
+        by_label: Dict[str, SimSummary] = {}
+        for method in point.methods:
+            payload = payloads[cursor]
+            cursor += 1
+            if payload is None:
+                raise CampaignError(
+                    f"missing result for {method.label} at point "
+                    f"{dict(point.meta)!r}"
+                )
+            by_label[method.label] = SimSummary.from_payload(
+                payload["summary"]
+            )
+        grouped.append((point, by_label))
+    if cursor != len(payloads):
+        raise CampaignError(
+            f"grid shape mismatch: {len(payloads)} payload(s) for "
+            f"{cursor} task(s)"
+        )
+    return grouped
+
+
+def run_plan(
+    plan: CampaignPlan,
+    runner: Optional[Callable[[Sequence[Task]], Sequence[Mapping[str, Any]]]] = None,
+) -> Any:
+    """Execute a plan's tasks (serially unless ``runner`` says otherwise)
+    and assemble the artefact."""
+    if runner is None:
+        payloads: Sequence[Mapping[str, Any]] = [
+            execute_task(task) for task in plan.tasks
+        ]
+    else:
+        payloads = runner(plan.tasks)
+    return plan.assemble(payloads)

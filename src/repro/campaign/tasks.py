@@ -1,0 +1,338 @@
+"""The campaign task model.
+
+A *task* is one independent, deterministic, picklable unit of work with a
+stable content hash (:func:`repro.campaign.hashing.task_key`).  Three
+kinds exist:
+
+* :class:`SimTask` -- one (workload point, method) simulation, the unit
+  the grid experiments and :func:`repro.sim.sweep.sweep` decompose into;
+* :class:`ExperimentTask` -- a whole registered experiment, for runners
+  that do not decompose into per-method units (fig5, fig9, idlefit);
+* :class:`VerifyTask` -- one differential-verification check over a
+  contiguous seed range (see :mod:`repro.verify.parallel`).
+
+Every task's ``execute()`` returns a JSON-serialisable payload dict, so
+results can be shipped across process boundaries, journaled, and stored
+in the content-addressed cache without custom picklers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Any, Dict, Tuple
+
+from repro.config.machine import MachineConfig
+from repro.policies.registry import MethodSpec
+from repro.sim.results import NormalizedResult, SimResult
+from repro.traces.trace import Trace
+
+from repro.campaign.hashing import task_key
+
+
+# --- workload ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything that determines a generated trace, seed included."""
+
+    dataset_gb: float
+    rate_mb: float
+    popularity: float
+    duration_s: float
+    seed: int
+    write_fraction: float = 0.0
+    page_bytes: int = 4096
+    file_scale: int = 1
+
+    @classmethod
+    def for_machine(
+        cls,
+        machine: MachineConfig,
+        dataset_gb: float,
+        rate_mb: float,
+        popularity: float,
+        duration_s: float,
+        seed: int,
+        write_fraction: float = 0.0,
+    ) -> "WorkloadSpec":
+        return cls(
+            dataset_gb=float(dataset_gb),
+            rate_mb=float(rate_mb),
+            popularity=float(popularity),
+            duration_s=float(duration_s),
+            seed=int(seed),
+            write_fraction=float(write_fraction),
+            page_bytes=machine.page_bytes,
+            file_scale=machine.scale,
+        )
+
+    def build(self) -> Trace:
+        from repro.traces.specweb import generate_trace
+        from repro.units import GB, MB
+
+        return generate_trace(
+            dataset_bytes=self.dataset_gb * GB,
+            data_rate=self.rate_mb * MB,
+            duration_s=self.duration_s,
+            popularity=self.popularity,
+            page_size=self.page_bytes,
+            seed=self.seed,
+            file_scale=self.file_scale,
+            write_fraction=self.write_fraction,
+        )
+
+
+# --- result summary ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SimSummary:
+    """The JSON-safe slice of :class:`repro.sim.results.SimResult`.
+
+    Carries every scalar the experiment assemblers read, plus the
+    joint manager's per-period memory decisions (hw-sensitivity rows).
+    The normalisation arithmetic mirrors ``SimResult.normalized_to``
+    bit-for-bit so assembled rows are byte-identical to the direct path.
+    """
+
+    label: str
+    duration_s: float
+    memory_energy_j: float
+    disk_energy_j: float
+    total_accesses: int
+    disk_page_accesses: int
+    disk_requests: int
+    disk_write_pages: int
+    mean_latency_s: float
+    long_latency: int
+    wake_long_latency: int
+    spin_down_cycles: int
+    utilization: float
+    decision_memory_bytes: Tuple[int, ...] = ()
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.memory_energy_j + self.disk_energy_j
+
+    @property
+    def long_latency_per_s(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.long_latency / self.duration_s
+
+    @property
+    def miss_ratio(self) -> float:
+        if self.total_accesses == 0:
+            return 0.0
+        return self.disk_page_accesses / self.total_accesses
+
+    def normalized_to(self, baseline: "SimSummary") -> NormalizedResult:
+        def ratio(x: float, base: float) -> float:
+            return x / base if base > 0 else 0.0
+
+        return NormalizedResult(
+            label=self.label,
+            total_energy=ratio(self.total_energy_j, baseline.total_energy_j),
+            disk_energy=ratio(self.disk_energy_j, baseline.disk_energy_j),
+            memory_energy=ratio(self.memory_energy_j, baseline.memory_energy_j),
+            mean_latency_s=self.mean_latency_s,
+            utilization=self.utilization,
+            long_latency_per_s=self.long_latency_per_s,
+        )
+
+    @classmethod
+    def from_result(cls, result: SimResult) -> "SimSummary":
+        return cls(
+            label=result.label,
+            duration_s=result.duration_s,
+            memory_energy_j=result.memory_energy_j,
+            disk_energy_j=result.disk_energy_j,
+            total_accesses=result.total_accesses,
+            disk_page_accesses=result.disk_page_accesses,
+            disk_requests=result.disk_requests,
+            disk_write_pages=result.disk_write_pages,
+            mean_latency_s=result.mean_latency_s,
+            long_latency=result.long_latency,
+            wake_long_latency=result.wake_long_latency,
+            spin_down_cycles=result.spin_down_cycles,
+            utilization=result.utilization,
+            decision_memory_bytes=tuple(
+                int(d.memory_bytes) for d in result.decisions
+            ),
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload = dataclasses.asdict(self)
+        payload["decision_memory_bytes"] = list(self.decision_memory_bytes)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "SimSummary":
+        data = dict(payload)
+        data["decision_memory_bytes"] = tuple(
+            int(b) for b in data.get("decision_memory_bytes", ())
+        )
+        return cls(**data)
+
+
+# --- tasks -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One (workload point, method) simulation unit."""
+
+    method: MethodSpec
+    machine: MachineConfig
+    workload: WorkloadSpec
+    duration_s: float
+    warmup_s: float = 0.0
+
+    kind = "sim"
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "method": dataclasses.asdict(self.method),
+            "machine": dataclasses.asdict(self.machine),
+            "workload": dataclasses.asdict(self.workload),
+            "duration_s": self.duration_s,
+            "warmup_s": self.warmup_s,
+        }
+
+    @cached_property
+    def key(self) -> str:
+        return task_key(self.payload())
+
+    def describe(self) -> str:
+        w = self.workload
+        return (
+            f"sim:{self.method.label} "
+            f"({w.dataset_gb:g}GB, {w.rate_mb:g}MB/s, p={w.popularity:g}, "
+            f"seed {w.seed})"
+        )
+
+    def execute(self) -> Dict[str, Any]:
+        from repro.sim.runner import run_method
+
+        trace = self.workload.build()
+        result = run_method(
+            self.method,
+            trace,
+            self.machine,
+            duration_s=self.duration_s,
+            warmup_s=self.warmup_s,
+        )
+        return {
+            "kind": self.kind,
+            "summary": SimSummary.from_result(result).to_payload(),
+        }
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """A whole registered experiment as one atomic, cacheable unit."""
+
+    name: str
+    config: Any  # repro.experiments.base.ExperimentConfig (kept lazy)
+
+    kind = "experiment"
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "config": dataclasses.asdict(self.config),
+        }
+
+    @cached_property
+    def key(self) -> str:
+        return task_key(self.payload())
+
+    def describe(self) -> str:
+        return f"experiment:{self.name}"
+
+    def execute(self) -> Dict[str, Any]:
+        from repro.experiments.registry import get_experiment
+
+        result = get_experiment(self.name)(self.config)
+        return {
+            "kind": self.kind,
+            "name": result.name,
+            "title": result.title,
+            "rows": result.rows,
+            "notes": result.notes,
+        }
+
+
+@dataclass(frozen=True)
+class VerifyTask:
+    """One differential check over ``seeds`` fuzzed workloads."""
+
+    check: str
+    first_seed: int
+    seeds: int
+    max_accesses: int = 300
+
+    kind = "verify"
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "check": self.check,
+            "first_seed": self.first_seed,
+            "seeds": self.seeds,
+            "max_accesses": self.max_accesses,
+        }
+
+    @cached_property
+    def key(self) -> str:
+        return task_key(self.payload())
+
+    def describe(self) -> str:
+        stop = self.first_seed + self.seeds
+        return f"verify:{self.check}[{self.first_seed}..{stop})"
+
+    def execute(self) -> Dict[str, Any]:
+        from repro.verify.differential import run_differential
+
+        report = run_differential(
+            seeds=self.seeds,
+            checks=[self.check],
+            first_seed=self.first_seed,
+            max_accesses=self.max_accesses,
+        )
+        outcome = report.outcomes[0]
+        divergence = (
+            None
+            if outcome.divergence is None
+            else dataclasses.asdict(outcome.divergence)
+        )
+        return {
+            "kind": self.kind,
+            "check": outcome.name,
+            "first_seed": self.first_seed,
+            "seeds": self.seeds,
+            "seeds_run": outcome.seeds_run,
+            "divergence": divergence,
+        }
+
+
+#: Anything run_campaign accepts.
+Task = Any
+
+
+def execute_task(task: Task) -> Dict[str, Any]:
+    """Run one task; the module-level entry point worker processes import."""
+    return task.execute()
+
+
+def timed_execute(task: Task) -> Tuple[Dict[str, Any], float]:
+    """``execute_task`` plus the task's own wall-clock, measured in-worker."""
+    start = time.perf_counter()
+    payload = execute_task(task)
+    return payload, time.perf_counter() - start

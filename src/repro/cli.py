@@ -4,6 +4,9 @@ Commands:
 
 * ``experiment <name>`` -- run a paper table/figure reproduction and print
   its rows (``fig5 fig7 fig8rate fig8pop fig9 table3 table4 table5``).
+* ``campaign [name ...]`` -- run experiments as one batch of independent
+  tasks: parallel over ``--jobs`` workers, results content-addressed in
+  an on-disk cache, the run journaled and resumable (``--resume RUN_ID``).
 * ``simulate`` -- run one method on a generated workload.
 * ``report`` -- run one method and print the full analysis report
   (energy breakdowns, disk timeline, per-period decisions), normalised
@@ -47,6 +50,44 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["full", "quick"],
         default="full",
         help="full approximates the paper; quick is a fast smoke profile",
+    )
+    _add_campaign_options(exp, default_cache=False)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run experiments as parallel, cached, resumable campaign tasks",
+    )
+    campaign.add_argument(
+        "names",
+        nargs="*",
+        help="experiment names (see `repro list`); default: all of them",
+    )
+    campaign.add_argument(
+        "--profile",
+        choices=["full", "quick"],
+        default="full",
+        help="full approximates the paper; quick is a fast smoke profile",
+    )
+    _add_campaign_options(campaign, default_cache=True)
+    campaign.add_argument(
+        "--run-id", help="name this run's journal directory (default: timestamp)"
+    )
+    campaign.add_argument(
+        "--resume",
+        metavar="RUN_ID",
+        help="reuse completed tasks from this earlier run's journal",
+    )
+    campaign.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="extra attempts per task after a crash (default 2)",
+    )
+    campaign.add_argument(
+        "--progress", action="store_true", help="print each finished task"
+    )
+    campaign.add_argument(
+        "--out", help="also write the machine-readable summary JSON here"
     )
 
     simulate = sub.add_parser("simulate", help="run one method on a workload")
@@ -115,24 +156,152 @@ def _build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--progress", action="store_true", help="print each (check, seed) pair"
     )
+    _add_campaign_options(verify, default_cache=False)
+    verify.add_argument(
+        "--chunk",
+        type=int,
+        help="seeds per campaign task (default: seeds / (4 * jobs))",
+    )
 
     sub.add_parser("list", help="list experiments and method names")
     return parser
 
 
+def _add_campaign_options(
+    parser: argparse.ArgumentParser, default_cache: bool
+) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial, in this process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help=(
+            "content-addressed result cache directory"
+            + (
+                " (default: $REPRO_CACHE_DIR or ~/.cache/repro)"
+                if default_cache
+                else " (default: no cache)"
+            )
+        ),
+    )
+    if default_cache:
+        parser.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="recompute everything; do not read or write the cache",
+        )
+
+
+def _make_cache(args: argparse.Namespace, default_cache: bool):
+    """The ResultCache the flags ask for, or None."""
+    from repro.campaign.cache import ResultCache, default_cache_root
+
+    if getattr(args, "no_cache", False):
+        return None
+    if args.cache_dir:
+        return ResultCache(args.cache_dir)
+    if default_cache:
+        return ResultCache(default_cache_root())
+    return None
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     config = quick_config() if args.profile == "quick" else full_config()
+    cache = _make_cache(args, default_cache=False)
     if args.name.strip().lower() == "all":
-        from repro.experiments.registry import EXPERIMENTS
-
-        for name in sorted(EXPERIMENTS):
-            print(EXPERIMENTS[name](config).render())
-            print()
+        names = list_experiments()
+    else:
+        names = [args.name]
+    if args.jobs <= 1 and cache is None:
+        # The legacy direct path: no pool, no cache, no journal.
+        for name in names:
+            print(get_experiment(name)(config).render())
+            if len(names) > 1:
+                print()
         return 0
-    runner = get_experiment(args.name)
-    result = runner(config)
-    print(result.render())
+    return _run_campaign_plans(
+        names, config, jobs=args.jobs, cache=cache
+    )
+
+
+def _run_campaign_plans(
+    names: List[str],
+    config,
+    *,
+    jobs: int,
+    cache,
+    run_id: Optional[str] = None,
+    resume: Optional[str] = None,
+    retries: int = 2,
+    progress: bool = False,
+    out: Optional[str] = None,
+) -> int:
+    """Concatenate the experiments' plans into one campaign, run, print."""
+    from repro.campaign.executor import run_campaign
+    from repro.experiments.registry import get_plan
+
+    plans = [(name, get_plan(name, config)) for name in names]
+    tasks = [task for _, plan in plans for task in plan.tasks]
+    on_progress = None
+    if progress:
+
+        def on_progress(record, done, total):
+            print(f"  [{done}/{total}] {record.source:<8} {record.label}")
+
+    report = run_campaign(
+        tasks,
+        jobs=jobs,
+        cache=cache,
+        run_id=run_id,
+        resume=resume,
+        retries=retries,
+        on_progress=on_progress,
+    )
+    if out is not None:
+        import json
+
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(report.telemetry(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    payloads = report.payloads()
+    offset = 0
+    failed_names = []
+    for name, plan in plans:
+        part = payloads[offset : offset + len(plan.tasks)]
+        offset += len(plan.tasks)
+        if any(p is None for p in part):
+            failed_names.append(name)
+            continue
+        print(plan.assemble(part).render())
+        print()
+    print(report.render_summary())
+    if failed_names:
+        print(f"FAILED experiments: {', '.join(failed_names)}")
+        for record in report.failures():
+            print(f"  {record.label}: {record.error}")
+        return 1
     return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    config = quick_config() if args.profile == "quick" else full_config()
+    names = [name.strip().lower() for name in args.names] or list_experiments()
+    for name in names:
+        get_experiment(name)  # fail fast on unknown names
+    return _run_campaign_plans(
+        names,
+        config,
+        jobs=args.jobs,
+        cache=_make_cache(args, default_cache=True),
+        run_id=args.run_id,
+        resume=args.resume,
+        retries=args.retries,
+        progress=args.progress,
+        out=args.out,
+    )
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -232,21 +401,35 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
-    from repro.verify.differential import run_differential
-
     checks = None
     if args.checks:
         checks = [name.strip() for name in args.checks.split(",") if name.strip()]
-    on_progress = None
-    if args.progress:
-        on_progress = lambda name, seed: print(f"  {name}: seed {seed}")  # noqa: E731
-    report = run_differential(
-        seeds=args.seeds,
-        checks=checks,
-        first_seed=args.first_seed,
-        max_accesses=args.max_accesses,
-        on_progress=on_progress,
-    )
+    cache = _make_cache(args, default_cache=False)
+    if args.jobs <= 1 and cache is None and args.chunk is None:
+        from repro.verify.differential import run_differential
+
+        on_progress = None
+        if args.progress:
+            on_progress = lambda name, seed: print(f"  {name}: seed {seed}")  # noqa: E731
+        report = run_differential(
+            seeds=args.seeds,
+            checks=checks,
+            first_seed=args.first_seed,
+            max_accesses=args.max_accesses,
+            on_progress=on_progress,
+        )
+    else:
+        from repro.verify.parallel import run_differential_campaign
+
+        report = run_differential_campaign(
+            seeds=args.seeds,
+            checks=checks,
+            first_seed=args.first_seed,
+            max_accesses=args.max_accesses,
+            jobs=args.jobs,
+            cache=cache,
+            chunk=args.chunk,
+        )
     print(report.render())
     return 0 if report.ok else 1
 
@@ -274,6 +457,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "experiment": _cmd_experiment,
+        "campaign": _cmd_campaign,
         "simulate": _cmd_simulate,
         "report": _cmd_report,
         "trace": _cmd_trace,

@@ -25,3 +25,7 @@ class FitError(ReproError):
 
 class PolicyError(ReproError):
     """A power-management policy was configured or driven incorrectly."""
+
+
+class CampaignError(ReproError):
+    """A campaign run was configured or resumed incorrectly."""

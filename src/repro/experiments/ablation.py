@@ -21,10 +21,18 @@ metrics the constraints protect.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.campaign.plan import (
+    CampaignPlan,
+    GridPoint,
+    grid_tasks,
+    resolve_methods,
+    run_plan,
+    split_by_point,
+)
 from repro.experiments.base import ExperimentConfig, ExperimentResult
-from repro.sim.compare import compare_methods
+from repro.sim.compare import BASELINE_LABEL
 
 VARIANTS: Sequence[str] = (
     "JOINT",
@@ -35,37 +43,56 @@ VARIANTS: Sequence[str] = (
 )
 
 
+def plan(
+    config: ExperimentConfig,
+    datasets_gb: Optional[Sequence[float]] = None,
+) -> CampaignPlan:
+    """The ablation sweep as independent (data set, variant) tasks."""
+    datasets = list(datasets_gb or (4.0, 16.0))
+    machine = config.machine()
+    methods = resolve_methods(list(VARIANTS))
+    points = [
+        GridPoint(
+            machine=machine,
+            workload=config.workload(
+                machine, dataset_gb=dataset_gb, seed_offset=600 + index
+            ),
+            methods=methods,
+            duration_s=config.duration_s,
+            warmup_s=config.warmup_s,
+            meta=(("dataset_gb", dataset_gb),),
+        )
+        for index, dataset_gb in enumerate(datasets)
+    ]
+    return CampaignPlan(
+        tasks=grid_tasks(points), assemble=lambda p: _assemble(points, p)
+    )
+
+
 def run(
     config: ExperimentConfig,
     datasets_gb: Optional[Sequence[float]] = None,
 ) -> ExperimentResult:
     """One row per (data set, variant)."""
-    datasets = list(datasets_gb or (4.0, 16.0))
-    machine = config.machine()
+    return run_plan(plan(config, datasets_gb))
+
+
+def _assemble(
+    points: Sequence[GridPoint], payloads: Sequence[Mapping[str, object]]
+) -> ExperimentResult:
     rows: List[Dict[str, object]] = []
-    for index, dataset_gb in enumerate(datasets):
-        trace = config.make_trace(
-            machine, dataset_gb=dataset_gb, seed_offset=600 + index
-        )
-        comparison = compare_methods(
-            trace,
-            machine,
-            methods=list(VARIANTS),
-            duration_s=config.duration_s,
-            warmup_s=config.warmup_s,
-        )
-        normalized = comparison.normalized_by_label()
+    for point, by_label in split_by_point(points, payloads):
+        baseline = by_label[BASELINE_LABEL]
         for label in VARIANTS:
-            result = comparison[label]
+            result = by_label[label]
+            norm = result.normalized_to(baseline)
             rows.append(
                 {
-                    "dataset_gb": dataset_gb,
+                    "dataset_gb": dict(point.meta)["dataset_gb"],
                     "variant": label,
-                    "total_energy": round(normalized[label].total_energy, 4),
-                    "disk_energy": round(normalized[label].disk_energy, 4),
-                    "memory_energy": round(
-                        normalized[label].memory_energy, 4
-                    ),
+                    "total_energy": round(norm.total_energy, 4),
+                    "disk_energy": round(norm.disk_energy, 4),
+                    "memory_energy": round(norm.memory_energy, 4),
                     "utilization": round(result.utilization, 4),
                     "long_latency_per_s": round(result.long_latency_per_s, 4),
                     "spin_downs": result.spin_down_cycles,

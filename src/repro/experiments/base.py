@@ -16,13 +16,15 @@ from __future__ import annotations
 import dataclasses
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.config.machine import MachineConfig, paper_machine
 from repro.errors import ConfigError
-from repro.traces.specweb import generate_trace
 from repro.traces.trace import Trace
-from repro.units import GB, MB
+from repro.units import MB
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.campaign.tasks import WorkloadSpec
 
 
 @dataclass(frozen=True)
@@ -92,6 +94,34 @@ class ExperimentConfig:
             scale=machine.scale,
         )
 
+    def workload(
+        self,
+        machine: MachineConfig,
+        dataset_gb: Optional[float] = None,
+        data_rate_mb: Optional[float] = None,
+        popularity: Optional[float] = None,
+        seed_offset: int = 0,
+        duration_s: Optional[float] = None,
+        write_fraction: float = 0.0,
+    ) -> "WorkloadSpec":
+        """The campaign workload spec for one sweep point.
+
+        Overrides compare against ``None`` explicitly so an intentional
+        ``0.0`` (e.g. zero popularity skew) is not silently replaced by
+        the profile default.
+        """
+        from repro.campaign.tasks import WorkloadSpec
+
+        return WorkloadSpec.for_machine(
+            machine,
+            dataset_gb=self.dataset_gb if dataset_gb is None else dataset_gb,
+            rate_mb=self.data_rate_mb if data_rate_mb is None else data_rate_mb,
+            popularity=self.popularity if popularity is None else popularity,
+            duration_s=self.duration_s if duration_s is None else duration_s,
+            seed=self.seed + seed_offset,
+            write_fraction=write_fraction,
+        )
+
     def make_trace(
         self,
         machine: MachineConfig,
@@ -102,15 +132,14 @@ class ExperimentConfig:
         duration_s: Optional[float] = None,
     ) -> Trace:
         """Generate the workload trace for one sweep point."""
-        return generate_trace(
-            dataset_bytes=(dataset_gb or self.dataset_gb) * GB,
-            data_rate=(data_rate_mb or self.data_rate_mb) * MB,
-            duration_s=duration_s or self.duration_s,
-            popularity=popularity or self.popularity,
-            page_size=machine.page_bytes,
-            seed=self.seed + seed_offset,
-            file_scale=machine.scale,
-        )
+        return self.workload(
+            machine,
+            dataset_gb=dataset_gb,
+            data_rate_mb=data_rate_mb,
+            popularity=popularity,
+            seed_offset=seed_offset,
+            duration_s=duration_s,
+        ).build()
 
 
 def full_config() -> ExperimentConfig:

@@ -14,13 +14,38 @@ utilisation flag them.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.campaign.plan import CampaignPlan, GridPoint, grid_tasks, split_by_point
 from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.policies.registry import standard_methods
-from repro.sim.compare import compare_methods
+from repro.sim.compare import BASELINE_LABEL
 
 DEFAULT_DATASETS_GB: Sequence[float] = (4.0, 16.0, 32.0, 64.0)
+
+
+def plan(
+    config: ExperimentConfig,
+    datasets_gb: Optional[Sequence[float]] = None,
+) -> CampaignPlan:
+    """The Fig. 7 sweep as independent (data set, method) tasks."""
+    datasets = list(datasets_gb or DEFAULT_DATASETS_GB)
+    machine = config.machine()
+    methods = tuple(standard_methods(fm_sizes_gb=config.fm_sizes_gb))
+    points = [
+        GridPoint(
+            machine=machine,
+            workload=config.workload(
+                machine, dataset_gb=dataset_gb, seed_offset=index
+            ),
+            methods=methods,
+            duration_s=config.duration_s,
+            warmup_s=config.warmup_s,
+            meta=(("dataset_gb", dataset_gb),),
+        )
+        for index, dataset_gb in enumerate(datasets)
+    ]
+    return CampaignPlan(tasks=grid_tasks(points), assemble=lambda p: _assemble(points, p))
 
 
 def run(
@@ -28,25 +53,22 @@ def run(
     datasets_gb: Optional[Sequence[float]] = None,
 ) -> ExperimentResult:
     """Run the Fig. 7 sweep; one row per (data set, method)."""
-    datasets = list(datasets_gb or DEFAULT_DATASETS_GB)
-    machine = config.machine()
-    methods = standard_methods(fm_sizes_gb=config.fm_sizes_gb)
+    from repro.campaign.plan import run_plan
+
+    return run_plan(plan(config, datasets_gb))
+
+
+def _assemble(
+    points: Sequence[GridPoint], payloads: Sequence[Mapping[str, object]]
+) -> ExperimentResult:
     rows: List[Dict[str, object]] = []
-    for index, dataset_gb in enumerate(datasets):
-        trace = config.make_trace(machine, dataset_gb=dataset_gb, seed_offset=index)
-        comparison = compare_methods(
-            trace,
-            machine,
-            methods=methods,
-            duration_s=config.duration_s,
-            warmup_s=config.warmup_s,
-        )
-        normalized = comparison.normalized_by_label()
-        for label, result in comparison.results.items():
-            norm = normalized[label]
+    for point, by_label in split_by_point(points, payloads):
+        baseline = by_label[BASELINE_LABEL]
+        for label, result in by_label.items():
+            norm = result.normalized_to(baseline)
             rows.append(
                 {
-                    "dataset_gb": dataset_gb,
+                    "dataset_gb": dict(point.meta)["dataset_gb"],
                     "method": label,
                     "total_energy": round(norm.total_energy, 4),
                     "disk_energy": round(norm.disk_energy, 4),

@@ -6,14 +6,50 @@ of data popularity"), popularity ratio 0.05-0.6.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.campaign.plan import (
+    CampaignPlan,
+    GridPoint,
+    grid_tasks,
+    run_plan,
+    split_by_point,
+)
 from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.policies.registry import standard_methods
-from repro.sim.compare import compare_methods
+from repro.sim.compare import BASELINE_LABEL
 
 DEFAULT_POPULARITIES: Sequence[float] = (0.05, 0.1, 0.2, 0.4, 0.6)
 RATE_MB: float = 5.0
+
+
+def plan(
+    config: ExperimentConfig,
+    popularities: Optional[Sequence[float]] = None,
+) -> CampaignPlan:
+    """The Fig. 8(c,d) sweep as independent (popularity, method) tasks."""
+    pops = list(popularities or DEFAULT_POPULARITIES)
+    machine = config.machine()
+    methods = tuple(standard_methods(fm_sizes_gb=config.fm_sizes_gb))
+    points = [
+        GridPoint(
+            machine=machine,
+            workload=config.workload(
+                machine,
+                data_rate_mb=RATE_MB,
+                popularity=popularity,
+                seed_offset=200 + index,
+            ),
+            methods=methods,
+            duration_s=config.duration_s,
+            warmup_s=config.warmup_s,
+            meta=(("popularity", popularity),),
+        )
+        for index, popularity in enumerate(pops)
+    ]
+    return CampaignPlan(
+        tasks=grid_tasks(points), assemble=lambda p: _assemble(points, p)
+    )
 
 
 def run(
@@ -21,31 +57,22 @@ def run(
     popularities: Optional[Sequence[float]] = None,
 ) -> ExperimentResult:
     """One row per (popularity, method)."""
-    pops = list(popularities or DEFAULT_POPULARITIES)
-    machine = config.machine()
-    methods = standard_methods(fm_sizes_gb=config.fm_sizes_gb)
+    return run_plan(plan(config, popularities))
+
+
+def _assemble(
+    points: Sequence[GridPoint], payloads: Sequence[Mapping[str, object]]
+) -> ExperimentResult:
     rows: List[Dict[str, object]] = []
-    for index, popularity in enumerate(pops):
-        trace = config.make_trace(
-            machine,
-            data_rate_mb=RATE_MB,
-            popularity=popularity,
-            seed_offset=200 + index,
-        )
-        comparison = compare_methods(
-            trace,
-            machine,
-            methods=methods,
-            duration_s=config.duration_s,
-            warmup_s=config.warmup_s,
-        )
-        normalized = comparison.normalized_by_label()
-        for label, result in comparison.results.items():
+    for point, by_label in split_by_point(points, payloads):
+        baseline = by_label[BASELINE_LABEL]
+        for label, result in by_label.items():
+            norm = result.normalized_to(baseline)
             rows.append(
                 {
-                    "popularity": popularity,
+                    "popularity": dict(point.meta)["popularity"],
                     "method": label,
-                    "total_energy": round(normalized[label].total_energy, 4),
+                    "total_energy": round(norm.total_energy, 4),
                     "long_latency_per_s": round(result.long_latency_per_s, 4),
                 }
             )

@@ -21,12 +21,20 @@ calibration.  A final row runs the 2.5-in laptop-drive preset, whose
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.campaign.plan import (
+    CampaignPlan,
+    GridPoint,
+    grid_tasks,
+    resolve_methods,
+    run_plan,
+    split_by_point,
+)
 from repro.config.machine import MachineConfig
 from repro.config.presets import laptop_disk
 from repro.experiments.base import ExperimentConfig, ExperimentResult
-from repro.sim.compare import compare_methods
+from repro.sim.compare import BASELINE_LABEL
 from repro.units import GB
 
 #: (label, memory-power multiplier, disk-static-power multiplier).
@@ -77,35 +85,58 @@ def _bend_machine(
     )
 
 
+def plan(
+    config: ExperimentConfig,
+    variants: Optional[Sequence] = None,
+) -> CampaignPlan:
+    """The sensitivity sweep as independent (hardware variant, method) tasks.
+
+    Every variant replays the same light, sparse-popularity workload: the
+    utilisation constraint stays slack and the miss-ratio curve declines
+    gently instead of dropping off a knee, so the energy terms -- the
+    ones the hardware constants bend -- genuinely decide the memory size.
+    """
+    base_machine = config.machine()
+    methods = resolve_methods(["JOINT", "ALWAYS-ON"])
+    workload = config.workload(
+        base_machine, data_rate_mb=5.0, popularity=0.6, seed_offset=800
+    )
+    points = [
+        GridPoint(
+            machine=_bend_machine(base_machine, memory_factor, disk_factor),
+            workload=workload,
+            methods=methods,
+            duration_s=config.duration_s,
+            warmup_s=config.warmup_s,
+            meta=(("variant", label),),
+        )
+        for label, memory_factor, disk_factor in (variants or DEFAULT_VARIANTS)
+    ]
+    return CampaignPlan(
+        tasks=grid_tasks(points), assemble=lambda p: _assemble(points, p)
+    )
+
+
 def run(
     config: ExperimentConfig,
     variants: Optional[Sequence] = None,
 ) -> ExperimentResult:
     """One row per hardware variant (joint method, 16-GB workload)."""
+    return run_plan(plan(config, variants))
+
+
+def _assemble(
+    points: Sequence[GridPoint], payloads: Sequence[Mapping[str, object]]
+) -> ExperimentResult:
     rows: List[Dict[str, object]] = []
-    base_machine = config.machine()
-    # A light, *sparse-popularity* workload: the utilisation constraint
-    # stays slack and the miss-ratio curve declines gently instead of
-    # dropping off a knee, so the energy terms -- the ones the hardware
-    # constants bend -- genuinely decide the memory size.
-    trace = config.make_trace(
-        base_machine, data_rate_mb=5.0, popularity=0.6, seed_offset=800
-    )
-    for label, memory_factor, disk_factor in variants or DEFAULT_VARIANTS:
-        machine = _bend_machine(base_machine, memory_factor, disk_factor)
-        comparison = compare_methods(
-            trace,
-            machine,
-            methods=["JOINT", "ALWAYS-ON"],
-            duration_s=config.duration_s,
-            warmup_s=config.warmup_s,
-        )
-        joint = comparison["JOINT"]
-        norm = joint.normalized_to(comparison.baseline)
-        chosen_gb = [d.memory_bytes / GB for d in joint.decisions]
+    for point, by_label in split_by_point(points, payloads):
+        joint = by_label["JOINT"]
+        norm = joint.normalized_to(by_label[BASELINE_LABEL])
+        machine = point.machine
+        chosen_gb = [b / GB for b in joint.decision_memory_bytes]
         rows.append(
             {
-                "variant": label,
+                "variant": dict(point.meta)["variant"],
                 "break_even_mem_gb": round(
                     machine.break_even_memory_bytes / GB, 2
                 ),

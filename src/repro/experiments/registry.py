@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import sys
+from typing import TYPE_CHECKING, Callable, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.campaign.plan import CampaignPlan
 
 from repro.errors import ReproError
 from repro.experiments import (
@@ -51,3 +55,37 @@ def get_experiment(name: str) -> Runner:
 
 def list_experiments() -> List[str]:
     return sorted(EXPERIMENTS)
+
+
+def get_plan(name: str, config: ExperimentConfig) -> "CampaignPlan":
+    """An experiment's campaign plan: its independent task decomposition.
+
+    Grid experiments export a ``plan()`` that fans out into per
+    (point, method) simulation tasks; the rest (fig5, fig9, idlefit)
+    run as a single atomic :class:`repro.campaign.tasks.ExperimentTask`
+    -- still cached and journaled, just not subdivided.
+    """
+    from repro.campaign.plan import CampaignPlan
+    from repro.campaign.tasks import ExperimentTask
+
+    key = name.strip().lower()
+    runner = get_experiment(key)
+    module = sys.modules[runner.__module__]
+    planner = getattr(module, "plan", None)
+    if planner is not None:
+        return planner(config)
+
+    def assemble(payloads) -> ExperimentResult:
+        payload = payloads[0]
+        if payload is None:
+            raise ReproError(f"experiment {key!r} task produced no result")
+        return ExperimentResult(
+            name=payload["name"],
+            title=payload["title"],
+            rows=payload["rows"],
+            notes=payload.get("notes", ""),
+        )
+
+    return CampaignPlan(
+        tasks=[ExperimentTask(name=key, config=config)], assemble=assemble
+    )

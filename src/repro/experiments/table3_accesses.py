@@ -9,12 +9,53 @@ shown, exactly as in the paper.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.campaign.plan import (
+    CampaignPlan,
+    GridPoint,
+    grid_tasks,
+    resolve_methods,
+    run_plan,
+    split_by_point,
+)
 from repro.experiments.base import ExperimentConfig, ExperimentResult
-from repro.sim.compare import compare_methods
+from repro.sim.compare import BASELINE_LABEL
 
 DEFAULT_DATASETS_GB: Sequence[float] = (4.0, 16.0, 32.0, 64.0)
+
+
+def _method_names(config: ExperimentConfig) -> List[str]:
+    methods = ["JOINT"]
+    methods += [f"2TFM-{size}GB" for size in config.fm_sizes_gb]
+    methods += ["2TPD-128GB", "2TDS-128GB", "ALWAYS-ON"]
+    return methods
+
+
+def plan(
+    config: ExperimentConfig,
+    datasets_gb: Optional[Sequence[float]] = None,
+) -> CampaignPlan:
+    """The Table III sweep as independent (data set, method) tasks."""
+    datasets = list(datasets_gb or DEFAULT_DATASETS_GB)
+    machine = config.machine()
+    methods = resolve_methods(_method_names(config))
+    points = [
+        GridPoint(
+            machine=machine,
+            workload=config.workload(
+                machine, dataset_gb=dataset_gb, seed_offset=index
+            ),
+            methods=methods,
+            duration_s=config.duration_s,
+            warmup_s=config.warmup_s,
+            meta=(("dataset_gb", dataset_gb),),
+        )
+        for index, dataset_gb in enumerate(datasets)
+    ]
+    return CampaignPlan(
+        tasks=grid_tasks(points), assemble=lambda p: _assemble(points, p)
+    )
 
 
 def run(
@@ -22,29 +63,24 @@ def run(
     datasets_gb: Optional[Sequence[float]] = None,
 ) -> ExperimentResult:
     """One row per method; one column per data set (plus the MA row)."""
-    datasets = list(datasets_gb or DEFAULT_DATASETS_GB)
-    machine = config.machine()
-    methods = ["JOINT"]
-    methods += [f"2TFM-{size}GB" for size in config.fm_sizes_gb]
-    methods += ["2TPD-128GB", "2TDS-128GB", "ALWAYS-ON"]
+    return run_plan(plan(config, datasets_gb))
 
-    disk_accesses: Dict[str, Dict[float, int]] = {m: {} for m in methods}
+
+def _assemble(
+    points: Sequence[GridPoint], payloads: Sequence[Mapping[str, object]]
+) -> ExperimentResult:
+    datasets = [dict(point.meta)["dataset_gb"] for point in points]
+    labels = [method.label for method in points[0].methods]
+    disk_accesses: Dict[str, Dict[float, int]] = {m: {} for m in labels}
     memory_accesses: Dict[float, int] = {}
-    for index, dataset_gb in enumerate(datasets):
-        trace = config.make_trace(machine, dataset_gb=dataset_gb, seed_offset=index)
-        comparison = compare_methods(
-            trace,
-            machine,
-            methods=methods,
-            duration_s=config.duration_s,
-            warmup_s=config.warmup_s,
-        )
-        for label, result in comparison.results.items():
+    for point, by_label in split_by_point(points, payloads):
+        dataset_gb = dict(point.meta)["dataset_gb"]
+        for label, result in by_label.items():
             disk_accesses[label][dataset_gb] = result.disk_page_accesses
-        memory_accesses[dataset_gb] = comparison.baseline.total_accesses
+        memory_accesses[dataset_gb] = by_label[BASELINE_LABEL].total_accesses
 
     rows: List[Dict[str, object]] = []
-    for label in methods:
+    for label in labels:
         row: Dict[str, object] = {"method": label}
         for dataset_gb in datasets:
             row[f"{dataset_gb:g}GB"] = disk_accesses[label][dataset_gb]

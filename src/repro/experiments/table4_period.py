@@ -8,21 +8,30 @@ not reset at period boundaries.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.campaign.plan import (
+    CampaignPlan,
+    GridPoint,
+    grid_tasks,
+    resolve_methods,
+    run_plan,
+    split_by_point,
+)
 from repro.experiments.base import ExperimentConfig, ExperimentResult
-from repro.sim.compare import compare_methods
+from repro.sim.compare import BASELINE_LABEL
 
 DEFAULT_PERIODS_MIN: Sequence[float] = (5.0, 10.0, 20.0, 30.0)
 
 
-def run(
+def plan(
     config: ExperimentConfig,
     periods_min: Optional[Sequence[float]] = None,
-) -> ExperimentResult:
-    """One row per period length."""
+) -> CampaignPlan:
+    """The Table IV sweep as independent (period, method) tasks."""
     periods = list(periods_min or DEFAULT_PERIODS_MIN)
-    rows: List[Dict[str, object]] = []
+    methods = resolve_methods(["JOINT", "ALWAYS-ON"])
+    points: List[GridPoint] = []
     for period_min in periods:
         period_s = period_min * 60.0
         machine = config.machine(period_s=period_s)
@@ -33,19 +42,41 @@ def run(
         duration = max(round(total / period_s), 2) * period_s
         if warm >= duration:
             warm = duration - period_s
-        trace = config.make_trace(machine, seed_offset=300, duration_s=duration)
-        comparison = compare_methods(
-            trace,
-            machine,
-            methods=["JOINT", "ALWAYS-ON"],
-            duration_s=duration,
-            warmup_s=warm,
+        points.append(
+            GridPoint(
+                machine=machine,
+                workload=config.workload(
+                    machine, seed_offset=300, duration_s=duration
+                ),
+                methods=methods,
+                duration_s=duration,
+                warmup_s=warm,
+                meta=(("period_min", period_min),),
+            )
         )
-        joint = comparison["JOINT"]
-        norm = joint.normalized_to(comparison.baseline)
+    return CampaignPlan(
+        tasks=grid_tasks(points), assemble=lambda p: _assemble(points, p)
+    )
+
+
+def run(
+    config: ExperimentConfig,
+    periods_min: Optional[Sequence[float]] = None,
+) -> ExperimentResult:
+    """One row per period length."""
+    return run_plan(plan(config, periods_min))
+
+
+def _assemble(
+    points: Sequence[GridPoint], payloads: Sequence[Mapping[str, object]]
+) -> ExperimentResult:
+    rows: List[Dict[str, object]] = []
+    for point, by_label in split_by_point(points, payloads):
+        joint = by_label["JOINT"]
+        norm = joint.normalized_to(by_label[BASELINE_LABEL])
         rows.append(
             {
-                "period_min": period_min,
+                "period_min": dict(point.meta)["period_min"],
                 "total_energy": round(norm.total_energy, 4),
                 "disk_energy": round(norm.disk_energy, 4),
                 "memory_energy": round(norm.memory_energy, 4),

@@ -8,12 +8,45 @@ the memory because the chosen memory rounds up to coarser units.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.campaign.plan import (
+    CampaignPlan,
+    GridPoint,
+    grid_tasks,
+    resolve_methods,
+    run_plan,
+    split_by_point,
+)
 from repro.experiments.base import ExperimentConfig, ExperimentResult
-from repro.sim.compare import compare_methods
+from repro.sim.compare import BASELINE_LABEL
 
 DEFAULT_BANKS_MB: Sequence[int] = (16, 64, 256, 1024)
+
+
+def plan(
+    config: ExperimentConfig,
+    banks_mb: Optional[Sequence[int]] = None,
+) -> CampaignPlan:
+    """The Table V sweep as independent (bank size, method) tasks."""
+    banks = list(banks_mb or DEFAULT_BANKS_MB)
+    methods = resolve_methods(["JOINT", "ALWAYS-ON"])
+    points: List[GridPoint] = []
+    for bank_mb in banks:
+        machine = config.machine(bank_mb=bank_mb)
+        points.append(
+            GridPoint(
+                machine=machine,
+                workload=config.workload(machine, seed_offset=400),
+                methods=methods,
+                duration_s=config.duration_s,
+                warmup_s=config.warmup_s,
+                meta=(("bank_mb", bank_mb),),
+            )
+        )
+    return CampaignPlan(
+        tasks=grid_tasks(points), assemble=lambda p: _assemble(points, p)
+    )
 
 
 def run(
@@ -21,23 +54,19 @@ def run(
     banks_mb: Optional[Sequence[int]] = None,
 ) -> ExperimentResult:
     """One row per bank size."""
-    banks = list(banks_mb or DEFAULT_BANKS_MB)
+    return run_plan(plan(config, banks_mb))
+
+
+def _assemble(
+    points: Sequence[GridPoint], payloads: Sequence[Mapping[str, object]]
+) -> ExperimentResult:
     rows: List[Dict[str, object]] = []
-    for bank_mb in banks:
-        machine = config.machine(bank_mb=bank_mb)
-        trace = config.make_trace(machine, seed_offset=400)
-        comparison = compare_methods(
-            trace,
-            machine,
-            methods=["JOINT", "ALWAYS-ON"],
-            duration_s=config.duration_s,
-            warmup_s=config.warmup_s,
-        )
-        joint = comparison["JOINT"]
-        norm = joint.normalized_to(comparison.baseline)
+    for point, by_label in split_by_point(points, payloads):
+        joint = by_label["JOINT"]
+        norm = joint.normalized_to(by_label[BASELINE_LABEL])
         rows.append(
             {
-                "bank_mb": bank_mb,
+                "bank_mb": dict(point.meta)["bank_mb"],
                 "total_energy": round(norm.total_energy, 4),
                 "disk_energy": round(norm.disk_energy, 4),
                 "memory_energy": round(norm.memory_energy, 4),

@@ -12,14 +12,51 @@ multiply spin-down cycles and wake delays for aggressive policies.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.campaign.plan import (
+    CampaignPlan,
+    GridPoint,
+    grid_tasks,
+    resolve_methods,
+    run_plan,
+    split_by_point,
+)
 from repro.experiments.base import ExperimentConfig, ExperimentResult
-from repro.sim.compare import compare_methods
+from repro.sim.compare import BASELINE_LABEL
 
 DEFAULT_WRITE_FRACTIONS: Sequence[float] = (0.0, 0.05, 0.2)
 METHODS: Sequence[str] = ("JOINT", "2TFM-16GB", "ADFM-16GB", "ALWAYS-ON")
 RATE_MB: float = 20.0
+
+
+def plan(
+    config: ExperimentConfig,
+    write_fractions: Optional[Sequence[float]] = None,
+) -> CampaignPlan:
+    """The write sweep as independent (write fraction, method) tasks."""
+    fractions = list(write_fractions or DEFAULT_WRITE_FRACTIONS)
+    machine = config.machine()
+    methods = resolve_methods(list(METHODS))
+    points = [
+        GridPoint(
+            machine=machine,
+            workload=config.workload(
+                machine,
+                data_rate_mb=RATE_MB,
+                seed_offset=700 + index,
+                write_fraction=fraction,
+            ),
+            methods=methods,
+            duration_s=config.duration_s,
+            warmup_s=config.warmup_s,
+            meta=(("write_fraction", fraction),),
+        )
+        for index, fraction in enumerate(fractions)
+    ]
+    return CampaignPlan(
+        tasks=grid_tasks(points), assemble=lambda p: _assemble(points, p)
+    )
 
 
 def run(
@@ -27,46 +64,24 @@ def run(
     write_fractions: Optional[Sequence[float]] = None,
 ) -> ExperimentResult:
     """One row per (write fraction, method)."""
-    fractions = list(write_fractions or DEFAULT_WRITE_FRACTIONS)
-    machine = config.machine()
-    rows: List[Dict[str, object]] = []
-    for index, fraction in enumerate(fractions):
-        trace = config.make_trace(
-            machine,
-            data_rate_mb=RATE_MB,
-            seed_offset=700 + index,
-        )
-        if fraction > 0.0:
-            # Regenerate with writes (the generator marks whole requests).
-            from repro.traces.specweb import generate_trace
-            from repro.units import GB, MB
+    return run_plan(plan(config, write_fractions))
 
-            trace = generate_trace(
-                dataset_bytes=config.dataset_gb * GB,
-                data_rate=RATE_MB * MB,
-                duration_s=config.duration_s,
-                popularity=config.popularity,
-                page_size=machine.page_bytes,
-                seed=config.seed + 700 + index,
-                file_scale=machine.scale,
-                write_fraction=fraction,
-            )
-        comparison = compare_methods(
-            trace,
-            machine,
-            methods=list(METHODS),
-            duration_s=config.duration_s,
-            warmup_s=config.warmup_s,
-        )
-        normalized = comparison.normalized_by_label()
+
+def _assemble(
+    points: Sequence[GridPoint], payloads: Sequence[Mapping[str, object]]
+) -> ExperimentResult:
+    rows: List[Dict[str, object]] = []
+    for point, by_label in split_by_point(points, payloads):
+        baseline = by_label[BASELINE_LABEL]
         for label in METHODS:
-            result = comparison[label]
+            result = by_label[label]
+            norm = result.normalized_to(baseline)
             rows.append(
                 {
-                    "write_fraction": fraction,
+                    "write_fraction": dict(point.meta)["write_fraction"],
                     "method": label,
-                    "total_energy": round(normalized[label].total_energy, 4),
-                    "disk_energy": round(normalized[label].disk_energy, 4),
+                    "total_energy": round(norm.total_energy, 4),
+                    "disk_energy": round(norm.disk_energy, 4),
                     "writeback_pages": result.disk_write_pages,
                     "spin_downs": result.spin_down_cycles,
                     "wake_long_latency": result.wake_long_latency,

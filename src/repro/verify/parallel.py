@@ -1,0 +1,139 @@
+"""Differential verification through the campaign executor.
+
+:func:`repro.verify.differential.run_differential` walks its seed range
+serially inside one process.  The seeds are independent by construction
+-- each expands deterministically into its own fuzzed workload -- so the
+range chunks cleanly into :class:`repro.verify` campaign tasks: one
+:class:`~repro.campaign.tasks.VerifyTask` per (check, seed chunk), fanned
+out over a process pool and cached like any other campaign work.
+
+The merged :class:`~repro.verify.differential.VerifyReport` is the one
+the serial runner would have produced: chunks run to completion even
+when an earlier chunk diverges, but only the earliest divergence (in
+seed order) is reported, and ``seeds_run`` counts up to it exactly as
+the serial early-exit would have.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.executor import run_campaign
+from repro.campaign.tasks import VerifyTask
+from repro.errors import SimulationError
+from repro.verify.differential import (
+    CHECKS,
+    CheckOutcome,
+    Divergence,
+    VerifyReport,
+)
+
+
+def chunk_seeds(seeds: int, jobs: int, chunk: Optional[int] = None) -> List[int]:
+    """Split ``seeds`` into contiguous chunk sizes.
+
+    Small enough that every worker gets several (so one slow chunk does
+    not serialise the run), large enough that per-task overhead stays
+    negligible; an explicit ``chunk`` overrides the heuristic.
+    """
+    if chunk is None:
+        chunk = max(1, math.ceil(seeds / (max(jobs, 1) * 4)))
+    if chunk <= 0:
+        raise SimulationError("chunk size must be positive")
+    sizes = []
+    remaining = seeds
+    while remaining > 0:
+        size = min(chunk, remaining)
+        sizes.append(size)
+        remaining -= size
+    return sizes
+
+
+def _divergence_from_payload(payload: dict) -> Divergence:
+    return Divergence(
+        check=payload["check"],
+        seed=payload["seed"],
+        pattern=payload["pattern"],
+        detail=payload["detail"],
+        times=tuple(payload["times"]),
+        pages=tuple(payload["pages"]),
+        window_s=payload["window_s"],
+        period_s=payload["period_s"],
+    )
+
+
+def run_differential_campaign(
+    seeds: int = 50,
+    checks: Optional[Sequence[str]] = None,
+    first_seed: int = 0,
+    max_accesses: int = 300,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    chunk: Optional[int] = None,
+) -> VerifyReport:
+    """Run the differential checks over chunked seed ranges.
+
+    Equivalent to :func:`~repro.verify.differential.run_differential`
+    (same report, same divergences, same ``seeds_run`` accounting), but
+    each (check, chunk) is an independent campaign task: ``jobs > 1``
+    runs them on a process pool and ``cache`` skips chunks whose code
+    and parameters have not changed since the last run.
+    """
+    if seeds <= 0:
+        raise SimulationError("need at least one seed")
+    names = list(CHECKS) if checks is None else list(checks)
+    for name in names:
+        if name not in CHECKS:
+            raise SimulationError(
+                f"unknown check {name!r}; available: {', '.join(CHECKS)}"
+            )
+
+    tasks: List[VerifyTask] = []
+    for name in names:
+        start = first_seed
+        for size in chunk_seeds(seeds, jobs, chunk):
+            tasks.append(
+                VerifyTask(
+                    check=name,
+                    first_seed=start,
+                    seeds=size,
+                    max_accesses=max_accesses,
+                )
+            )
+            start += size
+
+    report = run_campaign(tasks, jobs=max(jobs, 1), cache=cache)
+    failed = report.failures()
+    if failed:
+        first = failed[0]
+        raise SimulationError(
+            f"verify campaign: {len(failed)} task(s) failed; first: "
+            f"{first.label}: {first.error}"
+        )
+
+    by_check = {name: [] for name in names}
+    for payload in report.payloads():
+        by_check[payload["check"]].append(payload)
+
+    merged = VerifyReport(first_seed=first_seed, seeds=seeds)
+    for name in names:
+        chunks = sorted(by_check[name], key=lambda p: p["first_seed"])
+        outcome = CheckOutcome(name=name, seeds_run=seeds)
+        for part in chunks:
+            if part["divergence"] is not None:
+                # seeds_run counts from the check's first seed up to and
+                # including the diverging one, as the serial runner's
+                # early exit would have.
+                seeds_run = (
+                    part["first_seed"] - first_seed + part["seeds_run"]
+                )
+                outcome = CheckOutcome(
+                    name=name,
+                    seeds_run=seeds_run,
+                    divergence=_divergence_from_payload(part["divergence"]),
+                )
+                break
+        merged.outcomes.append(outcome)
+    return merged

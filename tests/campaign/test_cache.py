@@ -1,0 +1,75 @@
+"""The content-addressed on-disk result cache."""
+
+from __future__ import annotations
+
+from repro.campaign.cache import (
+    CACHE_ENV,
+    NullCache,
+    ResultCache,
+    default_cache_root,
+)
+
+KEY = "ab" + "0" * 62
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        payload = {"kind": "sim", "summary": {"x": 1.5}}
+        assert cache.get(KEY) is None
+        cache.put(KEY, payload)
+        assert cache.get(KEY) == payload
+        assert len(cache) == 1
+
+    def test_sharded_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {"a": 1})
+        assert (tmp_path / "objects" / "ab" / f"{KEY}.json").is_file()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {"a": 1})
+        path = tmp_path / "objects" / "ab" / f"{KEY}.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(KEY) is None
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        # An entry whose recorded key disagrees with its filename (e.g. a
+        # hand-copied file) must not be served.
+        cache = ResultCache(tmp_path)
+        other = "cd" + "0" * 62
+        cache.put(other, {"a": 1})
+        src = tmp_path / "objects" / "cd" / f"{other}.json"
+        dst = tmp_path / "objects" / "ab"
+        dst.mkdir(parents=True)
+        (dst / f"{KEY}.json").write_text(
+            src.read_text(encoding="utf-8"), encoding="utf-8"
+        )
+        assert cache.get(KEY) is None
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {"v": 1})
+        cache.put(KEY, {"v": 2})
+        assert cache.get(KEY) == {"v": 2}
+        assert len(cache) == 1
+
+
+class TestDefaultRoot:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path / "custom"))
+        assert default_cache_root() == tmp_path / "custom"
+
+    def test_home_fallback(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        root = default_cache_root()
+        assert root.name == "repro" and root.parent.name == ".cache"
+
+
+class TestNullCache:
+    def test_remembers_nothing(self):
+        cache = NullCache()
+        cache.put(KEY, {"a": 1})
+        assert cache.get(KEY) is None
+        assert len(cache) == 0
+        assert cache.root is None

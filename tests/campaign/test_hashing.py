@@ -1,0 +1,111 @@
+"""Content hashing: canonical JSON, code fingerprint, task keys."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.campaign.hashing import (
+    canonical_json,
+    code_fingerprint,
+    digest,
+    task_key,
+)
+from repro.campaign.tasks import ExperimentTask, SimTask, VerifyTask, WorkloadSpec
+from repro.experiments.base import quick_config
+from repro.policies.registry import parse_method
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+    def test_nested_containers(self):
+        text = canonical_json({"xs": [1, 2], "t": (3, 4), "s": {5}})
+        assert "[3, 4]".replace(" ", "") in text.replace(" ", "")
+
+    def test_numpy_scalars_normalise(self):
+        assert canonical_json({"x": np.int64(3)}) == canonical_json({"x": 3})
+        assert canonical_json({"x": np.float64(0.5)}) == canonical_json(
+            {"x": 0.5}
+        )
+
+    def test_dataclasses_serialise(self):
+        spec = WorkloadSpec(
+            dataset_gb=4.0,
+            rate_mb=50.0,
+            popularity=0.1,
+            duration_s=100.0,
+            seed=7,
+        )
+        assert canonical_json(spec) == canonical_json(dataclasses.asdict(spec))
+
+    def test_digest_is_hex_sha256(self):
+        value = digest({"a": 1})
+        assert len(value) == 64
+        int(value, 16)  # hex or raise
+
+
+class TestCodeFingerprint:
+    def test_stable_within_process(self):
+        assert code_fingerprint() == code_fingerprint()
+
+    def test_is_hex(self):
+        int(code_fingerprint(), 16)
+
+
+@pytest.fixture(scope="module")
+def sim_task(fast_machine):
+    workload = WorkloadSpec.for_machine(
+        fast_machine,
+        dataset_gb=2.0,
+        rate_mb=20.0,
+        popularity=0.2,
+        duration_s=240.0,
+        seed=3,
+    )
+    return SimTask(
+        method=parse_method("JOINT"),
+        machine=fast_machine,
+        workload=workload,
+        duration_s=240.0,
+        warmup_s=120.0,
+    )
+
+
+class TestTaskKeys:
+    def test_key_stable_across_instances(self, sim_task):
+        clone = dataclasses.replace(sim_task)
+        assert clone is not sim_task
+        assert clone.key == sim_task.key
+
+    def test_key_changes_with_any_parameter(self, sim_task):
+        other_seed = dataclasses.replace(
+            sim_task,
+            workload=dataclasses.replace(sim_task.workload, seed=4),
+        )
+        other_method = dataclasses.replace(
+            sim_task, method=parse_method("ALWAYS-ON")
+        )
+        other_warmup = dataclasses.replace(sim_task, warmup_s=0.0)
+        keys = {
+            sim_task.key,
+            other_seed.key,
+            other_method.key,
+            other_warmup.key,
+        }
+        assert len(keys) == 4
+
+    def test_kinds_do_not_collide(self):
+        config = quick_config()
+        experiment = ExperimentTask(name="fig5", config=config)
+        verify = VerifyTask(check="stack", first_seed=0, seeds=5)
+        assert experiment.key != verify.key
+
+    def test_key_ignores_nothing_in_payload(self, sim_task):
+        # The key is a pure function of the payload + code fingerprint.
+        assert sim_task.key == task_key(sim_task.payload())

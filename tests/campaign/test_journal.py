@@ -1,0 +1,69 @@
+"""The JSONL run journal."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.journal import (
+    JOURNAL_NAME,
+    RunJournal,
+    completed_payloads,
+    read_events,
+)
+from repro.errors import CampaignError
+
+
+class TestRunJournal:
+    def test_events_roundtrip_in_order(self, tmp_path):
+        run_dir = tmp_path / "run1"
+        with RunJournal(run_dir) as journal:
+            journal.append("run_started", tasks=2)
+            journal.append("task_done", key="k1", payload={"a": 1})
+            journal.append("run_finished")
+        events = list(read_events(run_dir))
+        assert [e["event"] for e in events] == [
+            "run_started",
+            "task_done",
+            "run_finished",
+        ]
+        assert all("ts" in e for e in events)
+
+    def test_missing_journal_raises(self, tmp_path):
+        with pytest.raises(CampaignError, match="nothing to resume"):
+            list(read_events(tmp_path / "absent"))
+
+    def test_truncated_line_skipped(self, tmp_path):
+        run_dir = tmp_path / "run2"
+        with RunJournal(run_dir) as journal:
+            journal.append("task_done", key="k1", payload={"a": 1})
+        path = run_dir / JOURNAL_NAME
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"event": "task_done", "key": "k2", "pay')  # crash
+        events = list(read_events(run_dir))
+        assert len(events) == 1 and events[0]["key"] == "k1"
+
+    def test_completed_payloads_collects_task_done_only(self, tmp_path):
+        run_dir = tmp_path / "run3"
+        with RunJournal(run_dir) as journal:
+            journal.append("run_started")
+            journal.append("task_done", key="k1", payload={"a": 1})
+            journal.append("task_failed", key="k2", error="boom")
+            journal.append("task_done", key="k3", payload={"b": 2})
+        done = completed_payloads(run_dir)
+        assert done == {"k1": {"a": 1}, "k3": {"b": 2}}
+
+    def test_later_entry_wins_for_duplicate_key(self, tmp_path):
+        run_dir = tmp_path / "run4"
+        with RunJournal(run_dir) as journal:
+            journal.append("task_done", key="k1", payload={"v": 1})
+            journal.append("task_done", key="k1", payload={"v": 2})
+        assert completed_payloads(run_dir) == {"k1": {"v": 2}}
+
+    def test_lines_are_plain_json(self, tmp_path):
+        run_dir = tmp_path / "run5"
+        with RunJournal(run_dir) as journal:
+            journal.append("task_done", key="k1", payload={"a": [1, 2]})
+        lines = (run_dir / JOURNAL_NAME).read_text().splitlines()
+        assert json.loads(lines[0])["payload"] == {"a": [1, 2]}

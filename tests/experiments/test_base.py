@@ -48,6 +48,38 @@ class TestConfigs:
         with pytest.raises(ConfigError):
             ExperimentConfig(measure_periods=0)
 
+    def test_explicit_zero_overrides_are_honoured(self):
+        # Regression: `value or default` treated an intentional 0.0 as
+        # unset and substituted the profile default.
+        config = quick_config()
+        machine = config.machine()
+        spec = config.workload(machine, popularity=0.0, duration_s=300.0)
+        assert spec.popularity == 0.0
+        assert spec.duration_s == 300.0
+        assert config.workload(machine).popularity == config.popularity
+
+    def test_make_trace_zero_popularity_is_loud_not_silent(self):
+        # Before the fix, make_trace(popularity=0.0) silently simulated
+        # the profile default (0.1).  Now the explicit value propagates
+        # and the trace generator rejects it out loud.
+        from repro.errors import TraceError
+
+        config = quick_config()
+        machine = config.machine()
+        with pytest.raises(TraceError, match="popularity"):
+            config.make_trace(
+                machine, dataset_gb=1.0, popularity=0.0, duration_s=120.0
+            )
+
+    def test_workload_spec_matches_make_trace(self):
+        config = quick_config()
+        machine = config.machine()
+        spec = config.workload(machine, dataset_gb=1.0, duration_s=120.0)
+        trace = config.make_trace(machine, dataset_gb=1.0, duration_s=120.0)
+        built = spec.build()
+        assert built.times.tolist() == trace.times.tolist()
+        assert built.pages.tolist() == trace.pages.tolist()
+
     def test_env_selection(self, monkeypatch):
         monkeypatch.setenv("REPRO_PROFILE", "quick")
         assert config_from_env().scale == quick_config().scale

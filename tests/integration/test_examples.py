@@ -37,6 +37,7 @@ def test_every_example_is_covered():
         "diurnal_server.py",
         "disk_array_layout.py",
         "decision_anatomy.py",
+        "campaign_grid.py",
     }
 
 

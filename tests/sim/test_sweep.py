@@ -68,3 +68,62 @@ class TestSweep:
             defaults={"dataset_gb": 2.0, "rate_mb": 20.0},
         )
         assert {row["write_fraction"] for row in rows} == {0.0, 0.3}
+
+
+class TestGridValidation:
+    def test_duplicate_values_deduplicated(self, fast_machine):
+        kwargs = dict(
+            methods=["JOINT"],
+            duration_s=240.0,
+            defaults={"dataset_gb": 2.0, "popularity": 0.2},
+        )
+        deduped = sweep(
+            fast_machine, grid={"rate_mb": [20, 20, 20, 50]}, **kwargs
+        )
+        clean = sweep(fast_machine, grid={"rate_mb": [20, 50]}, **kwargs)
+        assert deduped == clean
+
+    def test_dedup_keeps_first_occurrence_order(self, fast_machine):
+        rows = sweep(
+            fast_machine,
+            methods=["JOINT"],
+            grid={"rate_mb": [50, 20, 50]},
+            duration_s=240.0,
+            defaults={"dataset_gb": 2.0, "popularity": 0.2},
+        )
+        assert [row["rate_mb"] for row in rows[::2]] == [50, 20]
+
+    @pytest.mark.parametrize(
+        "grid, message",
+        [
+            ({"dataset_gb": [4.0, 0.0]}, "must be positive"),
+            ({"dataset_gb": [-2.0]}, "must be positive"),
+            ({"rate_mb": [float("nan")]}, "non-finite"),
+            ({"rate_mb": [float("inf")]}, "non-finite"),
+            ({"popularity": [0.0]}, "must be positive"),
+            ({"write_fraction": [1.5]}, r"in \[0, 1\]"),
+            ({"write_fraction": [-0.1]}, r"in \[0, 1\]"),
+            ({"dataset_gb": []}, "no values"),
+        ],
+    )
+    def test_bad_values_rejected(self, fast_machine, grid, message):
+        with pytest.raises(ReproError, match=message):
+            sweep(fast_machine, methods=["JOINT"], grid=grid, duration_s=240.0)
+
+
+class TestSweepCampaign:
+    def test_jobs_and_cache_match_serial_rows(self, fast_machine, tmp_path):
+        from repro.campaign.cache import ResultCache
+
+        kwargs = dict(
+            methods=["JOINT"],
+            grid={"dataset_gb": [2.0, 4.0]},
+            duration_s=240.0,
+            defaults={"rate_mb": 20.0, "popularity": 0.2},
+        )
+        serial = sweep(fast_machine, **kwargs)
+        cache = ResultCache(tmp_path / "cache")
+        parallel = sweep(fast_machine, jobs=2, cache=cache, **kwargs)
+        warm = sweep(fast_machine, jobs=1, cache=cache, **kwargs)
+        assert parallel == serial
+        assert warm == serial

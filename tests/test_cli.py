@@ -227,3 +227,95 @@ class TestVerifyCommand:
         code = main(["verify", "--seeds", "2", "--checks", "stack", "--progress"])
         assert code == 0
         assert "seed 0" in capsys.readouterr().out
+
+    def test_verify_jobs_matches_serial_output(self, capsys):
+        args = ["verify", "--seeds", "4", "--checks", "stack,intervals"]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+
+    def test_verify_campaign_path_exits_nonzero_on_divergence(
+        self, capsys, monkeypatch
+    ):
+        from repro.cache.stack_distance import StackDistanceTracker
+
+        original = StackDistanceTracker.access
+
+        def buggy(self, page):
+            depth = original(self, page)
+            return depth + 1 if depth >= 1 else depth
+
+        monkeypatch.setattr(StackDistanceTracker, "access", buggy)
+        # jobs=1 keeps execution in-process so the monkeypatch applies;
+        # --chunk forces the campaign code path regardless.
+        code = main(
+            ["verify", "--seeds", "10", "--checks", "stack", "--chunk", "3"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "DIVERGED" in out and "reproducer" in out
+
+
+class TestCampaignCommand:
+    def test_campaign_runs_prints_and_caches(self, capsys, tmp_path):
+        args = [
+            "campaign",
+            "fig5",
+            "--profile",
+            "quick",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--out",
+            str(tmp_path / "campaign.json"),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "Pareto" in out
+        assert "campaign" in out and "hit ratio" in out
+
+        import json
+
+        assert main(args) == 0
+        warm_out = capsys.readouterr().out
+        assert "cache hits    1" in warm_out
+        telemetry = json.loads((tmp_path / "campaign.json").read_text())
+        assert telemetry["hit_ratio"] >= 0.95
+
+    def test_campaign_resume(self, capsys, tmp_path):
+        base = [
+            "campaign",
+            "fig5",
+            "--profile",
+            "quick",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(base + ["--run-id", "r1"]) == 0
+        capsys.readouterr()
+        for entry in (tmp_path / "cache" / "objects").rglob("*.json"):
+            entry.unlink()
+        assert main(base + ["--resume", "r1"]) == 0
+        assert "journal hits  1" in capsys.readouterr().out
+
+    def test_campaign_unknown_name_fails_fast(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            main(["campaign", "fig99", "--no-cache"])
+
+    def test_experiment_with_jobs_uses_campaign(self, capsys, tmp_path):
+        args = [
+            "experiment",
+            "fig5",
+            "--profile",
+            "quick",
+            "--jobs",
+            "2",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "Pareto" in out and "campaign" in out
