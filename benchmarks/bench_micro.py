@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 from repro.cache.lru import LRUCache
+from repro.cache.profile import build_profile
 from repro.cache.stack_distance import StackDistanceTracker
 from repro.config.machine import scaled_machine
 from repro.sim.runner import run_method
@@ -47,6 +48,21 @@ def test_stack_distance_throughput(benchmark):
             tracker.access(page)
 
     benchmark(work)
+
+
+def test_stack_distance_batch_throughput(benchmark):
+    """The live-count tracker's array entry point (profile construction)."""
+    rng = np.random.default_rng(1)
+    pages = rng.zipf(1.3, size=20_000)
+
+    def work():
+        StackDistanceTracker().access_array(pages)
+
+    benchmark(work)
+
+
+def test_profile_build(benchmark, trace):
+    benchmark.pedantic(build_profile, args=(trace,), rounds=3, iterations=1)
 
 
 def test_lru_cache_throughput(benchmark):
@@ -89,6 +105,18 @@ def test_engine_throughput_fixed_method(benchmark, machine, trace):
         run_method,
         args=("2TFM-16GB", trace, machine),
         kwargs=dict(duration_s=1200.0),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_engine_throughput_vectorized(benchmark, machine, trace):
+    """The fast path with a prebuilt profile (kernels only, no build)."""
+    profile = build_profile(trace)
+    benchmark.pedantic(
+        run_method,
+        args=("2TFM-16GB", trace, machine),
+        kwargs=dict(duration_s=1200.0, profile=profile),
         rounds=3,
         iterations=1,
     )

@@ -1,0 +1,34 @@
+"""Sweep-scale performance benchmark: the ``repro bench`` suites.
+
+Runs the :mod:`repro.perf` suites exactly as ``repro bench`` does and
+archives the ``BENCH_micro.json`` / ``BENCH_sweep.json`` documents under
+``benchmarks/out/``.  The assertions are sanity floors, not the
+regression gate -- CI's perf-smoke job compares against the committed
+baselines in ``benchmarks/baselines/`` with a proper tolerance.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.perf import run_suite, write_suite
+from repro.perf.suite import render_suite
+
+OUT_DIR = Path(__file__).parent / "out"
+QUICK = os.environ.get("REPRO_PROFILE", "full").strip().lower() == "quick"
+
+
+@pytest.mark.parametrize("suite", ["micro", "sweep"])
+def test_bench_suite(suite):
+    doc = run_suite(suite, quick=QUICK)
+    path = write_suite(doc, OUT_DIR)
+    print()
+    print(render_suite(doc))
+    print(f"wrote {path}")
+    if suite == "micro":
+        assert doc["entries"]["replay_speedup"]["value"] > 1.0
+    else:
+        assert doc["entries"]["sweep_speedup"]["value"] > 1.0

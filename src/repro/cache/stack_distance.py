@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import Dict
 
+import numpy as np
+
 from repro.errors import SimulationError
 
 #: Returned for the first access to a page (infinite stack distance).
@@ -70,6 +72,10 @@ class StackDistanceTracker:
         self._tree = _Fenwick(self._capacity)
         self._last_index: Dict[int, int] = {}
         self._next_index = 0
+        #: Running count of live indices (1s in the tree).  Equal to
+        #: ``self._tree.total`` at all times, but maintained incrementally
+        #: so ``access`` pays one prefix sum instead of two.
+        self._live = 0
 
     @property
     def distinct_pages(self) -> int:
@@ -89,20 +95,39 @@ class StackDistanceTracker:
         self._next_index += 1
         if previous is None:
             distance = COLD
+            self._live += 1
         else:
             # Distinct pages accessed strictly after `previous` -- exactly
             # the pages above this one in the LRU stack (depth 0 = MRU).
-            distance = self._tree.total - self._tree.prefix_sum(previous)
+            # The live count replaces the O(log n) ``_tree.total`` sum.
+            distance = self._live - self._tree.prefix_sum(previous)
             self._tree.add(previous, -1)
         self._tree.add(index, +1)
         self._last_index[page] = index
         return distance
+
+    def access_array(self, pages) -> np.ndarray:
+        """Batch :meth:`access`: distances for a whole page array.
+
+        The one-pass building block of
+        :class:`repro.cache.profile.TraceProfile`: identical semantics to
+        calling :meth:`access` per element, but with the method lookups
+        hoisted and the distances written straight into one ``int64``
+        array (no per-access list growth).
+        """
+        pages = np.asarray(pages)
+        out = np.empty(pages.size, dtype=np.int64)
+        access = self.access
+        for i, page in enumerate(pages.tolist()):
+            out[i] = access(page)
+        return out
 
     def forget(self, page: int) -> None:
         """Remove a page from the stack (e.g. after trimming history)."""
         previous = self._last_index.pop(page, None)
         if previous is not None:
             self._tree.add(previous, -1)
+            self._live -= 1
 
     def _compact(self) -> None:
         """Renumber live indices to the front, growing if nearly full."""
@@ -116,5 +141,6 @@ class StackDistanceTracker:
             self._last_index[page] = new_index
             self._tree.add(new_index, +1)
         self._next_index = len(live)
+        self._live = len(live)
         if self._next_index >= self._capacity:
             raise SimulationError("stack-distance compaction failed to make room")

@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.errors import CampaignError
 
+from repro.cache import profile as trace_profiles
 from repro.campaign.cache import NullCache, ResultCache
 from repro.campaign.hashing import code_fingerprint, digest
 from repro.campaign.journal import SUMMARY_NAME, RunJournal, completed_payloads
@@ -331,19 +332,26 @@ def run_campaign(
             stats.cache_hits += 1
             finish_key(key, hit, SOURCE_CACHE)
 
-    # 3: execute what is left.
+    # 3: execute what is left.  While tasks run, point the trace-profile
+    # layer at the campaign's result cache so every sweep point, method
+    # and later resumed run shares one stack-distance pass per trace.
     todo = [key for key in first_index if key not in resolved]
     if todo:
-        if jobs <= 1:
-            _execute_serial(
-                todo, tasks, first_index, retries, backoff_s,
-                finish_key, fail_key, stats,
-            )
-        else:
-            _execute_parallel(
-                todo, tasks, first_index, jobs, retries, backoff_s,
-                finish_key, fail_key, stats,
-            )
+        previous_backend = _install_profile_cache(cache)
+        try:
+            if jobs <= 1:
+                _execute_serial(
+                    todo, tasks, first_index, retries, backoff_s,
+                    finish_key, fail_key, stats,
+                )
+            else:
+                _execute_parallel(
+                    todo, tasks, first_index, jobs, retries, backoff_s,
+                    finish_key, fail_key, stats,
+                    profile_cache_root=getattr(cache, "root", None),
+                )
+        finally:
+            trace_profiles.set_active_cache(previous_backend)
 
     # Fan results out to duplicate tasks.
     for i, key in enumerate(keys):
@@ -390,6 +398,20 @@ def run_campaign(
     return report
 
 
+def _install_profile_cache(cache) -> Any:
+    """Make the campaign's disk cache the profile backend; returns the
+    previous backend (unchanged when the cache is memory-less)."""
+    if getattr(cache, "root", None) is None:
+        return trace_profiles.active_cache()
+    return trace_profiles.set_active_cache(cache)
+
+
+def _pool_profile_initializer(cache_root: Optional[str]) -> None:
+    """Worker-process bootstrap: share the profile cache across the pool."""
+    if cache_root:
+        trace_profiles.set_active_cache(cache_root)
+
+
 def _execute_serial(
     todo: List[str],
     tasks: Sequence[Task],
@@ -428,6 +450,7 @@ def _execute_parallel(
     finish_key: Callable[..., None],
     fail_key: Callable[..., None],
     stats: CampaignStats,
+    profile_cache_root: Optional[Path] = None,
 ) -> None:
     """Pool execution with per-task retry and pool-crash recovery.
 
@@ -444,7 +467,15 @@ def _execute_parallel(
             time.sleep(backoff_s * (2 ** min(round_index - 1, 5)))
         round_index += 1
         retry: List[str] = []
-        pool = ProcessPoolExecutor(max_workers=jobs)
+        pool = ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_pool_profile_initializer,
+            initargs=(
+                str(profile_cache_root)
+                if profile_cache_root is not None
+                else None,
+            ),
+        )
         try:
             futures = {
                 pool.submit(timed_execute, tasks[first_index[key]]): key

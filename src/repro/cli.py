@@ -15,6 +15,9 @@ Commands:
   characteristics (rate, footprint, popularity, miss-ratio curve).
 * ``verify`` -- differentially test the fast paths against brute-force
   oracles over fuzzed workloads (see docs/VERIFICATION.md).
+* ``bench`` -- run the performance benchmark suites, write
+  ``BENCH_<suite>.json`` documents, and optionally gate against the
+  committed baselines (see docs/PERFORMANCE.md).
 * ``list`` -- list experiments and method names.
 """
 
@@ -161,6 +164,47 @@ def _build_parser() -> argparse.ArgumentParser:
         "--chunk",
         type=int,
         help="seeds per campaign task (default: seeds / (4 * jobs))",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="run the performance benchmark suites"
+    )
+    bench.add_argument(
+        "--suite",
+        choices=["micro", "sweep", "all"],
+        default="all",
+        help="which suite(s) to run (default: all)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorter workloads and fewer repeats (CI smoke profile)",
+    )
+    bench.add_argument(
+        "--out-dir",
+        default=".",
+        help="where BENCH_<suite>.json documents are written (default: .)",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against committed baselines; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--baseline-dir",
+        default="benchmarks/baselines",
+        help="committed baseline documents (default: benchmarks/baselines)",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop of gated entries (default 0.30)",
+    )
+    bench.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="write this run's documents into --baseline-dir",
     )
 
     sub.add_parser("list", help="list experiments and method names")
@@ -434,6 +478,32 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf import compare, load_baseline, run_suite, write_suite
+    from repro.perf.suite import SUITE_NAMES, render_suite
+
+    suites = list(SUITE_NAMES) if args.suite == "all" else [args.suite]
+    failed = False
+    for suite in suites:
+        doc = run_suite(suite, quick=args.quick)
+        path = write_suite(doc, args.out_dir)
+        print(render_suite(doc))
+        print(f"  wrote {path}")
+        if args.update_baselines:
+            base_path = write_suite(doc, args.baseline_dir)
+            print(f"  baseline updated: {base_path}")
+        if args.check:
+            baseline = load_baseline(args.baseline_dir, suite)
+            if baseline is None:
+                print(f"  no baseline for {suite} in {args.baseline_dir}; skipped")
+            else:
+                report = compare(doc, baseline, tolerance=args.tolerance)
+                print(report.render())
+                failed = failed or not report.ok
+        print()
+    return 1 if failed else 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     del args
     print("experiments:")
@@ -462,6 +532,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "trace": _cmd_trace,
         "verify": _cmd_verify,
+        "bench": _cmd_bench,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

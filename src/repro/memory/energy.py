@@ -33,8 +33,22 @@ class MemoryEnergy:
         self.static_j += power_w * duration_s
 
     def add_access(self, energy_j: float) -> None:
-        self.dynamic_j += energy_j
-        self.accesses += 1
+        self.add_accesses(1, energy_j)
+
+    def add_accesses(self, count: int, energy_j: float) -> None:
+        """Charge ``count`` accesses at ``energy_j`` joules each.
+
+        The per-access energy is a property of the chip
+        (:attr:`repro.config.memory_spec.MemorySpec.dynamic_energy_per_access`),
+        constant over one accumulator's lifetime, so the dynamic bucket is
+        recomputed as ``accesses x energy_j`` rather than accumulated.
+        This keeps the figure bit-identical whether accesses are charged
+        one at a time (the scalar engine loop) or in batches (the
+        vectorized replay kernels), and is also the exact value the audit
+        checks against.
+        """
+        self.accesses += count
+        self.dynamic_j = self.accesses * energy_j
 
     def add_transition(self, energy_j: float) -> None:
         self.transition_j += energy_j

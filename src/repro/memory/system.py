@@ -70,6 +70,20 @@ class MemorySystem:
     def _charge_access(self) -> None:
         self.energy.add_access(self.spec.dynamic_energy_per_access)
 
+    def charge_accesses(self, now: float, count: int) -> None:
+        """Account ``count`` accesses ending at ``now``, cache untouched.
+
+        The vectorized replay kernels (:mod:`repro.sim.kernels`) resolve
+        hit/miss outcomes ahead of time from a stack-distance profile, so
+        they only need the clock advanced and the dynamic energy charged
+        -- the LRU structure itself is never consulted.  Only meaningful
+        for memory systems whose energy does not depend on individual
+        access placement (the nap model); the kernels' eligibility check
+        enforces that.
+        """
+        self._advance_clock(now)
+        self.energy.add_accesses(count, self.spec.dynamic_energy_per_access)
+
     # --- interface ----------------------------------------------------------------
 
     def access(self, now: float, page: int) -> bool:

@@ -1,0 +1,25 @@
+"""Performance-regression harness: benchmark suites + baseline gate.
+
+``repro bench`` runs the suites in :mod:`repro.perf.suite`, writes one
+``BENCH_<suite>.json`` document per suite, and (``--check``) compares the
+machine-independent entries against the baselines committed under
+``benchmarks/baselines/`` via :mod:`repro.perf.baseline`.
+"""
+
+from repro.perf.baseline import ComparisonReport, compare, load_baseline
+from repro.perf.suite import (
+    SUITE_NAMES,
+    bench_file_name,
+    run_suite,
+    write_suite,
+)
+
+__all__ = [
+    "ComparisonReport",
+    "SUITE_NAMES",
+    "bench_file_name",
+    "compare",
+    "load_baseline",
+    "run_suite",
+    "write_suite",
+]

@@ -1,0 +1,175 @@
+"""The perf-regression gate: current bench documents vs committed baselines.
+
+Only machine-independent entries gate by default: a ``ratio`` entry (for
+example ``sweep_speedup``) divides two wall-clocks measured back-to-back
+in the same process, so it transfers across CI runners and developer
+laptops.  Raw wall-clocks and ops/s are reported for context but never
+fail the build unless ``gate_all=True``.
+
+A regression is a gated value falling below ``baseline * (1 -
+tolerance)``; improvements never fail (refresh the baseline with
+``repro bench --update-baselines`` when they stick).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import SimulationError
+
+from repro.perf.suite import BENCH_SCHEMA, bench_file_name
+
+#: Default slack before a gated entry counts as a regression.
+DEFAULT_TOLERANCE = 0.30
+
+
+@dataclass(frozen=True)
+class ComparisonLine:
+    """One entry's verdict."""
+
+    name: str
+    gated: bool
+    ok: bool
+    current: Optional[float]
+    baseline: Optional[float]
+    detail: str
+
+
+@dataclass
+class ComparisonReport:
+    """Everything one suite comparison produced."""
+
+    suite: str
+    tolerance: float
+    lines: List[ComparisonLine] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(line.ok for line in self.lines)
+
+    @property
+    def regressions(self) -> List[ComparisonLine]:
+        return [line for line in self.lines if not line.ok]
+
+    def render(self) -> str:
+        rows = [
+            f"baseline check [{self.suite}] "
+            f"(tolerance {self.tolerance:.0%}):"
+        ]
+        for line in self.lines:
+            status = "ok" if line.ok else "REGRESSED"
+            flag = "gated" if line.gated else "info "
+            rows.append(
+                f"  {line.name:<22} {flag}  {status:<9} {line.detail}"
+            )
+        rows.append("PASS" if self.ok else "FAIL")
+        return "\n".join(rows)
+
+
+def baseline_path(baseline_dir: Union[str, Path], suite: str) -> Path:
+    return Path(baseline_dir) / bench_file_name(suite)
+
+
+def load_baseline(
+    baseline_dir: Union[str, Path], suite: str
+) -> Optional[Dict[str, Any]]:
+    """The committed baseline document for ``suite``, or None if absent."""
+    path = baseline_path(baseline_dir, suite)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    return doc if isinstance(doc, dict) and "entries" in doc else None
+
+
+def compare(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+    gate_all: bool = False,
+) -> ComparisonReport:
+    """Grade ``current`` against ``baseline``; see the module docstring."""
+    if not 0 <= tolerance < 1:
+        raise SimulationError(f"tolerance must be in [0, 1), got {tolerance}")
+    suite = current.get("suite", "?")
+    report = ComparisonReport(suite=suite, tolerance=tolerance)
+    if baseline.get("suite") != suite:
+        raise SimulationError(
+            f"baseline is for suite {baseline.get('suite')!r}, not {suite!r}"
+        )
+    schema_ok = baseline.get("schema") == BENCH_SCHEMA
+    if not schema_ok:
+        # A stale baseline cannot gate; say so rather than fail weirdly.
+        report.lines.append(
+            ComparisonLine(
+                name="(schema)",
+                gated=False,
+                ok=True,
+                current=BENCH_SCHEMA,
+                baseline=baseline.get("schema"),
+                detail="baseline schema differs; entries reported ungated",
+            )
+        )
+        gate_all = False
+
+    current_entries = current.get("entries", {})
+    for name, base_entry in sorted(baseline.get("entries", {}).items()):
+        cur_entry = current_entries.get(name)
+        if cur_entry is None:
+            report.lines.append(
+                ComparisonLine(
+                    name=name,
+                    gated=schema_ok,
+                    ok=not schema_ok,
+                    current=None,
+                    baseline=None,
+                    detail="entry missing from the current run",
+                )
+            )
+            continue
+        kind = base_entry.get("kind")
+        if kind == "ratio":
+            base_value = base_entry.get("value")
+            cur_value = cur_entry.get("value")
+            gated = schema_ok
+        elif gate_all and base_entry.get("ops_per_s"):
+            base_value = base_entry.get("ops_per_s")
+            cur_value = cur_entry.get("ops_per_s")
+            gated = True
+        else:
+            base_value = base_entry.get("ops_per_s") or base_entry.get("wall_s")
+            cur_value = cur_entry.get("ops_per_s") or cur_entry.get("wall_s")
+            gated = False
+        if not isinstance(base_value, (int, float)) or not isinstance(
+            cur_value, (int, float)
+        ):
+            report.lines.append(
+                ComparisonLine(
+                    name=name,
+                    gated=gated,
+                    ok=not gated,
+                    current=None,
+                    baseline=None,
+                    detail="non-numeric entry",
+                )
+            )
+            continue
+        floor = base_value * (1.0 - tolerance)
+        ok = (not gated) or cur_value >= floor
+        report.lines.append(
+            ComparisonLine(
+                name=name,
+                gated=gated,
+                ok=ok,
+                current=float(cur_value),
+                baseline=float(base_value),
+                detail=(
+                    f"current {cur_value:,.2f} vs baseline {base_value:,.2f}"
+                    + (f" (floor {floor:,.2f})" if gated else "")
+                ),
+            )
+        )
+    return report

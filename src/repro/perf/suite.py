@@ -1,0 +1,255 @@
+"""The benchmark suites behind ``repro bench``.
+
+Two suites, each emitting one JSON document:
+
+* ``micro`` (``BENCH_micro.json``) -- data-structure and single-replay
+  timings: stack-distance tracking (per-call and batched), profile
+  construction, and the scalar vs vectorized engine loops on one
+  workload, including the ``replay_speedup`` ratio.
+* ``sweep`` (``BENCH_sweep.json``) -- the production shape the kernels
+  were built for: a grid of (memory size x disk policy) points replaying
+  the *same* trace, once through the scalar loop and once through the
+  fast path with a single shared :class:`TraceProfile` (its one-time
+  build is charged to the vectorized side).  ``sweep_speedup`` is the
+  headline number.
+
+Every entry records wall-clock seconds; throughput entries add
+``ops_per_s``.  Entries with ``"kind": "ratio"`` are ratios of
+wall-clocks measured in the same process and are therefore
+machine-independent -- those are what the baseline gate
+(:mod:`repro.perf.baseline`) checks by default.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Union
+
+import numpy as np
+
+from repro.cache.profile import build_profile, clear_memo
+from repro.cache.stack_distance import StackDistanceTracker
+from repro.config.machine import scaled_machine
+from repro.errors import SimulationError
+from repro.sim.runner import run_method
+from repro.traces.specweb import generate_trace
+from repro.units import GB, MB
+
+#: Bump when the document layout changes (stale baselines stop gating).
+BENCH_SCHEMA = 1
+
+SUITE_NAMES = ("micro", "sweep")
+
+#: The sweep grid: every point replays the same trace; the profile is
+#: built once and shared (exactly how campaigns use the kernels).
+SWEEP_SIZES_GB = (4, 8, 16, 32)
+SWEEP_DISKS = ("2T", "ON", "PT", "EA")
+
+
+def bench_file_name(suite: str) -> str:
+    return f"BENCH_{suite}.json"
+
+
+def _best_of(fn: Callable[[], Any], repeats: int) -> float:
+    """Minimum wall-clock over ``repeats`` runs (noise-robust)."""
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _workload(quick: bool):
+    """The bench workload: the bench_micro.py trace, shorter on --quick."""
+    machine = scaled_machine(1024)
+    trace = generate_trace(
+        dataset_bytes=4 * GB,
+        data_rate=100 * MB,
+        duration_s=600.0 if quick else 1200.0,
+        page_size=machine.page_bytes,
+        seed=3,
+        file_scale=machine.scale,
+    )
+    return machine, trace
+
+
+def _time_entry(wall_s: float, ops: int, **meta: Any) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "kind": "throughput",
+        "wall_s": round(wall_s, 6),
+        "ops": ops,
+        "ops_per_s": round(ops / wall_s, 2) if wall_s > 0 else None,
+    }
+    entry.update(meta)
+    return entry
+
+
+def _ratio_entry(value: float, note: str) -> Dict[str, Any]:
+    return {
+        "kind": "ratio",
+        "value": round(value, 4),
+        "higher_is_better": True,
+        "note": note,
+    }
+
+
+# --- the suites ---------------------------------------------------------------
+
+
+def _suite_micro(quick: bool) -> Dict[str, Any]:
+    repeats = 2 if quick else 3
+    entries: Dict[str, Any] = {}
+
+    rng = np.random.default_rng(1)
+    pages = rng.zipf(1.3, size=5_000 if quick else 20_000)
+    page_list = pages.tolist()
+
+    def tracker_loop():
+        tracker = StackDistanceTracker()
+        access = tracker.access
+        for page in page_list:
+            access(page)
+
+    wall = _best_of(tracker_loop, repeats)
+    entries["stack_tracker"] = _time_entry(wall, len(page_list))
+
+    def tracker_batch():
+        StackDistanceTracker().access_array(pages)
+
+    wall = _best_of(tracker_batch, repeats)
+    entries["stack_tracker_batch"] = _time_entry(wall, int(pages.size))
+
+    machine, trace = _workload(quick)
+    profile_holder: List[Any] = []
+
+    def profile_once():
+        profile_holder.clear()
+        profile_holder.append(build_profile(trace))
+
+    wall = _best_of(profile_once, repeats)
+    entries["profile_build"] = _time_entry(wall, trace.num_accesses)
+    profile = profile_holder[0]
+
+    scalar_wall = _best_of(
+        lambda: run_method("2TFM-16GB", trace, machine, profile=None), repeats
+    )
+    entries["replay_scalar"] = _time_entry(scalar_wall, trace.num_accesses)
+
+    vector_wall = _best_of(
+        lambda: run_method("2TFM-16GB", trace, machine, profile=profile),
+        repeats,
+    )
+    entries["replay_vectorized"] = _time_entry(vector_wall, trace.num_accesses)
+
+    entries["replay_speedup"] = _ratio_entry(
+        scalar_wall / vector_wall,
+        "scalar / vectorized wall-clock, one replay, profile prebuilt",
+    )
+    return entries
+
+
+def _suite_sweep(quick: bool) -> Dict[str, Any]:
+    machine, trace = _workload(quick)
+    methods = [
+        f"{disk}FM-{size}GB" for disk in SWEEP_DISKS for size in SWEEP_SIZES_GB
+    ]
+
+    def run_all(profile_mode) -> List[float]:
+        walls = []
+        for method in methods:
+            start = time.perf_counter()
+            result = run_method(method, trace, machine, profile=profile_mode)
+            walls.append(time.perf_counter() - start)
+            expected = "scalar" if profile_mode is None else "vectorized"
+            if result.replay_mode != expected:
+                raise SimulationError(
+                    f"{method}: expected a {expected} replay, got "
+                    f"{result.replay_mode}"
+                )
+        return walls
+
+    clear_memo()
+    scalar_walls = run_all(None)
+    clear_memo()  # charge the one-time profile build to the fast side
+    vector_walls = run_all("auto")
+
+    scalar_total = sum(scalar_walls)
+    vector_total = sum(vector_walls)
+    points = len(methods)
+    entries: Dict[str, Any] = {
+        "sweep_scalar": _time_entry(
+            scalar_total, points, accesses=trace.num_accesses
+        ),
+        "sweep_vectorized": _time_entry(
+            vector_total,
+            points,
+            accesses=trace.num_accesses,
+            profile_build_wall_s=round(vector_walls[0], 6),
+        ),
+        "sweep_speedup": _ratio_entry(
+            scalar_total / vector_total,
+            f"{points}-point (size x disk policy) sweep over one trace, "
+            "shared profile built inside the timed window",
+        ),
+    }
+    return entries
+
+
+_SUITES: Dict[str, Callable[[bool], Dict[str, Any]]] = {
+    "micro": _suite_micro,
+    "sweep": _suite_sweep,
+}
+
+
+# --- entry points -------------------------------------------------------------
+
+
+def run_suite(suite: str, quick: bool = False) -> Dict[str, Any]:
+    """Run one suite and return its JSON document."""
+    if suite not in _SUITES:
+        raise SimulationError(
+            f"unknown bench suite {suite!r}; available: {', '.join(SUITE_NAMES)}"
+        )
+    start = time.perf_counter()
+    entries = _SUITES[suite](quick)
+    return {
+        "suite": suite,
+        "schema": BENCH_SCHEMA,
+        "quick": bool(quick),
+        "elapsed_s": round(time.perf_counter() - start, 3),
+        "entries": entries,
+    }
+
+
+def write_suite(doc: Dict[str, Any], out_dir: Union[str, Path]) -> Path:
+    """Write ``BENCH_<suite>.json`` under ``out_dir``; returns the path."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / bench_file_name(doc["suite"])
+    path.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def render_suite(doc: Dict[str, Any]) -> str:
+    """Human-readable one-line-per-entry summary."""
+    lines = [
+        f"suite {doc['suite']}"
+        + (" (quick)" if doc.get("quick") else "")
+        + f": {doc.get('elapsed_s', 0.0):.2f} s"
+    ]
+    for name, entry in sorted(doc["entries"].items()):
+        if entry.get("kind") == "ratio":
+            lines.append(f"  {name:<22} {entry['value']:.2f}x")
+        else:
+            ops = entry.get("ops_per_s")
+            rate = f"{ops:,.0f} ops/s" if ops else ""
+            lines.append(
+                f"  {name:<22} {entry['wall_s']:.4f} s  {rate}".rstrip()
+            )
+    return "\n".join(lines)

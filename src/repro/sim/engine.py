@@ -17,11 +17,13 @@ stream.
 
 from __future__ import annotations
 
+import itertools
 import math
 from typing import Optional
 
 import numpy as np
 
+from repro.cache.profile import TraceProfile
 from repro.cache.readahead import ReadaheadClusterer
 from repro.config.machine import MachineConfig
 from repro.core.joint import JointPowerManager
@@ -30,6 +32,7 @@ from repro.disk.service import ServiceModel
 from repro.errors import SimulationError
 from repro.memory.system import MemorySystem
 from repro.policies.base import NO_CHANGE, DiskPolicy
+from repro.sim import kernels
 from repro.sim.metrics import MetricsCollector
 from repro.sim.results import SimResult
 from repro.traces.trace import Trace
@@ -40,6 +43,33 @@ SEQUENTIAL_MERGE_WINDOW_S = 0.05
 
 #: Default write-back flush cadence (Linux pdflush-style sweep).
 FLUSH_INTERVAL_S = 30.0
+
+
+class _ReplayState:
+    """Mutable per-run bookkeeping shared by the scalar loop, the
+    vectorized kernels and the event drainer.
+
+    Everything the original closure-based loop kept in ``nonlocal``
+    variables lives here, so both replay paths mutate one place and the
+    post-loop tail reads one place.
+    """
+
+    __slots__ = (
+        "metrics",
+        "clusterer",
+        "has_writes",
+        "duration_s",
+        "warmup_s",
+        "period_s",
+        "next_flush",
+        "next_boundary",
+        "last_flush_page",
+        "last_miss_page",
+        "last_miss_time",
+        "current_timeout",
+        "mem_mark",
+        "disk_mark",
+    )
 
 
 class SimulationEngine:
@@ -90,6 +120,8 @@ class SimulationEngine:
         if flush_interval_s <= 0:
             raise SimulationError("flush interval must be positive")
         self.flush_interval_s = flush_interval_s
+        #: Which replay loop the most recent :meth:`run` used.
+        self.last_replay_mode = kernels.MODE_SCALAR
 
     # --- helpers ---------------------------------------------------------------
 
@@ -114,6 +146,7 @@ class SimulationEngine:
         trace: Trace,
         duration_s: Optional[float] = None,
         warmup_s: float = 0.0,
+        profile: Optional[TraceProfile] = None,
     ) -> SimResult:
         """Replay ``trace`` and return the run's result.
 
@@ -121,6 +154,12 @@ class SimulationEngine:
         window from every reported metric and energy figure: the cache
         fills and the managers adapt during warm-up, but observation
         starts at its end.
+
+        ``profile`` (a :class:`repro.cache.profile.TraceProfile` computed
+        for this exact trace *and* the prefill actually applied to the
+        memory system) enables the vectorized replay kernels when the run
+        is eligible (:func:`repro.sim.kernels.fast_path_reason`); results
+        are bit-identical either way.
         """
         machine = self.machine
         manager_cfg = machine.manager
@@ -142,119 +181,47 @@ class SimulationEngine:
                 "memory system and joint manager disagree on the initial size"
             )
 
-        metrics = MetricsCollector(
+        disk = self.disk
+        memory = self.memory
+        manager = self.manager
+        disk.set_timeout(0.0, self._initial_timeout())
+
+        st = _ReplayState()
+        st.metrics = MetricsCollector(
             period_s=period,
             long_latency_threshold_s=manager_cfg.long_latency_threshold_s,
             aggregation_window_s=manager_cfg.aggregation_window_s,
         )
-        clusterer = ReadaheadClusterer(merge_window_s=SEQUENTIAL_MERGE_WINDOW_S)
+        st.clusterer = ReadaheadClusterer(
+            merge_window_s=SEQUENTIAL_MERGE_WINDOW_S
+        )
+        st.has_writes = trace.writes is not None and bool(trace.writes.any())
+        st.duration_s = duration_s
+        st.warmup_s = warmup_s
+        st.period_s = period
+        st.next_flush = self.flush_interval_s
+        st.next_boundary = period
+        st.last_flush_page = -2
+        st.last_miss_page = -2
+        st.last_miss_time = -np.inf
+        st.current_timeout = disk.timeout_s
+        st.mem_mark = memory.energy.snapshot() if warmup_s == 0 else None
+        st.disk_mark = disk.energy.snapshot() if warmup_s == 0 else None
 
-        disk = self.disk
-        memory = self.memory
-        policy = self.policy
-        manager = self.manager
-        disk.set_timeout(0.0, self._initial_timeout())
+        fallback = kernels.fast_path_reason(self, trace, profile)
+        if fallback is None:
+            self.last_replay_mode = kernels.MODE_VECTORIZED
+            kernels.replay_vectorized(self, st, trace, profile, duration_s)
+        else:
+            self.last_replay_mode = kernels.MODE_SCALAR
+            self._replay_scalar(st, trace, duration_s)
 
-        times = trace.times.tolist()
-        pages = trace.pages.tolist()
-        has_writes = trace.writes is not None and bool(trace.writes.any())
-        writes = trace.writes.tolist() if has_writes else [False] * len(times)
-        next_flush = self.flush_interval_s
-        last_flush_page = -2
-        next_boundary = period
-        last_miss_page = -2
-        last_miss_time = -np.inf
-        current_timeout = disk.timeout_s
-        mem_mark = memory.energy.snapshot() if warmup_s == 0 else None
-        disk_mark = disk.energy.snapshot() if warmup_s == 0 else None
-
-        def drain_events(until_s: float):
-            """Fire pending flush/boundary events in time order up to
-            ``until_s`` (inclusive, capped at the run's duration)."""
-            nonlocal next_flush, next_boundary, last_flush_page
-            nonlocal current_timeout, metrics, mem_mark, disk_mark
-            while True:
-                flush_at = next_flush if has_writes else math.inf
-                event_at = min(flush_at, next_boundary)
-                if event_at > until_s or event_at > duration_s:
-                    break
-                if flush_at <= next_boundary:
-                    last_flush_page = self._flush(
-                        flush_at, memory.flush_all(), metrics, last_flush_page
-                    )
-                    next_flush += self.flush_interval_s
-                else:
-                    current_timeout = self._handle_boundary(
-                        next_boundary, metrics, current_timeout
-                    )
-                    if mem_mark is None and next_boundary >= warmup_s - 1e-9:
-                        metrics, mem_mark, disk_mark = self._begin_measurement(
-                            next_boundary
-                        )
-                    next_boundary += period
-
-        for now, page, is_write in zip(times, pages, writes):
-            if now >= duration_s:
-                break
-            drain_events(now)
-
-            if manager is not None:
-                manager.record_access(now, page)
-
-            if has_writes:
-                hit = memory.access_rw(now, page, is_write)
-                pending = memory.take_pending_flushes()
-                if pending:
-                    last_flush_page = self._flush(
-                        now, pending, metrics, last_flush_page
-                    )
-                if is_write:
-                    # Write-back: the cache absorbs the write (allocate
-                    # without fetch on a miss) -- no disk read, no
-                    # user-visible disk latency.
-                    if hit:
-                        metrics.on_hit(now)
-                    else:
-                        metrics.on_write(now)
-                    continue
-            else:
-                hit = memory.access(now, page)
-            if hit:
-                metrics.on_hit(now)
-                continue
-
-            # --- disk page access --------------------------------------------
-            sequential = (
-                page == last_miss_page + 1
-                and now - last_miss_time <= SEQUENTIAL_MERGE_WINDOW_S
-            )
-            last_miss_page = page
-            last_miss_time = now
-
-            idle_before = max(now - disk.busy_until, 0.0)
-            result = disk.submit(now, 1, sequential=sequential, page=page)
-            metrics.on_miss(now, result.latency_s, result.wake_delay_s)
-            if clusterer.add(now, page) is not None:
-                metrics.on_request()
-
-            if policy is not None:
-                update = policy.on_request(
-                    now, result.latency_s, result.wake_delay_s, idle_before
-                )
-                if update is not NO_CHANGE:
-                    disk.set_timeout(now, update)
-                    current_timeout = disk.timeout_s
-                hint = self._next_hint(now)
-                update = policy.on_idle_start(result.finish_s, hint)
-                if update is not NO_CHANGE:
-                    disk.set_timeout(now, update)
-                    current_timeout = disk.timeout_s
-
-        if clusterer.flush() is not None:
-            metrics.on_request()
+        if st.clusterer.flush() is not None:
+            st.metrics.on_request()
 
         # Fire the trailing events (flushes and periods in the idle tail).
-        drain_events(duration_s)
+        self._drain_events(st, duration_s)
+        metrics = st.metrics
         last_closed = (
             metrics.periods[-1].end_s
             if metrics.periods
@@ -266,22 +233,22 @@ class SimulationEngine:
             metrics.close_period(
                 duration_s,
                 memory_bytes=memory.capacity_bytes,
-                timeout_s=current_timeout,
+                timeout_s=st.current_timeout,
             )
 
-        if has_writes:
+        if st.has_writes:
             # Final write-back sweep: everything still dirty goes to disk.
             remaining = memory.take_pending_flushes() + memory.flush_all()
             if remaining:
-                self._flush(duration_s, remaining, metrics, last_flush_page)
+                self._flush(duration_s, remaining, metrics, st.last_flush_page)
 
         disk.finalize(duration_s)
         memory.finalize(duration_s)
 
-        if mem_mark is None or disk_mark is None:
+        if st.mem_mark is None or st.disk_mark is None:
             raise SimulationError("warm-up window never closed")
-        memory_energy = memory.energy.minus(mem_mark)
-        disk_energy = disk.energy.minus(disk_mark)
+        memory_energy = memory.energy.minus(st.mem_mark)
+        disk_energy = disk.energy.minus(st.disk_mark)
         observed_s = duration_s - warmup_s
 
         return SimResult(
@@ -302,7 +269,116 @@ class SimulationEngine:
             utilization=disk_energy.utilization(observed_s),
             periods=metrics.periods,
             decisions=list(manager.decisions) if manager is not None else [],
+            replay_mode=self.last_replay_mode,
         )
+
+    # --- replay loops -----------------------------------------------------------
+
+    def _replay_scalar(
+        self, st: _ReplayState, trace: Trace, duration_s: float
+    ) -> None:
+        """The per-access reference loop (joint runs, write traces, PD/DS
+        memory models, and profile-less replays)."""
+        memory = self.memory
+        manager = self.manager
+        has_writes = st.has_writes
+        drain_events = self._drain_events
+        serve_miss = self._serve_miss
+
+        times = trace.times.tolist()
+        pages = trace.pages.tolist()
+        # Write-free traces (the common case) iterate a constant instead
+        # of materializing a [False] * n list or a tolist() copy.
+        writes = (
+            trace.writes.tolist() if has_writes else itertools.repeat(False)
+        )
+
+        for now, page, is_write in zip(times, pages, writes):
+            if now >= duration_s:
+                break
+            drain_events(st, now)
+
+            if manager is not None:
+                manager.record_access(now, page)
+
+            if has_writes:
+                hit = memory.access_rw(now, page, is_write)
+                pending = memory.take_pending_flushes()
+                if pending:
+                    st.last_flush_page = self._flush(
+                        now, pending, st.metrics, st.last_flush_page
+                    )
+                if is_write:
+                    # Write-back: the cache absorbs the write (allocate
+                    # without fetch on a miss) -- no disk read, no
+                    # user-visible disk latency.
+                    if hit:
+                        st.metrics.on_hit(now)
+                    else:
+                        st.metrics.on_write(now)
+                    continue
+            else:
+                hit = memory.access(now, page)
+            if hit:
+                st.metrics.on_hit(now)
+                continue
+            serve_miss(st, now, page)
+
+    def _serve_miss(self, st: _ReplayState, now: float, page: int) -> None:
+        """One disk page access: pricing, metrics, policy callbacks."""
+        disk = self.disk
+        sequential = (
+            page == st.last_miss_page + 1
+            and now - st.last_miss_time <= SEQUENTIAL_MERGE_WINDOW_S
+        )
+        st.last_miss_page = page
+        st.last_miss_time = now
+
+        idle_before = max(now - disk.busy_until, 0.0)
+        result = disk.submit(now, 1, sequential=sequential, page=page)
+        st.metrics.on_miss(now, result.latency_s, result.wake_delay_s)
+        if st.clusterer.add(now, page) is not None:
+            st.metrics.on_request()
+
+        policy = self.policy
+        if policy is not None:
+            update = policy.on_request(
+                now, result.latency_s, result.wake_delay_s, idle_before
+            )
+            if update is not NO_CHANGE:
+                disk.set_timeout(now, update)
+                st.current_timeout = disk.timeout_s
+            hint = self._next_hint(now)
+            update = policy.on_idle_start(result.finish_s, hint)
+            if update is not NO_CHANGE:
+                disk.set_timeout(now, update)
+                st.current_timeout = disk.timeout_s
+
+    def _drain_events(self, st: _ReplayState, until_s: float) -> None:
+        """Fire pending flush/boundary events in time order up to
+        ``until_s`` (inclusive, capped at the run's duration)."""
+        while True:
+            flush_at = st.next_flush if st.has_writes else math.inf
+            event_at = min(flush_at, st.next_boundary)
+            if event_at > until_s or event_at > st.duration_s:
+                break
+            if flush_at <= st.next_boundary:
+                st.last_flush_page = self._flush(
+                    flush_at,
+                    self.memory.flush_all(),
+                    st.metrics,
+                    st.last_flush_page,
+                )
+                st.next_flush += self.flush_interval_s
+            else:
+                st.current_timeout = self._handle_boundary(
+                    st.next_boundary, st.metrics, st.current_timeout
+                )
+                if st.mem_mark is None and st.next_boundary >= st.warmup_s - 1e-9:
+                    st.metrics, st.mem_mark, st.disk_mark = (
+                        self._begin_measurement(st.next_boundary)
+                    )
+                st.next_boundary += st.period_s
 
     def _begin_measurement(self, at_s: float):
         """Close the warm-up window: snapshot energies, fresh metrics."""

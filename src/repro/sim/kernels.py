@@ -1,0 +1,116 @@
+"""Vectorized replay kernels: segment-at-a-time trace consumption.
+
+The scalar engine loop dispatches one Python call chain per access.  On
+the dominant workload shape -- a read-only trace, a fixed-capacity LRU
+cache under the nap memory model, any disk policy -- the outcome of every
+access is already known before the replay starts: a
+:class:`repro.cache.profile.TraceProfile` gives each access's stack
+distance, and distance ``< capacity`` is a hit.  These kernels exploit
+that to replay *runs of consecutive hits as single segments*: numpy
+locates the misses and the period boundaries, and everything between two
+such events collapses into two integer additions (metrics) plus one
+dynamic-energy charge.  Misses, period boundaries, policy callbacks and
+disk accounting still run through the exact scalar code paths
+(:meth:`SimulationEngine._serve_miss` / ``_drain_events``), in the exact
+same order and with the exact same floating-point operations, so a
+vectorized replay is bit-identical to the scalar loop -- the differential
+``kernels`` check and ``tests/sim/test_kernels.py`` assert as much.
+
+Fallback conditions (any one routes the run through the scalar loop):
+
+* a joint manager owns the run (it resizes memory at period boundaries,
+  so per-access recency bookkeeping must stay live),
+* the memory system is not exactly :class:`NapMemorySystem` (power-down /
+  disable models charge energy per bank touch),
+* the trace carries writes (write-back flushing interleaves with the
+  access stream),
+* no profile was supplied, or it does not cover the trace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cache.profile import TraceProfile
+from repro.errors import SimulationError
+from repro.memory.system import NapMemorySystem
+
+#: SimResult.replay_mode values.
+MODE_SCALAR = "scalar"
+MODE_VECTORIZED = "vectorized"
+
+
+def fast_path_reason(engine, trace, profile: Optional[TraceProfile]) -> Optional[str]:
+    """Why this run cannot take the vectorized path (None = it can)."""
+    if profile is None:
+        return "no trace profile supplied"
+    if engine.manager is not None:
+        return "joint manager resizes memory per period"
+    if type(engine.memory) is not NapMemorySystem:
+        return f"{type(engine.memory).__name__} charges energy per access placement"
+    if trace.writes is not None and bool(trace.writes.any()):
+        return "write-back traces interleave flushes with accesses"
+    if len(profile) != trace.num_accesses:
+        return "profile does not cover the trace"
+    return None
+
+
+def replay_vectorized(engine, st, trace, profile: TraceProfile, duration_s: float) -> None:
+    """Drive one replay through the segmented fast path.
+
+    ``st`` is the engine's mutable :class:`_ReplayState`; events and
+    misses go through the same engine methods the scalar loop uses.
+    """
+    times = trace.times
+    pages = trace.pages
+    # Scalar loop: `if now >= duration_s: break` -- keep accesses < duration.
+    n = int(np.searchsorted(times, duration_s, side="left"))
+    hits = profile.hit_mask(engine.memory.capacity_pages, n)
+    miss_indices = np.flatnonzero(~hits)
+
+    memory = engine.memory
+    drain = engine._drain_events
+    serve_miss = engine._serve_miss
+    pos = 0
+    for m in miss_indices.tolist():
+        if pos < m:
+            _consume_hits(engine, st, memory, times, pos, m, duration_s)
+        now = float(times[m])
+        page = int(pages[m])
+        drain(st, now)
+        memory.charge_accesses(now, 1)
+        serve_miss(st, now, page)
+        pos = m + 1
+    if pos < n:
+        _consume_hits(engine, st, memory, times, pos, n, duration_s)
+
+
+def _consume_hits(engine, st, memory, times, lo: int, hi: int, duration_s: float) -> None:
+    """Account the hit run ``times[lo:hi]``, firing events in time order.
+
+    Within the run the only pending events are period boundaries (the
+    fast path excludes write-back flushes); each boundary splits the run
+    with one ``searchsorted``.  An access at exactly the boundary time
+    fires the boundary first (matching the scalar ``drain_events``
+    ordering), hence ``side='left'``.
+    """
+    while lo < hi:
+        event_at = st.next_boundary
+        if event_at > duration_s:
+            cut = hi
+        else:
+            cut = min(max(int(np.searchsorted(times, event_at, side="left")), lo), hi)
+        count = cut - lo
+        if count > 0:
+            memory.charge_accesses(float(times[cut - 1]), count)
+            st.metrics.on_hits(count)
+            lo = cut
+        if lo < hi:
+            drained_until = float(times[lo])
+            engine._drain_events(st, drained_until)
+            if st.next_boundary == event_at:
+                raise SimulationError(
+                    "vectorized replay made no progress at a period boundary"
+                )

@@ -89,6 +89,17 @@ class MetricsCollector:
         self.total_accesses += 1
         self._current.accesses += 1
 
+    def on_hits(self, count: int) -> None:
+        """``count`` memory hits at once (vectorized hit runs).
+
+        Hits carry no latency and no timestamp-dependent state, so a
+        whole run of consecutive hits inside one period folds into two
+        integer additions -- exactly equivalent to ``count`` calls to
+        :meth:`on_hit`.
+        """
+        self.total_accesses += count
+        self._current.accesses += count
+
     def on_miss(self, now: float, latency_s: float, wake_delay_s: float) -> None:
         """One disk page access with its observed latency."""
         self.total_accesses += 1

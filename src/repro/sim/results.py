@@ -38,6 +38,9 @@ class SimResult:
     periods: List[PeriodMetrics] = field(default_factory=list)
     #: Joint-manager decisions (empty for other methods).
     decisions: List[PeriodDecision] = field(default_factory=list)
+    #: Which replay loop produced this result ("scalar" or "vectorized");
+    #: both produce bit-identical numbers, this records the path taken.
+    replay_mode: str = "scalar"
 
     @property
     def total_energy_j(self) -> float:

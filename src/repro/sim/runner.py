@@ -6,8 +6,11 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.cache.profile import TraceProfile, get_profile, kernels_enabled
 from repro.config.machine import MachineConfig
 from repro.core.joint import JointPowerManager
+from repro.errors import SimulationError
+from repro.memory.system import NapMemorySystem
 from repro.policies.registry import MethodSpec, parse_method
 from repro.sim.engine import SimulationEngine
 from repro.sim.prefill import warm_start_pages
@@ -23,6 +26,7 @@ def run_method(
     warmup_s: float = 0.0,
     warm_start: bool = True,
     audit: bool = False,
+    profile: Union[str, TraceProfile, None] = "auto",
 ) -> SimResult:
     """Simulate ``method`` (a paper-style name or a spec) on ``trace``.
 
@@ -30,6 +34,12 @@ def run_method(
     emulating the long-running server the paper collects traces from
     (see :mod:`repro.sim.prefill`).  ``audit=True`` verifies the run's
     conservation invariants (:mod:`repro.sim.audit`) before returning.
+
+    ``profile`` controls the vectorized replay kernels: ``"auto"`` (the
+    default) computes or recalls a :class:`TraceProfile` when the run is
+    eligible for the fast path, ``None`` forces the scalar loop, and an
+    explicit :class:`TraceProfile` is passed straight to the engine.
+    Either way the numbers are bit-identical; only wall-clock changes.
 
     Oracle-disk methods run two passes: the first (always-on) collects the
     miss times the oracle needs as its future knowledge; the memory
@@ -62,11 +72,14 @@ def run_method(
         return _finish(engine.run(trace, duration_s, warmup_s=warmup_s), machine, audit)
 
     policy = spec.build_disk_policy(machine)
-    hints = None
-    if spec.disk == "OR":
-        hints = _collect_miss_times(spec, trace, machine, duration_s, prefill)
     memory = spec.build_memory_system(machine)
     memory.prefill(prefill)
+    run_profile = _resolve_profile(profile, trace, warm_start, memory)
+    hints = None
+    if spec.disk == "OR":
+        hints = _collect_miss_times(
+            spec, trace, machine, duration_s, prefill, run_profile
+        )
     engine = SimulationEngine(
         machine,
         memory,
@@ -74,7 +87,40 @@ def run_method(
         idle_hints=hints,
         label=spec.label,
     )
-    return _finish(engine.run(trace, duration_s, warmup_s=warmup_s), machine, audit)
+    return _finish(
+        engine.run(trace, duration_s, warmup_s=warmup_s, profile=run_profile),
+        machine,
+        audit,
+    )
+
+
+def _resolve_profile(
+    profile: Union[str, TraceProfile, None],
+    trace: Trace,
+    warm_start: bool,
+    memory,
+) -> Optional[TraceProfile]:
+    """The profile to hand the engine, or None for the scalar loop.
+
+    ``"auto"`` skips the (one-pass, but O(trace)) profile build whenever
+    the run would fall back anyway, and honours the ``$REPRO_KERNELS``
+    kill switch.
+    """
+    if profile is None:
+        return None
+    if isinstance(profile, TraceProfile):
+        return profile
+    if profile != "auto":
+        raise SimulationError(
+            "profile must be 'auto', None or a TraceProfile"
+        )
+    if not kernels_enabled():
+        return None
+    if type(memory) is not NapMemorySystem:
+        return None
+    if trace.writes is not None and bool(trace.writes.any()):
+        return None
+    return get_profile(trace, warm_start=warm_start)
 
 
 def _finish(result: SimResult, machine: MachineConfig, audit: bool) -> SimResult:
@@ -91,6 +137,7 @@ def _collect_miss_times(
     machine: MachineConfig,
     duration_s: Optional[float],
     prefill,
+    run_profile: Optional[TraceProfile] = None,
 ) -> np.ndarray:
     """First pass for the oracle: the miss arrival times of this memory config.
 
@@ -116,5 +163,5 @@ def _collect_miss_times(
         return real_submit(now, num_pages, sequential=sequential, page=page)
 
     engine.disk.submit = recording_submit  # type: ignore[method-assign]
-    engine.run(trace, duration_s)
+    engine.run(trace, duration_s, profile=run_profile)
     return np.asarray(miss_times, dtype=float)

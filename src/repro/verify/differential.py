@@ -1,6 +1,6 @@
 """Differential runner: fast paths vs brute-force oracles over fuzzed seeds.
 
-Five checks, each pairing a production fast path with its oracle from
+Six checks, each pairing a production fast path with its oracle from
 :mod:`repro.verify.oracles`:
 
 ========== ====================================================== =========
@@ -13,6 +13,7 @@ joint      ``core.joint.JointPowerManager`` period decision       per-size LRU +
                                                                   eq. (2)-(6) + (m, t_o)
                                                                   grid search
 energy     ``sim.engine`` / ``disk.drive`` incremental accounting event-log integration
+kernels    ``sim.kernels`` vectorized replay                      the scalar engine loop
 ========== ====================================================== =========
 
 Each seed deterministically expands to a fuzzed workload
@@ -31,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cache.predictor import ResizePredictor
+from repro.cache.profile import build_profile
 from repro.cache.stack_distance import StackDistanceTracker
 from repro.core.joint import JointPowerManager
 from repro.errors import SimulationError
@@ -442,6 +444,62 @@ def check_energy(case: VerifyCase) -> Optional[str]:
     return None
 
 
+def check_kernels(case: VerifyCase) -> Optional[str]:
+    """Vectorized replay kernels vs the scalar engine loop, bit for bit.
+
+    Both replays run the same fuzzed trace through fresh engines; the
+    fast one gets a :class:`TraceProfile`, the reference one does not.
+    Every ``SimResult`` field -- energies, latencies, per-period series --
+    must compare exactly equal (no tolerance: the kernels promise the
+    identical floating-point operations, not merely close ones).
+    """
+    from repro.sim.prefill import warm_start_pages
+
+    machine = random_small_machine(case.seed)
+    rng = np.random.default_rng(case.seed ^ 0x5E67)
+    spec = machine.memory
+    banks = spec.installed_bytes // spec.bank_bytes
+    capacity = spec.bank_bytes * int(rng.integers(1, banks + 1))
+    timeout = float(
+        rng.choice([0.0, 1.0, machine.disk.break_even_time_s, 30.0, math.inf])
+    )
+    warm = bool(rng.integers(0, 2))
+    trace = Trace(
+        times=case.times, pages=case.pages, page_size=machine.page_bytes
+    )
+    prefill = warm_start_pages(trace) if warm else []
+
+    def replay(profile):
+        memory = NapMemorySystem(spec, capacity)
+        if prefill:
+            memory.prefill(prefill)
+        engine = SimulationEngine(
+            machine,
+            memory,
+            disk_policy=FixedTimeoutPolicy(timeout),
+            label="verify-kernels",
+        )
+        return engine.run(trace, profile=profile)
+
+    fast = replay(build_profile(trace, warm_start=warm))
+    slow = replay(None)
+    if fast.replay_mode != "vectorized":
+        return f"fast path refused an eligible run (mode {fast.replay_mode})"
+    if slow.replay_mode != "scalar":
+        return "reference run did not use the scalar loop"
+    a = dataclasses.asdict(fast)
+    b = dataclasses.asdict(slow)
+    a.pop("replay_mode")
+    b.pop("replay_mode")
+    for name in a:
+        if a[name] != b[name]:
+            return (
+                f"{name}: vectorized {a[name]!r} != scalar {b[name]!r} "
+                f"(timeout {timeout}, capacity {capacity} B, warm={warm})"
+            )
+    return None
+
+
 def _timeouts_equal(a: Optional[float], b: Optional[float]) -> bool:
     if a is None or b is None:
         return a is None and b is None
@@ -455,6 +513,7 @@ CHECKS: Dict[str, Callable[[VerifyCase], Optional[str]]] = {
     "predictor": check_predictor,
     "joint": check_joint,
     "energy": check_energy,
+    "kernels": check_kernels,
 }
 
 

@@ -87,6 +87,106 @@ class TestAgainstBruteForce:
         assert [tracker.access(p) for p in range(64)] == [63] * 64
 
 
+def reference_with_forget(ops) -> List[int]:
+    """Brute-force stack with interleaved forgets; distances for accesses."""
+    stack: List[int] = []  # MRU first
+    out = []
+    for op, page in ops:
+        if op == "forget":
+            if page in stack:
+                stack.remove(page)
+            continue
+        if page in stack:
+            out.append(stack.index(page))
+            stack.remove(page)
+        else:
+            out.append(COLD)
+        stack.insert(0, page)
+    return out
+
+
+class TestCompaction:
+    """The index-space renumbering (and its live-count bookkeeping)."""
+
+    def test_growth_path_expands_capacity(self):
+        tracker = StackDistanceTracker(initial_capacity=4)
+        for page in range(4):
+            tracker.access(page)
+        assert tracker._capacity == 4
+        # All four indices are live, so compaction must grow, not just
+        # renumber: needed = 2 * live > capacity.
+        tracker.access(4)
+        assert tracker._capacity == 8
+        assert tracker.distinct_pages == 5
+        assert [tracker.access(p) for p in range(5)] == [4] * 5
+
+    def test_distances_survive_repeated_compaction(self):
+        tracker = StackDistanceTracker(initial_capacity=8)
+        accesses = ([0, 1, 2] * 40) + list(range(10, 20)) + ([1, 11] * 20)
+        got = [tracker.access(p) for p in accesses]
+        assert got == brute_force_distances(accesses)
+
+    def test_live_count_matches_tree_total_throughout(self):
+        tracker = StackDistanceTracker(initial_capacity=8)
+        for i in range(100):
+            tracker.access(i % 7)
+            assert tracker._live == tracker._tree.total
+
+    def test_forget_then_compact(self):
+        # Forgotten pages leave holes in the index space; compaction must
+        # drop them and later distances must not count them.
+        ops = []
+        for i in range(30):
+            ops.append(("access", i % 6))
+            if i % 5 == 4:
+                ops.append(("forget", i % 6))
+        tracker = StackDistanceTracker(initial_capacity=8)
+        got = []
+        for op, page in ops:
+            if op == "forget":
+                tracker.forget(page)
+            else:
+                got.append(tracker.access(page))
+            assert tracker._live == tracker._tree.total
+        assert got == reference_with_forget(ops)
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["access", "forget"]),
+                st.integers(min_value=0, max_value=12),
+            ),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_forget_interaction_matches_reference(self, ops):
+        tracker = StackDistanceTracker(initial_capacity=8)
+        got = []
+        for op, page in ops:
+            if op == "forget":
+                tracker.forget(page)
+            else:
+                got.append(tracker.access(page))
+        assert got == reference_with_forget(ops)
+        assert tracker._live == tracker._tree.total
+
+
+class TestAccessArray:
+    def test_matches_per_call_access(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        pages = rng.integers(0, 25, 500)
+        batch = StackDistanceTracker(initial_capacity=8).access_array(pages)
+        loop = StackDistanceTracker(initial_capacity=8)
+        assert batch.tolist() == [loop.access(int(p)) for p in pages]
+
+    def test_empty_input(self):
+        out = StackDistanceTracker().access_array([])
+        assert out.size == 0
+
+
 class TestLRUConsistency:
     """distance < m  <=>  hit in an m-page LRU cache."""
 

@@ -1,0 +1,90 @@
+"""The perf-regression gate: what fails, what merely informs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.perf.baseline import compare, load_baseline
+from repro.perf.suite import BENCH_SCHEMA, bench_file_name
+
+
+def doc(suite="micro", schema=BENCH_SCHEMA, **entries):
+    return {"suite": suite, "schema": schema, "quick": True, "entries": entries}
+
+
+def ratio(value):
+    return {"kind": "ratio", "value": value, "higher_is_better": True}
+
+
+def throughput(ops_per_s, wall_s=1.0):
+    return {"kind": "throughput", "ops_per_s": ops_per_s, "wall_s": wall_s}
+
+
+class TestCompare:
+    def test_equal_docs_pass(self):
+        base = doc(speedup=ratio(4.0), tracker=throughput(1000.0))
+        assert compare(base, base).ok
+
+    def test_ratio_regression_fails(self):
+        current = doc(speedup=ratio(2.0))
+        baseline = doc(speedup=ratio(4.0))
+        report = compare(current, baseline, tolerance=0.30)
+        assert not report.ok
+        assert [line.name for line in report.regressions] == ["speedup"]
+
+    def test_ratio_within_tolerance_passes(self):
+        current = doc(speedup=ratio(3.0))
+        baseline = doc(speedup=ratio(4.0))
+        assert compare(current, baseline, tolerance=0.30).ok
+
+    def test_improvement_passes(self):
+        assert compare(doc(speedup=ratio(9.0)), doc(speedup=ratio(4.0))).ok
+
+    def test_throughput_is_informational_by_default(self):
+        current = doc(tracker=throughput(10.0))
+        baseline = doc(tracker=throughput(1000.0))
+        report = compare(current, baseline)
+        assert report.ok
+        assert not report.lines[0].gated
+
+    def test_gate_all_gates_throughput(self):
+        current = doc(tracker=throughput(10.0))
+        baseline = doc(tracker=throughput(1000.0))
+        assert not compare(current, baseline, gate_all=True).ok
+
+    def test_missing_entry_fails(self):
+        report = compare(doc(), doc(speedup=ratio(4.0)))
+        assert not report.ok
+
+    def test_schema_mismatch_reports_ungated(self):
+        current = doc(speedup=ratio(1.0))
+        baseline = doc(schema=BENCH_SCHEMA + 1, speedup=ratio(4.0))
+        report = compare(current, baseline)
+        assert report.ok
+        assert any(line.name == "(schema)" for line in report.lines)
+
+    def test_suite_mismatch_raises(self):
+        with pytest.raises(SimulationError):
+            compare(doc(suite="micro"), doc(suite="sweep"))
+
+    def test_bad_tolerance_raises(self):
+        with pytest.raises(SimulationError):
+            compare(doc(), doc(), tolerance=1.5)
+
+
+class TestLoadBaseline:
+    def test_missing_file_is_none(self, tmp_path):
+        assert load_baseline(tmp_path, "micro") is None
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / bench_file_name("micro")
+        path.write_text('{"suite": "micro", "entries": {}}')
+        assert load_baseline(tmp_path, "micro") == {
+            "suite": "micro",
+            "entries": {},
+        }
+
+    def test_corrupt_file_is_none(self, tmp_path):
+        (tmp_path / bench_file_name("micro")).write_text("{nope")
+        assert load_baseline(tmp_path, "micro") is None

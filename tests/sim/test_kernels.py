@@ -1,0 +1,164 @@
+"""Vectorized replay kernels: bit-identity with the scalar loop.
+
+The fast path promises the *same floating-point operations* as the
+per-access reference loop, so every comparison here is exact equality --
+no tolerances anywhere.  Fallback conditions (joint manager, write
+traces, per-bank memory models, the ``$REPRO_KERNELS`` kill switch) must
+route through the scalar loop and say so in ``SimResult.replay_mode``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cache.profile import build_profile, clear_memo
+from repro.config.machine import scaled_machine
+from repro.memory.system import NapMemorySystem
+from repro.policies.fixed_timeout import FixedTimeoutPolicy
+from repro.sim import kernels
+from repro.sim.engine import SimulationEngine
+from repro.sim.runner import run_method
+from repro.traces.specweb import generate_trace
+from repro.traces.trace import Trace
+from repro.units import GB, MB
+from repro.verify.differential import CHECKS
+from repro.verify.strategies import random_case
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return scaled_machine(1024)
+
+
+@pytest.fixture(scope="module")
+def trace(machine):
+    return generate_trace(
+        dataset_bytes=4 * GB,
+        data_rate=100 * MB,
+        duration_s=600.0,
+        page_size=machine.page_bytes,
+        seed=3,
+        file_scale=machine.scale,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_memo()
+    yield
+    clear_memo()
+
+
+def _stripped(result) -> dict:
+    d = dataclasses.asdict(result)
+    d.pop("replay_mode")
+    return d
+
+
+def _assert_identical(fast, slow):
+    assert fast.replay_mode == kernels.MODE_VECTORIZED
+    assert slow.replay_mode == kernels.MODE_SCALAR
+    assert _stripped(fast) == _stripped(slow)
+
+
+class TestIdentity:
+    @pytest.mark.parametrize(
+        "method",
+        ["2TFM-8GB", "2TFM-16GB", "ALWAYS-ON", "PTFM-16GB", "EAFM-8GB",
+         "ADFM-16GB", "ORFM-16GB", "2TNAP"],
+    )
+    def test_run_method_identical(self, method, trace, machine):
+        fast = run_method(method, trace, machine, audit=True, profile="auto")
+        slow = run_method(method, trace, machine, audit=True, profile=None)
+        _assert_identical(fast, slow)
+
+    def test_cold_start_identical(self, trace, machine):
+        fast = run_method(
+            "2TFM-16GB", trace, machine, warm_start=False, profile="auto"
+        )
+        slow = run_method(
+            "2TFM-16GB", trace, machine, warm_start=False, profile=None
+        )
+        _assert_identical(fast, slow)
+
+    def test_warmup_and_duration_clipping(self, trace, machine):
+        period = machine.manager.period_s
+        kwargs = dict(duration_s=3 * period, warmup_s=period)
+        fast = run_method("2TFM-16GB", trace, machine, profile="auto", **kwargs)
+        slow = run_method("2TFM-16GB", trace, machine, profile=None, **kwargs)
+        _assert_identical(fast, slow)
+
+    def test_seeded_verify_corpus(self):
+        # The differential check compares every SimResult field exactly;
+        # its fuzz corpus exercises bursts, sequential scans and loops.
+        for seed in range(20):
+            assert CHECKS["kernels"](random_case(seed)) is None
+
+    def test_zero_capacity_memory(self, machine):
+        # Everything misses; the hit kernels never fire but segmentation
+        # around the all-miss stream must still agree exactly.
+        rng = np.random.default_rng(11)
+        small = Trace(
+            times=np.sort(rng.uniform(0.0, 120.0, 300)),
+            pages=rng.integers(0, 50, 300).astype(np.int64),
+            page_size=machine.page_bytes,
+        )
+        profile = build_profile(small, warm_start=False)
+
+        def run(prof):
+            memory = NapMemorySystem(machine.memory, 0)
+            engine = SimulationEngine(
+                machine, memory, disk_policy=FixedTimeoutPolicy(1.0)
+            )
+            return engine.run(small, profile=prof)
+
+        _assert_identical(run(profile), run(None))
+
+
+class TestFallbacks:
+    def test_joint_stays_scalar(self, trace, machine):
+        result = run_method("JOINT", trace, machine, profile="auto")
+        assert result.replay_mode == kernels.MODE_SCALAR
+
+    def test_per_bank_memory_stays_scalar(self, trace, machine):
+        result = run_method("2TPD", trace, machine, profile="auto")
+        assert result.replay_mode == kernels.MODE_SCALAR
+
+    def test_write_traces_stay_scalar(self, machine):
+        writeful = generate_trace(
+            dataset_bytes=4 * GB,
+            data_rate=100 * MB,
+            duration_s=300.0,
+            page_size=machine.page_bytes,
+            seed=5,
+            file_scale=machine.scale,
+            write_fraction=0.2,
+        )
+        assert writeful.writes is not None and writeful.writes.any()
+        result = run_method("2TFM-16GB", writeful, machine, profile="auto")
+        assert result.replay_mode == kernels.MODE_SCALAR
+
+    def test_kill_switch_forces_scalar(self, trace, machine, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "0")
+        result = run_method("2TFM-16GB", trace, machine, profile="auto")
+        assert result.replay_mode == kernels.MODE_SCALAR
+
+    def test_explicit_none_forces_scalar(self, trace, machine):
+        result = run_method("2TFM-16GB", trace, machine, profile=None)
+        assert result.replay_mode == kernels.MODE_SCALAR
+
+
+class TestFastPathReason:
+    def test_reasons(self, trace, machine):
+        memory = NapMemorySystem(machine.memory, machine.memory.installed_bytes)
+        engine = SimulationEngine(
+            machine, memory, disk_policy=FixedTimeoutPolicy(1.0)
+        )
+        assert kernels.fast_path_reason(engine, trace, None) is not None
+        profile = build_profile(trace)
+        assert kernels.fast_path_reason(engine, trace, profile) is None
+        short = trace.slice_time(0.0, trace.duration_s / 2)
+        assert kernels.fast_path_reason(engine, short, profile) is not None

@@ -156,6 +156,34 @@ class TestParser:
         with pytest.raises(SystemExit):
             main([])
 
+    def test_bench_quick_writes_documents(self, capsys, tmp_path):
+        import json
+
+        code = main(
+            ["bench", "--suite", "sweep", "--quick",
+             "--out-dir", str(tmp_path)]
+        )
+        assert code == 0
+        doc = json.loads((tmp_path / "BENCH_sweep.json").read_text())
+        assert doc["suite"] == "sweep" and doc["quick"] is True
+        assert doc["entries"]["sweep_speedup"]["value"] > 0
+        assert "sweep_speedup" in capsys.readouterr().out
+
+    def test_bench_check_against_own_baseline(self, capsys, tmp_path):
+        out = tmp_path / "out"
+        base = tmp_path / "baselines"
+        assert main(
+            ["bench", "--suite", "micro", "--quick",
+             "--out-dir", str(out), "--update-baselines",
+             "--baseline-dir", str(base)]
+        ) == 0
+        assert main(
+            ["bench", "--suite", "micro", "--quick",
+             "--out-dir", str(out), "--check",
+             "--baseline-dir", str(base)]
+        ) == 0
+        assert "baseline check [micro]" in capsys.readouterr().out
+
     def test_help_exits_zero(self):
         with pytest.raises(SystemExit) as excinfo:
             main(["--help"])
