@@ -1,0 +1,99 @@
+"""Joint-manager fast-path benchmarks.
+
+Times the epoch-segmented replay against the scalar loop and the
+one-pass ``ResizePredictor.predict`` against the full candidate grid,
+then runs the ``joint`` perf suite and archives its ``BENCH_joint.json``
+under ``benchmarks/out/`` (the same document ``repro bench`` gates
+against the committed baseline).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cache.predictor import ResizePredictor
+from repro.cache.profile import build_profile
+from repro.config.machine import scaled_machine
+from repro.core.enumeration import candidate_sizes
+from repro.perf.suite import run_suite, write_suite
+from repro.sim.runner import run_method
+from repro.traces.specweb import generate_trace
+from repro.units import GB, MB
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return scaled_machine(1024)
+
+
+@pytest.fixture(scope="module")
+def trace(machine):
+    return generate_trace(
+        dataset_bytes=4 * GB,
+        data_rate=100 * MB,
+        duration_s=1200.0,
+        page_size=machine.page_bytes,
+        seed=3,
+        file_scale=machine.scale,
+    )
+
+
+def test_joint_replay_scalar(benchmark, machine, trace):
+    benchmark.pedantic(
+        run_method,
+        args=("JOINT", trace, machine),
+        kwargs=dict(duration_s=1200.0, profile=None),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_joint_replay_epoch(benchmark, machine, trace):
+    """The epoch-segmented fast path with a prebuilt profile."""
+    profile = build_profile(trace)
+
+    def run():
+        result = run_method(
+            "JOINT", trace, machine, duration_s=1200.0, profile=profile
+        )
+        assert result.replay_mode == "epoch"
+        return result
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_end_period_candidate_grid(benchmark, machine, trace):
+    """One-pass predict over the full grid on one period's samples."""
+    profile = build_profile(trace)
+    period = machine.manager.period_s
+    window = machine.manager.aggregation_window_s
+    cut = int(np.searchsorted(trace.times, period, side="left"))
+
+    predictor = ResizePredictor()
+    predictor.record_array(
+        trace.times[:cut].astype(np.float64),
+        profile.depths[:cut].astype(np.int64),
+    )
+    pages = [size // machine.page_bytes for size in candidate_sizes(machine)]
+
+    benchmark(predictor.predict, pages, window, 0.0, period)
+
+
+def test_joint_suite_document(benchmark):
+    """The gated suite itself; archives BENCH_joint.json for inspection."""
+    quick = os.environ.get("REPRO_PROFILE", "full").strip().lower() == "quick"
+    doc = benchmark.pedantic(
+        run_suite, args=("joint",), kwargs=dict(quick=quick),
+        rounds=1, iterations=1,
+    )
+    OUT_DIR.mkdir(exist_ok=True)
+    path = write_suite(doc, OUT_DIR)
+    print(f"\nwrote {path}")
+    assert doc["entries"]["joint_replay_speedup"]["value"] > 1.0
+    assert doc["entries"]["end_period_speedup"]["value"] > 1.0

@@ -122,6 +122,24 @@ class CampaignReport:
     def failures(self) -> List[TaskRecord]:
         return [record for record in self.records if not record.ok]
 
+    def replay_mode_counts(self) -> Dict[str, int]:
+        """Replay-loop usage across the campaign's sim payloads.
+
+        Counts every resolved sim-kind record (cached payloads included)
+        by the ``replay_mode`` its summary recorded; payloads cached
+        before the field existed count as ``"scalar"``.  A surprise
+        ``"scalar"`` majority on an eligible workload usually means the
+        fast paths are being skipped (kill switch, missing profiles).
+        """
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            if record.payload is None or record.payload.get("kind") != "sim":
+                continue
+            summary = record.payload.get("summary") or {}
+            mode = str(summary.get("replay_mode", "scalar"))
+            counts[mode] = counts.get(mode, 0) + 1
+        return dict(sorted(counts.items()))
+
     def telemetry(self) -> Dict[str, Any]:
         s = self.stats
         return {
@@ -142,6 +160,7 @@ class CampaignReport:
             "busy_s": round(s.busy_s, 6),
             "speedup": round(s.speedup, 4),
             "worker_utilization": round(s.utilization, 4),
+            "replay_modes": self.replay_mode_counts(),
             "tasks_detail": [
                 {
                     "index": r.index,
@@ -173,6 +192,10 @@ class CampaignReport:
             f"(task time {s.busy_s:.2f} s, speedup {s.speedup:.2f}x, "
             f"worker utilization {s.utilization:.1%})",
         ]
+        modes = self.replay_mode_counts()
+        if modes:
+            detail = " ".join(f"{k}={v}" for k, v in modes.items())
+            lines.append(f"  replay modes  {detail}")
         if self.run_dir is not None:
             lines.append(f"  run dir       {self.run_dir}")
         return "\n".join(lines)

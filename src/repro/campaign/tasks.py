@@ -113,6 +113,10 @@ class SimSummary:
     spin_down_cycles: int
     utilization: float
     decision_memory_bytes: Tuple[int, ...] = ()
+    #: Which replay loop produced the run ("scalar", "vectorized" or
+    #: "epoch"); defaulted so payloads cached before the field existed
+    #: still load.
+    replay_mode: str = "scalar"
 
     @property
     def total_energy_j(self) -> float:
@@ -163,6 +167,7 @@ class SimSummary:
             decision_memory_bytes=tuple(
                 int(d.memory_bytes) for d in result.decisions
             ),
+            replay_mode=result.replay_mode,
         )
 
     def to_payload(self) -> Dict[str, Any]:

@@ -171,7 +171,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=["micro", "sweep", "all"],
+        choices=["micro", "sweep", "joint", "all"],
         default="all",
         help="which suite(s) to run (default: all)",
     )

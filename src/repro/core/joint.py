@@ -108,8 +108,7 @@ class JointPowerManager:
         pages in the same order, so the tracker's stack matches the
         resident set and prefilled pages are not misclassified as cold.
         """
-        for page in pages:
-            self._tracker.access(page)
+        self._tracker.access_array(list(pages))
 
     # --- per-access ------------------------------------------------------------
 
@@ -118,6 +117,19 @@ class JointPowerManager:
         depth = self._tracker.access(page)
         self._predictor.record(now, depth)
         return depth
+
+    def record_profiled(self, times, depths) -> None:
+        """Batch :meth:`record_access` from precomputed stack depths.
+
+        The epoch replay kernel already holds every access's depth (the
+        trace profile is the same tracker run over the same prefill and
+        page sequence), so it feeds the per-period log as arrays and
+        skips the manager's own tracker entirely.  Callers own the
+        contract that ``depths`` equals what :meth:`record_access` would
+        have computed -- the ``epoch`` differential check and the kernel
+        identity tests enforce it.
+        """
+        self._predictor.record_array(times, depths)
 
     # --- per-period ---------------------------------------------------------------
 

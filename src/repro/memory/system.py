@@ -28,6 +28,15 @@ class MemorySystem:
     #: Whether :meth:`resize` is supported (the joint manager requires it).
     resizable = False
 
+    #: Whether the vectorized replay kernels may drive this system from a
+    #: stack-distance profile alone.  Requires that (a) cache behaviour is
+    #: plain LRU over a fixed capacity -- so hit/miss is decided by the
+    #: profile -- and (b) :meth:`charge_page_access` /
+    #: :meth:`charge_hit_run` reproduce :meth:`access`'s energy accounting
+    #: exactly, minus the cache maintenance.  Deliberately *not* inherited
+    #: (checked on the concrete class): a subclass must opt in explicitly.
+    profiled_replay = False
+
     def __init__(self, spec: MemorySpec, capacity_bytes: int) -> None:
         if capacity_bytes < 0 or capacity_bytes > spec.installed_bytes:
             raise SimulationError(
@@ -83,6 +92,28 @@ class MemorySystem:
         """
         self._advance_clock(now)
         self.energy.add_accesses(count, self.spec.dynamic_energy_per_access)
+
+    def charge_page_access(self, now: float, page: int) -> None:
+        """Account one access to ``page`` at ``now``, cache untouched.
+
+        The per-access twin of :meth:`charge_accesses` for kernels that
+        already know the outcome but must still attribute the access to
+        its bank (the power-down model).  The base implementation is
+        placement-free.
+        """
+        del page
+        self.charge_accesses(now, 1)
+
+    def charge_hit_run(self, times, pages, lo: int, hi: int) -> None:
+        """Account the hit run ``times[lo:hi]`` / ``pages[lo:hi]``.
+
+        Must charge exactly what ``hi - lo`` consecutive :meth:`access`
+        hits would have charged, in the same floating-point order, while
+        leaving the LRU structure alone.  The base implementation charges
+        the run as one batch at the run's final timestamp.
+        """
+        del pages
+        self.charge_accesses(float(times[hi - 1]), hi - lo)
 
     # --- interface ----------------------------------------------------------------
 
@@ -196,6 +227,7 @@ class NapMemorySystem(MemorySystem):
     """
 
     resizable = True
+    profiled_replay = True
 
     def __init__(self, spec: MemorySpec, capacity_bytes: int) -> None:
         super().__init__(spec, capacity_bytes)
@@ -244,7 +276,16 @@ class PowerDownMemorySystem(MemorySystem):
     survive power-down, the mapping affects only how accesses refresh
     bank idle clocks, and a uniform spread matches a physically
     interleaved layout.
+
+    Because data survive power-down, cache behaviour is exactly the
+    fixed-capacity LRU the stack-distance profile models, so the
+    vectorized kernels can replay PD runs -- the batch charge methods
+    below repeat :meth:`access`'s per-bank accounting access by access
+    (identical floating-point operations in identical order), skipping
+    only the LRU maintenance.
     """
+
+    profiled_replay = True
 
     def __init__(
         self,
@@ -297,10 +338,48 @@ class PowerDownMemorySystem(MemorySystem):
         self._last_access[bank] = now
         return self.cache.access(page)
 
+    def charge_page_access(self, now: float, page: int) -> None:
+        self._advance_clock(now)
+        self._charge_access()
+        bank = self._bank_of(page)
+        self._accrue_bank(bank, now)
+        if now > self._last_access[bank] + self.timeout_s:
+            self.energy.add_transition(self._wake_energy)
+        self._last_access[bank] = now
+
+    def charge_hit_run(self, times, pages, lo: int, hi: int) -> None:
+        # Dynamic energy is a recomputed product (count x per-access
+        # energy), so charging it in one batch is exact; the per-bank
+        # static/transition accounting must run access by access because
+        # each access moves its bank's idle clock.
+        self._advance_clock(float(times[hi - 1]))
+        self.energy.add_accesses(hi - lo, self.spec.dynamic_energy_per_access)
+        last = self._last_access
+        nbanks = last.size
+        timeout = self.timeout_s
+        accrue = self._accrue_bank
+        add_transition = self.energy.add_transition
+        wake = self._wake_energy
+        for now, page in zip(times[lo:hi].tolist(), pages[lo:hi].tolist()):
+            bank = page % nbanks
+            accrue(bank, now)
+            if now > last[bank] + timeout:
+                add_transition(wake)
+            last[bank] = now
+
     def finalize(self, now: float) -> None:
         self._advance_clock(now)
         for bank in range(self._last_access.size):
             self._accrue_bank(bank, now)
+
+
+def supports_profiled_replay(memory: MemorySystem) -> bool:
+    """True when the replay kernels may drive ``memory`` from a profile.
+
+    Checked on the concrete class (not inherited), so an unknown subclass
+    of an eligible system conservatively falls back to the scalar loop.
+    """
+    return bool(type(memory).__dict__.get("profiled_replay", False))
 
 
 class DisableMemorySystem(MemorySystem):

@@ -1,6 +1,6 @@
 """The benchmark suites behind ``repro bench``.
 
-Two suites, each emitting one JSON document:
+Three suites, each emitting one JSON document:
 
 * ``micro`` (``BENCH_micro.json``) -- data-structure and single-replay
   timings: stack-distance tracking (per-call and batched), profile
@@ -12,6 +12,11 @@ Two suites, each emitting one JSON document:
   fast path with a single shared :class:`TraceProfile` (its one-time
   build is charged to the vectorized side).  ``sweep_speedup`` is the
   headline number.
+* ``joint`` (``BENCH_joint.json``) -- the joint-manager fast paths: the
+  epoch-segmented replay vs the scalar loop (``joint_replay_speedup``)
+  and the one-pass ``ResizePredictor.predict`` vs a kept-verbatim copy
+  of the old per-candidate loop on a full candidate grid
+  (``end_period_speedup``).
 
 Every entry records wall-clock seconds; throughput entries add
 ``ops_per_s``.  Entries with ``"kind": "ratio"`` are ratios of
@@ -41,7 +46,7 @@ from repro.units import GB, MB
 #: Bump when the document layout changes (stale baselines stop gating).
 BENCH_SCHEMA = 1
 
-SUITE_NAMES = ("micro", "sweep")
+SUITE_NAMES = ("micro", "sweep", "joint")
 
 #: The sweep grid: every point replays the same trace; the profile is
 #: built once and shared (exactly how campaigns use the kernels).
@@ -199,9 +204,136 @@ def _suite_sweep(quick: bool) -> Dict[str, Any]:
     return entries
 
 
+def _reference_predict(times_list, depths_list, capacities_pages, window_s,
+                       period_start, period_end):
+    """The pre-optimisation ``ResizePredictor.predict`` loop, verbatim.
+
+    The old predictor stored its samples as Python lists and converted
+    them to arrays on every call, then ran one boolean mask, one
+    fancy-indexed copy and one list-based idle-interval extraction *per
+    candidate* -- kept here as the bench reference so
+    ``end_period_speedup`` measures the one-pass rewrite against the
+    real cost it replaced.
+    """
+    from repro.cache.counters import COLD_MISS
+
+    times = np.asarray(times_list, dtype=np.float64)
+    depths = np.asarray(depths_list, dtype=np.int64)
+    predictions = []
+    for capacity in capacities_pages:
+        is_disk = (depths == COLD_MISS) | (depths >= capacity)
+        disk_times = times[is_disk]
+        gaps = []
+        if disk_times.size:
+            gaps.append(disk_times[0] - period_start)
+            gaps.extend(np.diff(disk_times).tolist())
+            gaps.append(period_end - disk_times[-1])
+        else:
+            gaps.append(period_end - period_start)
+        lengths = np.asarray(
+            [g for g in gaps if g >= window_s and g > 0.0], dtype=float
+        )
+        predictions.append((int(capacity), int(disk_times.size), lengths))
+    return predictions
+
+
+def _suite_joint(quick: bool) -> Dict[str, Any]:
+    from repro.cache.predictor import ResizePredictor
+    from repro.core.enumeration import candidate_sizes
+
+    repeats = 2 if quick else 3
+    machine, trace = _workload(quick)
+    entries: Dict[str, Any] = {}
+
+    # -- epoch-segmented replay vs the scalar loop (profile prebuilt) --
+    clear_memo()
+    profile = build_profile(trace)
+
+    def run_joint(prof):
+        result = run_method("JOINT", trace, machine, profile=prof)
+        expected = "scalar" if prof is None else "epoch"
+        if result.replay_mode != expected:
+            raise SimulationError(
+                f"JOINT: expected a {expected} replay, got {result.replay_mode}"
+            )
+        return result
+
+    scalar_wall = _best_of(lambda: run_joint(None), repeats)
+    entries["joint_replay_scalar"] = _time_entry(scalar_wall, trace.num_accesses)
+
+    epoch_wall = _best_of(lambda: run_joint(profile), repeats)
+    entries["joint_replay_epoch"] = _time_entry(epoch_wall, trace.num_accesses)
+
+    entries["joint_replay_speedup"] = _ratio_entry(
+        scalar_wall / epoch_wall,
+        "scalar / epoch wall-clock, one JOINT replay, profile prebuilt",
+    )
+
+    # -- end_period enumeration: one-pass predict vs the old loop --
+    # One period's worth of (time, depth) samples, exactly what the
+    # manager holds when end_period fires, against the full candidate grid.
+    period = machine.manager.period_s
+    window = machine.manager.aggregation_window_s
+    cut = int(np.searchsorted(trace.times, period, side="left"))
+    times = trace.times[:cut].astype(np.float64)
+    depths = profile.depths[:cut].astype(np.int64)
+    pages = [size // machine.page_bytes for size in candidate_sizes(machine)]
+    # The old predictor kept its samples as Python lists; the reference
+    # starts from the same representation.
+    times_list = times.tolist()
+    depths_list = [int(d) for d in depths]
+
+    predictor = ResizePredictor()
+    predictor.record_array(times, depths)
+
+    # Sanity: both implementations must agree before either is timed.
+    fast = predictor.predict(pages, window, 0.0, period)
+    ref = _reference_predict(times_list, depths_list, pages, window, 0.0, period)
+    for got, (cap, num_disk, lengths) in zip(fast, ref):
+        if (
+            got.capacity_pages != cap
+            or got.num_disk_accesses != num_disk
+            or not np.array_equal(got.idle.lengths, lengths)
+        ):
+            raise SimulationError(
+                f"predict mismatch vs reference at capacity {cap}"
+            )
+
+    # Both sides are sub-millisecond; amortise over inner iterations so
+    # the ratio is stable against timer granularity.
+    iters = 10 if quick else 30
+
+    def ref_loop():
+        for _ in range(iters):
+            _reference_predict(
+                times_list, depths_list, pages, window, 0.0, period
+            )
+
+    ref_wall = _best_of(ref_loop, repeats) / iters
+    entries["end_period_reference"] = _time_entry(
+        ref_wall, len(pages), samples=int(times.size)
+    )
+
+    def fast_loop():
+        for _ in range(iters):
+            predictor.predict(pages, window, 0.0, period)
+
+    fast_wall = _best_of(fast_loop, repeats) / iters
+    entries["end_period_fast"] = _time_entry(
+        fast_wall, len(pages), samples=int(times.size)
+    )
+
+    entries["end_period_speedup"] = _ratio_entry(
+        ref_wall / fast_wall,
+        f"old per-candidate loop / one-pass predict, {len(pages)} candidates",
+    )
+    return entries
+
+
 _SUITES: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "micro": _suite_micro,
     "sweep": _suite_sweep,
+    "joint": _suite_joint,
 }
 
 

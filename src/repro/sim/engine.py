@@ -208,12 +208,13 @@ class SimulationEngine:
         st.mem_mark = memory.energy.snapshot() if warmup_s == 0 else None
         st.disk_mark = disk.energy.snapshot() if warmup_s == 0 else None
 
-        fallback = kernels.fast_path_reason(self, trace, profile)
-        if fallback is None:
-            self.last_replay_mode = kernels.MODE_VECTORIZED
+        mode, _ = kernels.select_mode(self, trace, profile)
+        self.last_replay_mode = mode
+        if mode == kernels.MODE_VECTORIZED:
             kernels.replay_vectorized(self, st, trace, profile, duration_s)
+        elif mode == kernels.MODE_EPOCH:
+            kernels.replay_epoch(self, st, trace, profile, duration_s)
         else:
-            self.last_replay_mode = kernels.MODE_SCALAR
             self._replay_scalar(st, trace, duration_s)
 
         if st.clusterer.flush() is not None:
@@ -277,8 +278,8 @@ class SimulationEngine:
     def _replay_scalar(
         self, st: _ReplayState, trace: Trace, duration_s: float
     ) -> None:
-        """The per-access reference loop (joint runs, write traces, PD/DS
-        memory models, and profile-less replays)."""
+        """The per-access reference loop (write traces, the disable
+        memory model, and profile-less replays)."""
         memory = self.memory
         manager = self.manager
         has_writes = st.has_writes

@@ -1,64 +1,107 @@
 """Vectorized replay kernels: segment-at-a-time trace consumption.
 
 The scalar engine loop dispatches one Python call chain per access.  On
-the dominant workload shape -- a read-only trace, a fixed-capacity LRU
-cache under the nap memory model, any disk policy -- the outcome of every
-access is already known before the replay starts: a
+the dominant workload shapes the outcome of every access is already
+known before the replay starts: a
 :class:`repro.cache.profile.TraceProfile` gives each access's stack
-distance, and distance ``< capacity`` is a hit.  These kernels exploit
-that to replay *runs of consecutive hits as single segments*: numpy
-locates the misses and the period boundaries, and everything between two
-such events collapses into two integer additions (metrics) plus one
-dynamic-energy charge.  Misses, period boundaries, policy callbacks and
-disk accounting still run through the exact scalar code paths
-(:meth:`SimulationEngine._serve_miss` / ``_drain_events``), in the exact
-same order and with the exact same floating-point operations, so a
-vectorized replay is bit-identical to the scalar loop -- the differential
-``kernels`` check and ``tests/sim/test_kernels.py`` assert as much.
+distance, and the LRU inclusion property turns distances into hits.
+These kernels exploit that to replay *runs of consecutive hits as single
+segments*: numpy locates the misses and the period boundaries, and
+everything between two such events collapses into two integer additions
+(metrics) plus one batched energy charge.  Misses, period boundaries,
+policy callbacks and disk accounting still run through the exact scalar
+code paths (:meth:`SimulationEngine._serve_miss` / ``_drain_events``),
+in the exact same order and with the exact same floating-point
+operations, so a fast replay is bit-identical to the scalar loop -- the
+differential ``kernels``/``epoch`` checks and ``tests/sim/test_kernels.py``
+assert as much.
+
+Two fast modes exist:
+
+* ``"vectorized"`` -- fixed-capacity runs (no joint manager) under a
+  memory system that opted into profiled replay (nap, power-down): one
+  ``hit_mask`` call decides every access up front.
+* ``"epoch"`` -- joint-manager runs.  Between two period boundaries the
+  cache capacity is fixed, so the replay walks the trace *epoch by
+  epoch*: each epoch's ``(times, depths)`` slice feeds the manager's
+  per-period log as one batch (:meth:`JointPowerManager.record_profiled`
+  -- the profile already holds exactly the depths the manager's own
+  tracker would have computed), hits collapse into segments at the
+  epoch's capacity, and every boundary fires one at a time through
+  ``_drain_events`` so each resize is observed before the next epoch is
+  classified.  Because the joint manager may resize *up*, the cache is
+  not always full; the kernel tracks the resident-page count ``r``
+  analytically (hit iff ``0 <= depth < r``; each miss grows ``r`` to
+  capacity; a down-resize clamps it), which is exactly the LRU stack's
+  inclusion behaviour.
 
 Fallback conditions (any one routes the run through the scalar loop):
 
-* a joint manager owns the run (it resizes memory at period boundaries,
-  so per-access recency bookkeeping must stay live),
-* the memory system is not exactly :class:`NapMemorySystem` (power-down /
-  disable models charge energy per bank touch),
+* the memory system did not opt into profiled replay
+  (:data:`MemorySystem.profiled_replay`) -- the disable model
+  invalidates cached pages as banks disable, so hit/miss depends on
+  timing the profile cannot see;
+* a joint run under anything but the nap model (only nap is resizable);
 * the trace carries writes (write-back flushing interleaves with the
-  access stream),
+  access stream, and dirty/eviction identity needs the live LRU);
 * no profile was supplied, or it does not cover the trace.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.cache.profile import TraceProfile
+from repro.cache.stack_distance import COLD
 from repro.errors import SimulationError
-from repro.memory.system import NapMemorySystem
+from repro.memory.system import NapMemorySystem, supports_profiled_replay
 
 #: SimResult.replay_mode values.
 MODE_SCALAR = "scalar"
 MODE_VECTORIZED = "vectorized"
+MODE_EPOCH = "epoch"
+
+
+def select_mode(
+    engine, trace, profile: Optional[TraceProfile]
+) -> Tuple[str, Optional[str]]:
+    """Pick the replay mode for this run.
+
+    Returns ``(mode, reason)``: ``reason`` explains a scalar fallback and
+    is None when a fast mode applies.
+    """
+    if profile is None:
+        return MODE_SCALAR, "no trace profile supplied"
+    if len(profile) != trace.num_accesses:
+        return MODE_SCALAR, "profile does not cover the trace"
+    if trace.writes is not None and bool(trace.writes.any()):
+        return MODE_SCALAR, "write-back traces interleave flushes with accesses"
+    if engine.manager is not None:
+        if type(engine.memory) is not NapMemorySystem:
+            return (
+                MODE_SCALAR,
+                "joint replay supports only the nap memory model, not "
+                f"{type(engine.memory).__name__}",
+            )
+        return MODE_EPOCH, None
+    if not supports_profiled_replay(engine.memory):
+        return (
+            MODE_SCALAR,
+            f"{type(engine.memory).__name__} hit/miss outcomes depend on "
+            "state the profile cannot predict",
+        )
+    return MODE_VECTORIZED, None
 
 
 def fast_path_reason(engine, trace, profile: Optional[TraceProfile]) -> Optional[str]:
-    """Why this run cannot take the vectorized path (None = it can)."""
-    if profile is None:
-        return "no trace profile supplied"
-    if engine.manager is not None:
-        return "joint manager resizes memory per period"
-    if type(engine.memory) is not NapMemorySystem:
-        return f"{type(engine.memory).__name__} charges energy per access placement"
-    if trace.writes is not None and bool(trace.writes.any()):
-        return "write-back traces interleave flushes with accesses"
-    if len(profile) != trace.num_accesses:
-        return "profile does not cover the trace"
-    return None
+    """Why this run cannot take a fast path (None = it can)."""
+    return select_mode(engine, trace, profile)[1]
 
 
 def replay_vectorized(engine, st, trace, profile: TraceProfile, duration_s: float) -> None:
-    """Drive one replay through the segmented fast path.
+    """Drive one fixed-capacity replay through the segmented fast path.
 
     ``st`` is the engine's mutable :class:`_ReplayState`; events and
     misses go through the same engine methods the scalar loop uses.
@@ -76,22 +119,147 @@ def replay_vectorized(engine, st, trace, profile: TraceProfile, duration_s: floa
     pos = 0
     for m in miss_indices.tolist():
         if pos < m:
-            _consume_hits(engine, st, memory, times, pos, m, duration_s)
+            _consume_hits(engine, st, memory, times, pages, pos, m, duration_s)
         now = float(times[m])
         page = int(pages[m])
         drain(st, now)
-        memory.charge_accesses(now, 1)
+        memory.charge_page_access(now, page)
         serve_miss(st, now, page)
         pos = m + 1
     if pos < n:
-        _consume_hits(engine, st, memory, times, pos, n, duration_s)
+        _consume_hits(engine, st, memory, times, pages, pos, n, duration_s)
 
 
-def _consume_hits(engine, st, memory, times, lo: int, hi: int, duration_s: float) -> None:
+def replay_epoch(engine, st, trace, profile: TraceProfile, duration_s: float) -> None:
+    """Drive one joint-manager replay epoch by epoch.
+
+    Within an epoch the capacity is fixed; every boundary fires
+    individually through ``_drain_events`` (running ``end_period`` and
+    the resize through the scalar code path), and the resident-page
+    count is re-clamped after each so the next epoch's hit
+    classification sees every intermediate resize.
+    """
+    times = trace.times
+    pages = trace.pages
+    depths = profile.depths
+    n = int(np.searchsorted(times, duration_s, side="left"))
+
+    memory = engine.memory
+    manager = engine.manager
+    drain = engine._drain_events
+    serve_miss = engine._serve_miss
+
+    # Invariant: the resident set is the top-`resident` pages of the
+    # full-history LRU stack, so an access hits iff 0 <= depth < resident.
+    # Holds after prefill (the warm start keeps the hottest tail -- the
+    # stack top) and is maintained below: hits reorder within the top,
+    # each miss loads at the top (growing the set until it reaches
+    # capacity), and a shrink evicts from the bottom.
+    resident = len(memory.cache)
+
+    pos = 0
+    while pos < n:
+        boundary = st.next_boundary
+        if boundary > st.duration_s:
+            end = n
+        else:
+            # An access exactly at the boundary belongs to the next
+            # epoch: the scalar loop drains events before recording it.
+            end = min(int(np.searchsorted(times, boundary, side="left")), n)
+        if end > pos:
+            resident = _replay_epoch_segment(
+                engine, st, memory, manager, times, pages, depths,
+                pos, end, duration_s, resident,
+            )
+            pos = end
+            if pos >= n:
+                break
+        # The next access sits at or past the boundary: fire exactly this
+        # boundary (end_period + resize + timeout through the scalar
+        # path), then observe the resize before classifying further.
+        drain(st, boundary)
+        resident = min(resident, memory.capacity_pages)
+
+
+def _replay_epoch_segment(
+    engine, st, memory, manager, times, pages, depths,
+    lo: int, hi: int, duration_s: float, resident: int,
+) -> int:
+    """Replay accesses ``[lo, hi)`` of one epoch; returns the new resident count."""
+    capacity = memory.capacity_pages
+    # Feed the whole epoch's per-period log in one batch.  The manager
+    # only reads it at end_period, so batching ahead of the misses is
+    # equivalent to the scalar loop's interleaved record_access calls.
+    manager.record_profiled(times[lo:hi], depths[lo:hi])
+
+    miss_indices, resident = _epoch_misses(depths, lo, hi, resident, capacity)
+
+    serve_miss = engine._serve_miss
+    drain = engine._drain_events
+    pos = lo
+    for m in miss_indices.tolist():
+        if pos < m:
+            _consume_hits(engine, st, memory, times, pages, pos, m, duration_s)
+        now = float(times[m])
+        page = int(pages[m])
+        drain(st, now)
+        memory.charge_page_access(now, page)
+        serve_miss(st, now, page)
+        pos = m + 1
+    if pos < hi:
+        _consume_hits(engine, st, memory, times, pages, pos, hi, duration_s)
+    return resident
+
+
+def _epoch_misses(
+    depths, lo: int, hi: int, resident: int, capacity: int
+) -> Tuple[np.ndarray, int]:
+    """Miss indices within ``[lo, hi)`` at fixed ``capacity``.
+
+    Returns ``(global_miss_indices, resident_after)``.  With the cache
+    full (``resident == capacity``) the Mattson rule vectorizes
+    directly.  After an up-resize the cache is partially filled: only
+    accesses that are cold or reach at least the starting resident count
+    can miss, and each miss grows the resident set by one until it hits
+    capacity -- walk exactly those candidates, then vectorize the rest.
+    """
+    window = depths[lo:hi]
+    if resident >= capacity:
+        miss = (window == COLD) | (window >= capacity)
+        return np.flatnonzero(miss) + lo, resident
+
+    candidates = np.flatnonzero((window == COLD) | (window >= resident))
+    cand_depths = window[candidates].tolist()
+    cand_list = candidates.tolist()
+    misses = []
+    for j, depth in enumerate(cand_depths):
+        if resident >= capacity:
+            # Filled up mid-epoch: the remaining candidates follow the
+            # full-cache rule.
+            rest = candidates[j:]
+            rest_d = window[rest]
+            rest_miss = rest[(rest_d == COLD) | (rest_d >= capacity)]
+            return (
+                np.concatenate(
+                    [np.asarray(misses, dtype=np.int64), rest_miss]
+                ) + lo,
+                resident,
+            )
+        if depth != COLD and depth < resident:
+            # The cache grew past this depth since the candidate scan.
+            continue
+        misses.append(cand_list[j])
+        resident += 1
+    return np.asarray(misses, dtype=np.int64) + lo, resident
+
+
+def _consume_hits(
+    engine, st, memory, times, pages, lo: int, hi: int, duration_s: float
+) -> None:
     """Account the hit run ``times[lo:hi]``, firing events in time order.
 
     Within the run the only pending events are period boundaries (the
-    fast path excludes write-back flushes); each boundary splits the run
+    fast paths exclude write-back flushes); each boundary splits the run
     with one ``searchsorted``.  An access at exactly the boundary time
     fires the boundary first (matching the scalar ``drain_events``
     ordering), hence ``side='left'``.
@@ -104,7 +272,7 @@ def _consume_hits(engine, st, memory, times, lo: int, hi: int, duration_s: float
             cut = min(max(int(np.searchsorted(times, event_at, side="left")), lo), hi)
         count = cut - lo
         if count > 0:
-            memory.charge_accesses(float(times[cut - 1]), count)
+            memory.charge_hit_run(times, pages, lo, cut)
             st.metrics.on_hits(count)
             lo = cut
         if lo < hi:

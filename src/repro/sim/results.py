@@ -38,8 +38,10 @@ class SimResult:
     periods: List[PeriodMetrics] = field(default_factory=list)
     #: Joint-manager decisions (empty for other methods).
     decisions: List[PeriodDecision] = field(default_factory=list)
-    #: Which replay loop produced this result ("scalar" or "vectorized");
-    #: both produce bit-identical numbers, this records the path taken.
+    #: Which replay loop produced this result ("scalar", "vectorized" for
+    #: fixed-capacity fast replays, or "epoch" for joint-manager fast
+    #: replays); all paths produce bit-identical numbers, this records
+    #: the one taken.
     replay_mode: str = "scalar"
 
     @property

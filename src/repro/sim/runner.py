@@ -10,7 +10,7 @@ from repro.cache.profile import TraceProfile, get_profile, kernels_enabled
 from repro.config.machine import MachineConfig
 from repro.core.joint import JointPowerManager
 from repro.errors import SimulationError
-from repro.memory.system import NapMemorySystem
+from repro.memory.system import supports_profiled_replay
 from repro.policies.registry import MethodSpec, parse_method
 from repro.sim.engine import SimulationEngine
 from repro.sim.prefill import warm_start_pages
@@ -63,13 +63,18 @@ def run_method(
             # resident tail become ghost entries, exactly as a long-running
             # extended LRU list would hold them.
             manager.prefill(prefill)
+        run_profile = _resolve_profile(profile, trace, warm_start, memory)
         engine = SimulationEngine(
             machine,
             memory,
             joint_manager=manager,
             label=spec.label,
         )
-        return _finish(engine.run(trace, duration_s, warmup_s=warmup_s), machine, audit)
+        return _finish(
+            engine.run(trace, duration_s, warmup_s=warmup_s, profile=run_profile),
+            machine,
+            audit,
+        )
 
     policy = spec.build_disk_policy(machine)
     memory = spec.build_memory_system(machine)
@@ -116,7 +121,7 @@ def _resolve_profile(
         )
     if not kernels_enabled():
         return None
-    if type(memory) is not NapMemorySystem:
+    if not supports_profiled_replay(memory):
         return None
     if trace.writes is not None and bool(trace.writes.any()):
         return None

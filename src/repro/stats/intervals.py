@@ -67,28 +67,36 @@ def extract_idle_intervals(
     during them.
     """
     times = np.asarray(access_times, dtype=float)
-    if times.size and np.any(np.diff(times) < 0.0):
+    inner = np.diff(times)
+    if times.size and np.any(inner < 0.0):
         raise TraceError("disk access times must be non-decreasing")
     if window_s < 0:
         raise TraceError("aggregation window must be non-negative")
 
-    gaps = []
+    # Build the gap vector without a per-element Python loop: the same
+    # subtractions as before (leading gap, np.diff, trailing gap), so the
+    # float64 values -- and therefore the filtered lengths -- are
+    # bit-identical to the historical list-based construction.
     if times.size:
+        pieces = []
         if period_start is not None:
             if times[0] < period_start:
                 raise TraceError("access before the period start")
-            gaps.append(times[0] - period_start)
-        gaps.extend(np.diff(times).tolist())
+            pieces.append(np.array([times[0] - period_start]))
+        pieces.append(inner)
         if period_end is not None:
             if times[-1] > period_end:
                 raise TraceError("access after the period end")
-            gaps.append(period_end - times[-1])
+            pieces.append(np.array([period_end - times[-1]]))
+        gaps = pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
     elif period_start is not None and period_end is not None:
         if period_end < period_start:
             raise TraceError("period end precedes period start")
-        gaps.append(period_end - period_start)
+        gaps = np.array([period_end - period_start])
+    else:
+        gaps = np.empty(0)
 
-    lengths = np.asarray([g for g in gaps if g >= window_s and g > 0.0], dtype=float)
+    lengths = gaps[(gaps >= window_s) & (gaps > 0.0)].astype(float, copy=True)
     return IdleIntervals(
         lengths=lengths, window_s=window_s, num_accesses=int(times.size)
     )

@@ -1,6 +1,6 @@
 """Differential runner: fast paths vs brute-force oracles over fuzzed seeds.
 
-Six checks, each pairing a production fast path with its oracle from
+Seven checks, each pairing a production fast path with its oracle from
 :mod:`repro.verify.oracles`:
 
 ========== ====================================================== =========
@@ -14,6 +14,9 @@ joint      ``core.joint.JointPowerManager`` period decision       per-size LRU +
                                                                   grid search
 energy     ``sim.engine`` / ``disk.drive`` incremental accounting event-log integration
 kernels    ``sim.kernels`` vectorized replay                      the scalar engine loop
+epoch      ``sim.kernels`` epoch-segmented joint replay           the scalar engine loop
+                                                                  driving the live
+                                                                  joint manager
 ========== ====================================================== =========
 
 Each seed deterministically expands to a fuzzed workload
@@ -500,6 +503,133 @@ def check_kernels(case: VerifyCase) -> Optional[str]:
     return None
 
 
+def deep_diff(a, b, path: str = "result") -> Optional[str]:
+    """First difference between two values, compared *exactly*.
+
+    Recurses through dataclasses, lists/tuples, dicts and numpy arrays
+    (``dataclasses.asdict`` equality breaks on arrays nested inside the
+    joint decisions' evaluations).  Floats must be bit-equal apart from
+    NaN, which compares equal to NaN -- the fast replays promise the
+    identical floating-point operations, not merely close ones.
+    """
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        if not (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)):
+            return f"{path}: array vs {type(b).__name__}"
+        if a.shape != b.shape:
+            return f"{path}: shape {a.shape} != {b.shape}"
+        if not bool(np.array_equal(a, b, equal_nan=a.dtype.kind == "f")):
+            return f"{path}: arrays differ"
+        return None
+    if dataclasses.is_dataclass(a) and not isinstance(a, type):
+        if type(a) is not type(b):
+            return f"{path}: {type(a).__name__} vs {type(b).__name__}"
+        for f in dataclasses.fields(a):
+            diff = deep_diff(
+                getattr(a, f.name), getattr(b, f.name), f"{path}.{f.name}"
+            )
+            if diff is not None:
+                return diff
+        return None
+    if isinstance(a, (list, tuple)):
+        if type(a) is not type(b) or len(a) != len(b):
+            return f"{path}: length {len(a)} != {len(b)!r}"
+        for i, (x, y) in enumerate(zip(a, b)):
+            diff = deep_diff(x, y, f"{path}[{i}]")
+            if diff is not None:
+                return diff
+        return None
+    if isinstance(a, dict):
+        if not isinstance(b, dict) or set(a) != set(b):
+            return f"{path}: keys differ"
+        for k in a:
+            diff = deep_diff(a[k], b[k], f"{path}[{k!r}]")
+            if diff is not None:
+                return diff
+        return None
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return None
+        return None if a == b else f"{path}: {a!r} != {b!r}"
+    return None if a == b else f"{path}: {a!r} != {b!r}"
+
+
+#: The joint ablation flag combinations check_epoch rotates through:
+#: (enforce_constraints, adapt_memory, adapt_timeout) -- JOINT, JOINT-NC,
+#: JOINT-TO, JOINT-MEM.
+_EPOCH_VARIANTS = (
+    (True, True, True),
+    (False, True, True),
+    (True, False, True),
+    (True, True, False),
+)
+
+
+def check_epoch(case: VerifyCase) -> Optional[str]:
+    """Epoch-segmented joint replay vs the scalar engine loop, bit for bit.
+
+    The fuzzed access stream is stretched to span several manager periods
+    so the epoch kernel crosses live boundaries (resizes, timeout
+    updates, empty epochs); both replays then run through fresh engines
+    and managers, and every ``SimResult`` field *and* every
+    ``PeriodDecision`` -- including each candidate evaluation's
+    prediction and fit -- must compare exactly equal.
+    """
+    from repro.core.enumeration import candidate_sizes
+    from repro.sim.prefill import warm_start_pages
+
+    if case.times.size == 0:
+        return None
+    machine = random_small_machine(case.seed)
+    rng = np.random.default_rng(case.seed ^ 0xE90C)
+    period = machine.manager.period_s
+    # Stretch the stream across ~3.25 periods: interior boundaries, an
+    # access-free trailing period, and at least two live resizes.
+    span = max(float(case.times[-1]), 1e-3)
+    times = case.times * (3.25 * period / span)
+    trace = Trace(times=times, pages=case.pages, page_size=machine.page_bytes)
+
+    flags = _EPOCH_VARIANTS[int(rng.integers(0, len(_EPOCH_VARIANTS)))]
+    sizes = candidate_sizes(machine)
+    initial = int(sizes[int(rng.integers(0, len(sizes)))])
+    warm = bool(rng.integers(0, 2))
+    prefill = warm_start_pages(trace) if warm else []
+
+    def replay(profile):
+        enforce, adapt_memory, adapt_timeout = flags
+        manager = JointPowerManager(
+            machine,
+            initial_memory_bytes=initial,
+            enforce_constraints=enforce,
+            adapt_memory=adapt_memory,
+            adapt_timeout=adapt_timeout,
+        )
+        memory = NapMemorySystem(machine.memory, manager.memory_bytes)
+        if prefill:
+            memory.prefill(prefill)
+            manager.prefill(prefill)
+        engine = SimulationEngine(
+            machine, memory, joint_manager=manager, label="verify-epoch"
+        )
+        return engine.run(trace, profile=profile)
+
+    fast = replay(build_profile(trace, warm_start=warm))
+    slow = replay(None)
+    if fast.replay_mode != "epoch":
+        return f"fast path refused an eligible joint run (mode {fast.replay_mode})"
+    if slow.replay_mode != "scalar":
+        return "reference run did not use the scalar loop"
+    for f in dataclasses.fields(fast):
+        if f.name == "replay_mode":
+            continue
+        diff = deep_diff(getattr(fast, f.name), getattr(slow, f.name), f.name)
+        if diff is not None:
+            return (
+                f"{diff} (flags {flags}, initial {initial} B, warm={warm}, "
+                f"period {period}s)"
+            )
+    return None
+
+
 def _timeouts_equal(a: Optional[float], b: Optional[float]) -> bool:
     if a is None or b is None:
         return a is None and b is None
@@ -514,6 +644,7 @@ CHECKS: Dict[str, Callable[[VerifyCase], Optional[str]]] = {
     "joint": check_joint,
     "energy": check_energy,
     "kernels": check_kernels,
+    "epoch": check_epoch,
 }
 
 

@@ -117,3 +117,95 @@ class TestBookkeeping:
         predictor = ResizePredictor()
         with pytest.raises(SimulationError):
             predictor.predict([1], window_s=0.0, period_start=5.0, period_end=1.0)
+
+
+class TestRecordArray:
+    @given(
+        pages=st.lists(st.integers(min_value=0, max_value=12), min_size=1, max_size=150),
+        split=st.integers(min_value=0, max_value=150),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_equivalent_to_scalar_record(self, pages, split):
+        times = np.arange(len(pages), dtype=float)
+        tracker = StackDistanceTracker()
+        depths = tracker.access_array(pages)
+
+        scalar = ResizePredictor()
+        for t, d in zip(times.tolist(), depths.tolist()):
+            scalar.record(t, d)
+
+        split = min(split, len(pages))
+        batched = ResizePredictor()
+        batched.record_array(times[:split], depths[:split])
+        batched.record_array(times[split:], depths[split:])
+
+        assert len(batched) == len(scalar)
+        sizes = [0, 1, 3, 8, 16]
+        kwargs = dict(window_s=0.0, period_start=0.0, period_end=float(len(pages)))
+        for fast, slow in zip(
+            batched.predict(sizes, **kwargs), scalar.predict(sizes, **kwargs)
+        ):
+            assert fast.num_disk_accesses == slow.num_disk_accesses
+            assert fast.idle.lengths.tolist() == slow.idle.lengths.tolist()
+
+    def test_buffer_growth_preserves_samples(self):
+        import repro.cache.predictor as predictor_mod
+
+        n = predictor_mod._INITIAL_BUFFER * 2 + 17
+        predictor = ResizePredictor()
+        predictor.record_array(np.arange(n, dtype=float), np.zeros(n, dtype=np.int64))
+        predictor.record(float(n), 0)
+        assert len(predictor) == n + 1
+        [p] = predictor.predict(
+            [0], window_s=0.0, period_start=0.0, period_end=float(n + 1)
+        )
+        assert p.num_disk_accesses == n + 1
+
+    def test_empty_batch_is_a_no_op(self):
+        predictor = ResizePredictor()
+        predictor.record_array(np.empty(0), np.empty(0, dtype=np.int64))
+        assert len(predictor) == 0
+
+    def test_rejects_time_regression_across_batches(self):
+        predictor = ResizePredictor()
+        predictor.record(5.0, -1)
+        with pytest.raises(SimulationError, match="time order"):
+            predictor.record_array(np.array([4.0]), np.array([0]))
+
+    def test_rejects_time_regression_within_batch(self):
+        predictor = ResizePredictor()
+        with pytest.raises(SimulationError, match="time order"):
+            predictor.record_array(np.array([1.0, 0.5]), np.array([0, 0]))
+
+    def test_rejects_invalid_depth(self):
+        predictor = ResizePredictor()
+        with pytest.raises(SimulationError, match="invalid depth -2"):
+            predictor.record_array(np.array([0.0, 1.0]), np.array([0, -2]))
+
+    def test_rejects_shape_mismatch(self):
+        predictor = ResizePredictor()
+        with pytest.raises(SimulationError):
+            predictor.record_array(np.array([0.0, 1.0]), np.array([0]))
+
+    def test_reset_after_batches(self):
+        predictor = ResizePredictor()
+        predictor.record_array(np.array([0.0, 1.0]), np.array([-1, 0]))
+        predictor.reset()
+        assert len(predictor) == 0
+        predictor.record(0.5, -1)  # time order restarts after reset
+        assert len(predictor) == 1
+
+
+class TestSharedIdleExtraction:
+    def test_plateau_candidates_share_idle_objects(self):
+        # Candidates past the working set see identical disk streams;
+        # the one-pass predict computes their intervals once.
+        times = [0.0, 10.0, 20.0, 30.0]
+        pages = [1, 2, 1, 2]
+        predictor = build_predictor(times, pages)
+        a, b, c = predictor.predict(
+            [2, 8, 16], window_s=0.0, period_start=0.0, period_end=40.0
+        )
+        assert a.num_disk_accesses == b.num_disk_accesses == c.num_disk_accesses == 2
+        assert a.idle is b.idle and b.idle is c.idle
+        assert a.idle.lengths.tolist() == [10.0, 30.0]

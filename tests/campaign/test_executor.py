@@ -105,6 +105,32 @@ class CrashTask:
         return {"survived": True}
 
 
+@dataclass(frozen=True)
+class SimLikeTask:
+    """Mimics ``SimTask``'s payload shape for the replay-mode telemetry."""
+
+    label: str
+    mode: str  # "" = legacy payload without the replay_mode field
+
+    kind = "sim"
+
+    def payload(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "label": self.label, "mode": self.mode}
+
+    @cached_property
+    def key(self) -> str:
+        return task_key(self.payload())
+
+    def describe(self) -> str:
+        return f"sim:{self.label}"
+
+    def execute(self) -> Dict[str, Any]:
+        summary: Dict[str, Any] = {"label": self.label}
+        if self.mode:
+            summary["replay_mode"] = self.mode
+        return {"kind": "sim", "summary": summary}
+
+
 class TestSerialExecution:
     def test_payloads_align_with_tasks(self):
         tasks = [AddTask(1, 2), AddTask(3, 4)]
@@ -258,3 +284,42 @@ class TestTelemetry:
         text = report.render_summary()
         assert "2 task(s), 1 unique" in text
         assert "dedup hits    1" in text
+
+    def test_replay_mode_counts(self):
+        tasks = [
+            SimLikeTask("a", "epoch"),
+            SimLikeTask("b", "epoch"),
+            SimLikeTask("c", "vectorized"),
+            SimLikeTask("d", ""),  # pre-field cached payload -> scalar
+            AddTask(1, 2),  # non-sim payloads never count
+        ]
+        report = run_campaign(tasks)
+        counts = {"epoch": 2, "scalar": 1, "vectorized": 1}
+        assert report.replay_mode_counts() == counts
+        assert report.telemetry()["replay_modes"] == counts
+        assert "replay modes  epoch=2 scalar=1 vectorized=1" in (
+            report.render_summary()
+        )
+
+    def test_replay_modes_absent_without_sim_tasks(self):
+        report = run_campaign([AddTask(1, 2)])
+        assert report.replay_mode_counts() == {}
+        assert "replay modes" not in report.render_summary()
+
+    def test_sim_summary_payload_round_trip(self):
+        from repro.campaign.tasks import SimSummary
+
+        summary = SimSummary(
+            label="JOINT", duration_s=1.0, memory_energy_j=1.0,
+            disk_energy_j=1.0, total_accesses=1, disk_page_accesses=0,
+            disk_requests=0, disk_write_pages=0, mean_latency_s=0.0,
+            long_latency=0, wake_long_latency=0, spin_down_cycles=0,
+            utilization=0.0, replay_mode="epoch",
+        )
+        payload = summary.to_payload()
+        assert payload["replay_mode"] == "epoch"
+        assert SimSummary.from_payload(payload) == summary
+        # Payloads cached before the field existed still load (scalar).
+        legacy = dict(payload)
+        del legacy["replay_mode"]
+        assert SimSummary.from_payload(legacy).replay_mode == "scalar"

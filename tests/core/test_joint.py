@@ -114,3 +114,55 @@ class TestTimeoutSelection:
         capacities = [e.capacity_bytes for e in decision.evaluations]
         assert capacities == sorted(capacities)
         assert len(capacities) == len(manager.candidates_bytes)
+
+
+class TestBatchFeeding:
+    def test_prefill_depths_match_scalar_loop(self, machine):
+        # The batched prefill must leave the tracker in exactly the state
+        # the old per-page loop produced: subsequent accesses see the
+        # same depths.
+        import numpy as np
+
+        rng = np.random.default_rng(42)
+        warm = rng.integers(0, 200, 500).tolist()
+        probe = rng.integers(0, 250, 200).tolist()
+
+        batched = JointPowerManager(machine)
+        batched.prefill(warm)
+
+        from repro.cache.stack_distance import StackDistanceTracker
+
+        scalar_tracker = StackDistanceTracker()
+        for page in warm:
+            scalar_tracker.access(page)
+
+        for i, page in enumerate(probe):
+            assert batched._tracker.access(page) == scalar_tracker.access(page), i
+
+    def test_record_profiled_matches_record_access(self, machine):
+        # Feeding the per-period log from precomputed depths must produce
+        # the identical decision to the live record_access loop.
+        import dataclasses as dc
+
+        import numpy as np
+
+        from repro.cache.stack_distance import StackDistanceTracker
+        from repro.verify.differential import deep_diff
+
+        rng = np.random.default_rng(7)
+        pages = rng.integers(0, 300, 800).tolist()
+        times = np.sort(rng.uniform(0.0, 600.0, 800))
+
+        live = JointPowerManager(machine)
+        for t, p in zip(times.tolist(), pages):
+            live.record_access(t, p)
+        live_decision = live.end_period(600.0)
+
+        tracker = StackDistanceTracker()
+        depths = tracker.access_array(pages)
+        batched = JointPowerManager(machine)
+        batched.record_profiled(times, depths)
+        assert len(batched._predictor) == len(pages)
+        batched_decision = batched.end_period(600.0)
+
+        assert deep_diff(live_decision, batched_decision) is None

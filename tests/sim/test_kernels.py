@@ -1,10 +1,13 @@
-"""Vectorized replay kernels: bit-identity with the scalar loop.
+"""Vectorized/epoch replay kernels: bit-identity with the scalar loop.
 
-The fast path promises the *same floating-point operations* as the
+The fast paths promise the *same floating-point operations* as the
 per-access reference loop, so every comparison here is exact equality --
-no tolerances anywhere.  Fallback conditions (joint manager, write
-traces, per-bank memory models, the ``$REPRO_KERNELS`` kill switch) must
-route through the scalar loop and say so in ``SimResult.replay_mode``.
+no tolerances anywhere.  Joint-manager runs take the ``"epoch"`` mode
+(decisions included in the comparison), fixed-capacity nap/power-down
+runs take ``"vectorized"``, and the remaining fallback conditions (write
+traces, the disable memory model, the ``$REPRO_KERNELS`` kill switch)
+must route through the scalar loop and say so in
+``SimResult.replay_mode``.
 """
 
 from __future__ import annotations
@@ -24,7 +27,7 @@ from repro.sim.runner import run_method
 from repro.traces.specweb import generate_trace
 from repro.traces.trace import Trace
 from repro.units import GB, MB
-from repro.verify.differential import CHECKS
+from repro.verify.differential import CHECKS, deep_diff
 from repro.verify.strategies import random_case
 
 
@@ -58,17 +61,21 @@ def _stripped(result) -> dict:
     return d
 
 
-def _assert_identical(fast, slow):
-    assert fast.replay_mode == kernels.MODE_VECTORIZED
+def _assert_identical(fast, slow, mode=kernels.MODE_VECTORIZED):
+    assert fast.replay_mode == mode
     assert slow.replay_mode == kernels.MODE_SCALAR
-    assert _stripped(fast) == _stripped(slow)
+    for f in dataclasses.fields(fast):
+        if f.name == "replay_mode":
+            continue
+        diff = deep_diff(getattr(fast, f.name), getattr(slow, f.name), f.name)
+        assert diff is None, diff
 
 
 class TestIdentity:
     @pytest.mark.parametrize(
         "method",
         ["2TFM-8GB", "2TFM-16GB", "ALWAYS-ON", "PTFM-16GB", "EAFM-8GB",
-         "ADFM-16GB", "ORFM-16GB", "2TNAP"],
+         "ADFM-16GB", "ORFM-16GB", "2TNAP", "2TPD"],
     )
     def test_run_method_identical(self, method, trace, machine):
         fast = run_method(method, trace, machine, audit=True, profile="auto")
@@ -118,14 +125,74 @@ class TestIdentity:
         _assert_identical(run(profile), run(None))
 
 
-class TestFallbacks:
-    def test_joint_stays_scalar(self, trace, machine):
+class TestEpochIdentity:
+    """Joint-manager runs through the epoch-segmented fast path.
+
+    The decision history (every ``PeriodDecision``, including each
+    candidate evaluation's prediction arrays and Pareto fit) is part of
+    the exact comparison -- the epoch kernel feeds the predictor from
+    profile depths instead of the manager's live tracker, and this is
+    where a depth mismatch would surface.
+    """
+
+    @pytest.mark.parametrize(
+        "method", ["JOINT", "JOINT-NC", "JOINT-MEM", "JOINT-TO"]
+    )
+    def test_joint_methods_identical(self, method, trace, machine):
+        fast = run_method(method, trace, machine, profile="auto")
+        slow = run_method(method, trace, machine, profile=None)
+        assert fast.decisions, "expected at least one period decision"
+        _assert_identical(fast, slow, mode=kernels.MODE_EPOCH)
+
+    def test_cold_start_identical(self, trace, machine):
+        fast = run_method("JOINT", trace, machine, warm_start=False, profile="auto")
+        slow = run_method("JOINT", trace, machine, warm_start=False, profile=None)
+        _assert_identical(fast, slow, mode=kernels.MODE_EPOCH)
+
+    def test_warmup_and_multi_period(self, trace, machine):
+        period = machine.manager.period_s
+        kwargs = dict(duration_s=3 * period, warmup_s=period)
+        fast = run_method("JOINT", trace, machine, profile="auto", **kwargs)
+        slow = run_method("JOINT", trace, machine, profile=None, **kwargs)
+        _assert_identical(fast, slow, mode=kernels.MODE_EPOCH)
+
+    def test_seeded_verify_corpus(self):
+        # The epoch differential check stretches each fuzz case across
+        # several periods and rotates through the joint ablations.
+        for seed in range(20):
+            assert CHECKS["epoch"](random_case(seed)) is None
+
+    def test_joint_with_writes_stays_scalar(self, machine):
+        writeful = generate_trace(
+            dataset_bytes=4 * GB,
+            data_rate=100 * MB,
+            duration_s=300.0,
+            page_size=machine.page_bytes,
+            seed=5,
+            file_scale=machine.scale,
+            write_fraction=0.2,
+        )
+        fast = run_method("JOINT", writeful, machine, profile="auto")
+        slow = run_method("JOINT", writeful, machine, profile=None)
+        assert fast.replay_mode == kernels.MODE_SCALAR
+        _assert_identical(fast, slow, mode=kernels.MODE_SCALAR)
+
+    def test_kill_switch_forces_scalar(self, trace, machine, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "0")
         result = run_method("JOINT", trace, machine, profile="auto")
         assert result.replay_mode == kernels.MODE_SCALAR
 
-    def test_per_bank_memory_stays_scalar(self, trace, machine):
-        result = run_method("2TPD", trace, machine, profile="auto")
+
+class TestFallbacks:
+    def test_disable_memory_stays_scalar(self, trace, machine):
+        result = run_method("2TDS", trace, machine, profile="auto")
         assert result.replay_mode == kernels.MODE_SCALAR
+
+    def test_per_bank_memory_vectorizes(self, trace, machine):
+        # PD retains data across power-down, so its hit/miss stream is
+        # profile-predictable; since this PR it rides the fast path.
+        result = run_method("2TPD", trace, machine, profile="auto")
+        assert result.replay_mode == kernels.MODE_VECTORIZED
 
     def test_write_traces_stay_scalar(self, machine):
         writeful = generate_trace(
