@@ -1,0 +1,84 @@
+"""Benchmarks of the offline optimality oracle.
+
+Pins the cost of the Belady pass (heap replay plus the one-lexsort
+next-use precomputation) against the brute-force twin, and the
+end-to-end price of scoring a finished run's regret -- the number a
+campaign pays per task when ``SimTask(regret=True)`` is on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.regret import compute_regret
+from repro.config.machine import scaled_machine
+from repro.sim.runner import run_method
+from repro.traces.specweb import generate_trace
+from repro.units import GB, MB
+from repro.verify.optimal import compute_next_use, naive_opt_replay, opt_replay
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return scaled_machine(1024)
+
+
+@pytest.fixture(scope="module")
+def trace(machine):
+    return generate_trace(
+        dataset_bytes=4 * GB,
+        data_rate=100 * MB,
+        duration_s=1200.0,
+        page_size=machine.page_bytes,
+        seed=3,
+        file_scale=machine.scale,
+    )
+
+
+@pytest.fixture(scope="module")
+def zipf_pages():
+    rng = np.random.default_rng(9)
+    return rng.zipf(1.3, size=20_000).astype(np.int64)
+
+
+def test_next_use_precompute(benchmark, zipf_pages):
+    benchmark(compute_next_use, zipf_pages)
+
+
+def test_opt_replay_fixed_capacity(benchmark, zipf_pages):
+    n = int(zipf_pages.size)
+    next_use = compute_next_use(zipf_pages)
+    benchmark(opt_replay, zipf_pages, [(0, n, 256)], next_use=next_use)
+
+
+def test_opt_replay_dynamic_schedule(benchmark, zipf_pages):
+    n = int(zipf_pages.size)
+    next_use = compute_next_use(zipf_pages)
+    cuts = np.linspace(0, n, 9).astype(int)
+    epochs = [
+        (int(cuts[k]), int(cuts[k + 1]), 64 * (1 + k % 4))
+        for k in range(len(cuts) - 1)
+    ]
+    benchmark(opt_replay, zipf_pages, epochs, next_use=next_use)
+
+
+def test_naive_opt_replay_small(benchmark, zipf_pages):
+    """The quadratic oracle on a slice: kept small on purpose (the
+    differential fuzzer is its only production caller)."""
+    small = zipf_pages[:600]
+    n = int(small.size)
+    benchmark.pedantic(
+        naive_opt_replay, args=(small, [(0, n, 64)]), rounds=3, iterations=1
+    )
+
+
+def test_regret_scoring_end_to_end(benchmark, machine, trace):
+    """compute_regret on a finished JOINT run (profile already memoized)."""
+    result = run_method("JOINT", trace, machine, duration_s=1200.0)
+    benchmark.pedantic(
+        compute_regret,
+        args=(result, trace, machine),
+        rounds=3,
+        iterations=1,
+    )

@@ -5,9 +5,26 @@
   a workload produces?  Fits and scores the model with a KS test.
 * :mod:`repro.analysis.report` -- a readable plain-text report of one
   simulation result (energy breakdowns, performance, per-period story).
+* :mod:`repro.analysis.regret` -- how far one run landed from the
+  offline optimum (Belady under the run's capacity schedule, the
+  clairvoyant disk schedule, a provable energy lower bound).
 """
 
 from repro.analysis.pareto_check import ParetoFitReport, check_pareto_fit
+from repro.analysis.regret import (
+    RegretReport,
+    attach_regret,
+    capacity_epochs,
+    compute_regret,
+)
 from repro.analysis.report import format_report
 
-__all__ = ["ParetoFitReport", "check_pareto_fit", "format_report"]
+__all__ = [
+    "ParetoFitReport",
+    "RegretReport",
+    "attach_regret",
+    "capacity_epochs",
+    "check_pareto_fit",
+    "compute_regret",
+    "format_report",
+]

@@ -140,6 +140,32 @@ class CampaignReport:
             counts[mode] = counts.get(mode, 0) + 1
         return dict(sorted(counts.items()))
 
+    def regret_summary(self) -> Optional[Dict[str, Any]]:
+        """Aggregate offline-optimality regret across sim payloads.
+
+        None when no resolved sim record carried regret fields (the
+        common case: regret scoring is opt-in per :class:`SimTask`).
+        """
+        ratios: List[float] = []
+        excess = 0
+        for record in self.records:
+            if record.payload is None or record.payload.get("kind") != "sim":
+                continue
+            summary = record.payload.get("summary") or {}
+            ratio = summary.get("energy_ratio")
+            if ratio is None:
+                continue
+            ratios.append(float(ratio))
+            excess += int(summary.get("excess_misses") or 0)
+        if not ratios:
+            return None
+        return {
+            "runs": len(ratios),
+            "mean_energy_ratio": round(sum(ratios) / len(ratios), 4),
+            "max_energy_ratio": round(max(ratios), 4),
+            "excess_misses": excess,
+        }
+
     def telemetry(self) -> Dict[str, Any]:
         s = self.stats
         return {
@@ -161,6 +187,7 @@ class CampaignReport:
             "speedup": round(s.speedup, 4),
             "worker_utilization": round(s.utilization, 4),
             "replay_modes": self.replay_mode_counts(),
+            "regret": self.regret_summary(),
             "tasks_detail": [
                 {
                     "index": r.index,
@@ -196,6 +223,14 @@ class CampaignReport:
         if modes:
             detail = " ".join(f"{k}={v}" for k, v in modes.items())
             lines.append(f"  replay modes  {detail}")
+        regret = self.regret_summary()
+        if regret is not None:
+            lines.append(
+                f"  regret        {regret['runs']} run(s), energy ratio "
+                f"mean {regret['mean_energy_ratio']:.3f} max "
+                f"{regret['max_energy_ratio']:.3f}, excess misses "
+                f"{regret['excess_misses']}"
+            )
         if self.run_dir is not None:
             lines.append(f"  run dir       {self.run_dir}")
         return "\n".join(lines)

@@ -22,7 +22,7 @@ import dataclasses
 import time
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.config.machine import MachineConfig
 from repro.policies.registry import MethodSpec
@@ -117,6 +117,13 @@ class SimSummary:
     #: "epoch"); defaulted so payloads cached before the field existed
     #: still load.
     replay_mode: str = "scalar"
+    #: Offline-optimality regret (see :mod:`repro.analysis.regret`);
+    #: None unless the task asked for it (``SimTask(regret=True)``), and
+    #: defaulted so pre-regret cached payloads still load.
+    opt_misses: Optional[int] = None
+    excess_misses: Optional[int] = None
+    energy_lower_bound_j: Optional[float] = None
+    energy_ratio: Optional[float] = None
 
     @property
     def total_energy_j(self) -> float:
@@ -168,6 +175,20 @@ class SimSummary:
                 int(d.memory_bytes) for d in result.decisions
             ),
             replay_mode=result.replay_mode,
+            opt_misses=(
+                None if result.regret is None else result.regret.opt_misses
+            ),
+            excess_misses=(
+                None if result.regret is None else result.regret.excess_misses
+            ),
+            energy_lower_bound_j=(
+                None
+                if result.regret is None
+                else result.regret.energy_lower_bound_j
+            ),
+            energy_ratio=(
+                None if result.regret is None else result.regret.energy_ratio
+            ),
         )
 
     def to_payload(self) -> Dict[str, Any]:
@@ -196,11 +217,14 @@ class SimTask:
     workload: WorkloadSpec
     duration_s: float
     warmup_s: float = 0.0
+    #: Also score the run against the offline oracles
+    #: (:mod:`repro.analysis.regret`); needs ``warmup_s == 0``.
+    regret: bool = False
 
     kind = "sim"
 
     def payload(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "kind": self.kind,
             "method": dataclasses.asdict(self.method),
             "machine": dataclasses.asdict(self.machine),
@@ -208,6 +232,10 @@ class SimTask:
             "duration_s": self.duration_s,
             "warmup_s": self.warmup_s,
         }
+        # Only present when set, so every pre-regret cache key is stable.
+        if self.regret:
+            payload["regret"] = True
+        return payload
 
     @cached_property
     def key(self) -> str:
@@ -231,6 +259,7 @@ class SimTask:
             self.machine,
             duration_s=self.duration_s,
             warmup_s=self.warmup_s,
+            regret=self.regret,
         )
         return {
             "kind": self.kind,

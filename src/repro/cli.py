@@ -13,8 +13,13 @@ Commands:
   against an always-on run of the same workload.
 * ``trace`` -- generate or import a workload and print its measured
   characteristics (rate, footprint, popularity, miss-ratio curve).
+* ``regret`` -- run one method and score it against the offline
+  optimality oracles: Belady/OPT misses under the run's own capacity
+  schedule, the clairvoyant disk schedule, and a provable energy lower
+  bound (see :mod:`repro.analysis.regret`).
 * ``verify`` -- differentially test the fast paths against brute-force
-  oracles over fuzzed workloads (see docs/VERIFICATION.md).
+  oracles over fuzzed workloads (see docs/VERIFICATION.md); ``--quick``
+  shrinks the corpus for smoke jobs.
 * ``bench`` -- run the performance benchmark suites, write
   ``BENCH_<suite>.json`` documents, and optionally gate against the
   committed baselines (see docs/PERFORMANCE.md).
@@ -107,6 +112,27 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--scale", type=int, default=1024)
     simulate.add_argument("--seed", type=int, default=42)
 
+    regret = sub.add_parser(
+        "regret",
+        help="run one method and score it against the offline optimum",
+    )
+    regret.add_argument("method", help="method name, e.g. JOINT or 2TFM-8GB")
+    regret.add_argument(
+        "--suite",
+        help="named workload (see repro.traces.suites) instead of the knobs below",
+    )
+    regret.add_argument("--dataset-gb", type=float, default=16.0)
+    regret.add_argument("--rate-mb", type=float, default=100.0)
+    regret.add_argument("--popularity", type=float, default=0.1)
+    regret.add_argument("--periods", type=int, default=5)
+    # The oracle aligns the capacity schedule with the trace from t=0, so
+    # regret runs record the whole run: no warmup window.
+    regret.add_argument(
+        "--warmup-periods", type=int, default=0, help=argparse.SUPPRESS
+    )
+    regret.add_argument("--scale", type=int, default=1024)
+    regret.add_argument("--seed", type=int, default=42)
+
     report = sub.add_parser(
         "report", help="run one method and print the analysis report"
     )
@@ -143,18 +169,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="differentially test fast paths against brute-force oracles",
     )
     verify.add_argument(
-        "--seeds", type=int, default=50, help="fuzzed workloads per check"
+        "--seeds",
+        type=int,
+        default=None,
+        help="fuzzed workloads per check (default 50, 15 with --quick)",
     )
     verify.add_argument("--first-seed", type=int, default=0)
     verify.add_argument(
         "--checks",
-        help="comma-separated subset (stack,intervals,predictor,joint,energy)",
+        help=(
+            "comma-separated subset (stack,intervals,predictor,joint,"
+            "energy,kernels,epoch,optimal)"
+        ),
     )
     verify.add_argument(
         "--max-accesses",
         type=int,
-        default=300,
-        help="upper bound on accesses per fuzzed workload",
+        default=None,
+        help=(
+            "upper bound on accesses per fuzzed workload "
+            "(default 300, 150 with --quick)"
+        ),
+    )
+    verify.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke-test corpus: fewer seeds, shorter streams (CI)",
     )
     verify.add_argument(
         "--progress", action="store_true", help="print each (check, seed) pair"
@@ -394,6 +434,22 @@ def _make_workload(args: argparse.Namespace):
     return machine, trace, duration, args.warmup_periods * period
 
 
+def _cmd_regret(args: argparse.Namespace) -> int:
+    from repro.analysis.regret import compute_regret
+
+    machine, trace, duration, warmup = _make_workload(args)
+    result = run_method(
+        args.method,
+        trace,
+        machine,
+        duration_s=duration,
+        warmup_s=warmup,
+    )
+    report = compute_regret(result, trace, machine)
+    print(report.render())
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import format_report
 
@@ -448,6 +504,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     checks = None
     if args.checks:
         checks = [name.strip() for name in args.checks.split(",") if name.strip()]
+    # --quick shrinks the defaults; explicit --seeds/--max-accesses win.
+    if args.seeds is None:
+        args.seeds = 15 if args.quick else 50
+    if args.max_accesses is None:
+        args.max_accesses = 150 if args.quick else 300
     cache = _make_cache(args, default_cache=False)
     if args.jobs <= 1 and cache is None and args.chunk is None:
         from repro.verify.differential import run_differential
@@ -529,6 +590,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "campaign": _cmd_campaign,
         "simulate": _cmd_simulate,
+        "regret": _cmd_regret,
         "report": _cmd_report,
         "trace": _cmd_trace,
         "verify": _cmd_verify,

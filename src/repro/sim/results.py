@@ -3,12 +3,28 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.core.joint import PeriodDecision
 from repro.disk.energy import DiskEnergy
 from repro.memory.energy import MemoryEnergy
 from repro.sim.metrics import PeriodMetrics
+
+
+@dataclass(frozen=True)
+class RegretSummary:
+    """How far one run landed from the offline optimum (see
+    :mod:`repro.analysis.regret` for the full report and the bound's
+    assumptions)."""
+
+    #: Belady/OPT misses under the run's own capacity schedule.
+    opt_misses: int
+    #: Online misses minus OPT misses (>= 0 by the one-sided oracle).
+    excess_misses: int
+    #: Energy no schedule obeying the recorded capacities can beat, J.
+    energy_lower_bound_j: float
+    #: Online total energy over the lower bound (>= 1.0).
+    energy_ratio: float
 
 
 @dataclass(frozen=True)
@@ -43,6 +59,9 @@ class SimResult:
     #: replays); all paths produce bit-identical numbers, this records
     #: the one taken.
     replay_mode: str = "scalar"
+    #: Offline-optimality regret (None unless the run asked for it via
+    #: ``run_method(..., regret=True)`` / ``repro regret``).
+    regret: Optional[RegretSummary] = None
 
     @property
     def total_energy_j(self) -> float:

@@ -27,6 +27,7 @@ def run_method(
     warm_start: bool = True,
     audit: bool = False,
     profile: Union[str, TraceProfile, None] = "auto",
+    regret: bool = False,
 ) -> SimResult:
     """Simulate ``method`` (a paper-style name or a spec) on ``trace``.
 
@@ -34,6 +35,10 @@ def run_method(
     emulating the long-running server the paper collects traces from
     (see :mod:`repro.sim.prefill`).  ``audit=True`` verifies the run's
     conservation invariants (:mod:`repro.sim.audit`) before returning.
+    ``regret=True`` additionally scores the finished run against the
+    offline oracles (:mod:`repro.analysis.regret`) and fills in
+    :attr:`SimResult.regret`; it requires ``warmup_s == 0`` and a
+    read-only trace.
 
     ``profile`` controls the vectorized replay kernels: ``"auto"`` (the
     default) computes or recalls a :class:`TraceProfile` when the run is
@@ -74,6 +79,9 @@ def run_method(
             engine.run(trace, duration_s, warmup_s=warmup_s, profile=run_profile),
             machine,
             audit,
+            trace=trace,
+            warm_start=warm_start,
+            regret=regret,
         )
 
     policy = spec.build_disk_policy(machine)
@@ -96,6 +104,9 @@ def run_method(
         engine.run(trace, duration_s, warmup_s=warmup_s, profile=run_profile),
         machine,
         audit,
+        trace=trace,
+        warm_start=warm_start,
+        regret=regret,
     )
 
 
@@ -128,11 +139,22 @@ def _resolve_profile(
     return get_profile(trace, warm_start=warm_start)
 
 
-def _finish(result: SimResult, machine: MachineConfig, audit: bool) -> SimResult:
+def _finish(
+    result: SimResult,
+    machine: MachineConfig,
+    audit: bool,
+    trace: Optional[Trace] = None,
+    warm_start: bool = True,
+    regret: bool = False,
+) -> SimResult:
     if audit:
         from repro.sim.audit import assert_clean
 
         assert_clean(result, machine)
+    if regret:
+        from repro.analysis.regret import attach_regret
+
+        result = attach_regret(result, trace, machine, warm_start=warm_start)
     return result
 
 

@@ -19,15 +19,27 @@ from repro.verify.differential import (
     minimize_accesses,
     run_differential,
 )
+from repro.verify.optimal import (
+    OptReplay,
+    compute_next_use,
+    naive_opt_replay,
+    offline_disk_energy,
+    opt_replay,
+)
 from repro.verify.strategies import VerifyCase, random_case, random_small_machine
 
 __all__ = [
     "CHECKS",
     "CheckOutcome",
     "Divergence",
+    "OptReplay",
     "VerifyCase",
     "VerifyReport",
+    "compute_next_use",
     "minimize_accesses",
+    "naive_opt_replay",
+    "offline_disk_energy",
+    "opt_replay",
     "random_case",
     "random_small_machine",
     "run_differential",

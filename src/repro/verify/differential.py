@@ -1,7 +1,8 @@
 """Differential runner: fast paths vs brute-force oracles over fuzzed seeds.
 
-Seven checks, each pairing a production fast path with its oracle from
-:mod:`repro.verify.oracles`:
+Eight checks, each pairing a production fast path with its oracle from
+:mod:`repro.verify.oracles` (or, for ``optimal``, from
+:mod:`repro.verify.optimal`):
 
 ========== ====================================================== =========
 check      fast path                                              oracle
@@ -17,6 +18,10 @@ kernels    ``sim.kernels`` vectorized replay                      the scalar eng
 epoch      ``sim.kernels`` epoch-segmented joint replay           the scalar engine loop
                                                                   driving the live
                                                                   joint manager
+optimal    ``verify.optimal`` lazy-heap Belady + clairvoyant      linear-scan Belady,
+           disk schedule                                          competitive closed
+                                                                  form, one-sided
+                                                                  OPT <= online bounds
 ========== ====================================================== =========
 
 Each seed deterministically expands to a fuzzed workload
@@ -46,6 +51,7 @@ from repro.stats.intervals import extract_idle_intervals
 from repro.stats.timeout_math import expected_power, optimal_timeout
 from repro.traces.trace import Trace
 from repro.verify import oracles
+from repro.verify.optimal import check_optimal
 from repro.verify.strategies import VerifyCase, random_case, random_small_machine
 
 #: Tracker capacity used by the stack/predictor/joint checks: tiny, so
@@ -645,6 +651,7 @@ CHECKS: Dict[str, Callable[[VerifyCase], Optional[str]]] = {
     "energy": check_energy,
     "kernels": check_kernels,
     "epoch": check_epoch,
+    "optimal": check_optimal,
 }
 
 

@@ -1,0 +1,142 @@
+"""Regret analysis: the oracle-vs-online bridge over real runs.
+
+The load-bearing regression here is the clamp-alignment one:
+``RegretReport.recomputed_misses`` -- the online miss count re-derived
+from the trace profile plus the reconstructed capacity schedule -- must
+*exactly* equal ``SimResult.disk_page_accesses`` for epoch-mode (JOINT)
+and vectorized-mode (fixed-capacity) runs recorded from ``t=0``.  Any
+off-by-one between the oracle's period-boundary clamp and the epoch
+kernel's re-clamp shows up as an inequality right there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.regret import attach_regret, capacity_epochs, compute_regret
+from repro.config.machine import scaled_machine
+from repro.errors import SimulationError
+from repro.sim.runner import run_method
+from repro.traces.specweb import generate_trace
+from repro.traces.trace import Trace
+from repro.units import GB, MB
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return scaled_machine(1024)
+
+
+@pytest.fixture(scope="module")
+def trace(machine):
+    return generate_trace(
+        dataset_bytes=4 * GB,
+        data_rate=60 * MB,
+        duration_s=300.0,
+        page_size=machine.page_bytes,
+        seed=7,
+        file_scale=machine.scale,
+    )
+
+
+def _run(method, trace, machine, **kwargs):
+    return run_method(method, trace, machine, **kwargs)
+
+
+class TestClampAlignment:
+    """Satellite 4: oracle and kernel agree on period-boundary clamps."""
+
+    @pytest.mark.parametrize("method", ["JOINT", "JOINT-NC", "2TFM-8GB", "ADFM-16GB"])
+    def test_recomputed_misses_match_run(self, method, trace, machine):
+        result = _run(method, trace, machine)
+        report = compute_regret(result, trace, machine)
+        assert report.recomputed_misses == result.disk_page_accesses
+        assert report.online_misses == result.disk_page_accesses
+
+    def test_scalar_disable_model_still_bounded(self, trace, machine):
+        # 2TDS's disable model invalidates pages on resize, which the
+        # paging oracle does not model: the recomputed count may differ,
+        # but OPT must still lower-bound the actual run.
+        result = _run("2TDS-128GB", trace, machine)
+        report = compute_regret(result, trace, machine)
+        assert report.opt_misses <= result.disk_page_accesses
+        assert report.excess_misses >= 0
+
+    def test_epoch_schedule_tiles_trace(self, trace, machine):
+        result = _run("JOINT", trace, machine)
+        epochs, n = capacity_epochs(result, trace, machine)
+        assert epochs[0][0] == 0
+        assert epochs[-1][1] == n
+        for (lo, hi, cap), (lo2, _, _) in zip(epochs, epochs[1:]):
+            assert hi == lo2
+            assert cap >= 0
+        assert len(epochs) == len(result.periods)
+
+
+class TestBounds:
+    @pytest.mark.parametrize(
+        "method", ["JOINT", "2TFM-8GB", "2TPD-128GB", "ALWAYS-ON", "ORFM-8GB"]
+    )
+    def test_regret_is_one_sided(self, method, trace, machine):
+        result = _run(method, trace, machine)
+        report = compute_regret(result, trace, machine)
+        assert report.excess_misses >= 0
+        assert report.opt_misses + report.excess_misses == report.online_misses
+        assert report.energy_lower_bound_j > 0
+        assert report.energy_ratio >= 1.0
+        assert report.online_energy_j >= report.energy_lower_bound_j
+        assert (
+            report.memory_lower_bound_j + report.disk_lower_bound_j
+            == pytest.approx(report.energy_lower_bound_j)
+        )
+        assert report.offline_disk_schedule_j >= 0.0
+        assert report.spin_down_worthy_intervals >= 0
+
+    def test_summary_and_attach(self, trace, machine):
+        result = _run("JOINT", trace, machine)
+        assert result.regret is None
+        attached = attach_regret(result, trace, machine)
+        assert attached.regret is not None
+        report = compute_regret(result, trace, machine)
+        assert attached.regret == report.summary()
+        assert attached.regret.opt_misses == report.opt_misses
+        assert attached.regret.excess_misses == report.excess_misses
+        assert attached.regret.energy_ratio == report.energy_ratio
+
+    def test_runner_regret_flag(self, trace, machine):
+        direct = _run("2TFM-8GB", trace, machine, regret=True)
+        assert direct.regret is not None
+        assert direct.regret.excess_misses >= 0
+        assert direct.regret.energy_ratio >= 1.0
+
+    def test_render_mentions_the_numbers(self, trace, machine):
+        result = _run("JOINT", trace, machine)
+        report = compute_regret(result, trace, machine)
+        text = report.render()
+        assert "regret report: JOINT" in text
+        assert f"OPT {report.opt_misses}" in text
+        assert f"excess {report.excess_misses}" in text
+        assert "ratio" in text
+        assert "period(s)" in text
+
+
+class TestErrors:
+    def test_warmup_run_is_rejected(self, trace, machine):
+        result = _run(
+            "JOINT", trace, machine, duration_s=1200.0, warmup_s=600.0
+        )
+        with pytest.raises(SimulationError, match="warmup_s=0"):
+            compute_regret(result, trace, machine)
+
+    def test_write_trace_is_rejected(self, machine):
+        times = np.linspace(0.0, 50.0, 40)
+        pages = np.arange(40, dtype=np.int64) % 7
+        writes = np.zeros(40, dtype=bool)
+        writes[3] = True
+        wtrace = Trace(
+            times=times, pages=pages, page_size=machine.page_bytes, writes=writes
+        )
+        result = _run("2TFM-8GB", wtrace, machine)
+        with pytest.raises(SimulationError, match="read-only"):
+            compute_regret(result, wtrace, machine)

@@ -1,0 +1,145 @@
+"""Replay-mode and regret reporting across a mixed campaign.
+
+One campaign, three methods, three replay loops: JOINT takes the epoch
+kernel, a fixed-capacity nap method takes the vectorized kernel, and the
+disable-model DS method legitimately falls back to the scalar loop.  The
+campaign report must say so -- and, when tasks opt into regret scoring,
+carry the oracle fields end-to-end through the JSON payloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.executor import run_campaign
+from repro.campaign.tasks import SimSummary, SimTask, WorkloadSpec
+from repro.config.machine import scaled_machine
+from repro.policies.registry import parse_method
+
+
+@pytest.fixture(scope="module")
+def small_machine():
+    return scaled_machine(1024)
+
+
+@pytest.fixture(scope="module")
+def workload(small_machine):
+    return WorkloadSpec.for_machine(
+        small_machine,
+        dataset_gb=4.0,
+        rate_mb=40.0,
+        popularity=0.1,
+        duration_s=600.0,
+        seed=5,
+    )
+
+
+def _task(name, machine, workload, regret=False):
+    return SimTask(
+        method=parse_method(name),
+        machine=machine,
+        workload=workload,
+        duration_s=workload.duration_s,
+        regret=regret,
+    )
+
+
+@pytest.fixture(scope="module")
+def mixed_report(small_machine, workload):
+    tasks = [
+        _task("JOINT", small_machine, workload, regret=True),
+        _task("2TFM-8GB", small_machine, workload, regret=True),
+        _task("2TDS-128GB", small_machine, workload, regret=True),
+    ]
+    return run_campaign(tasks)
+
+
+class TestReplayModeReporting:
+    def test_each_loop_counted_once(self, mixed_report):
+        assert mixed_report.ok
+        assert mixed_report.replay_mode_counts() == {
+            "epoch": 1,
+            "scalar": 1,
+            "vectorized": 1,
+        }
+
+    def test_render_summary_lists_modes(self, mixed_report):
+        text = mixed_report.render_summary()
+        assert "replay modes" in text
+        assert "epoch=1" in text
+        assert "scalar=1" in text
+        assert "vectorized=1" in text
+
+    def test_telemetry_carries_modes(self, mixed_report):
+        telemetry = mixed_report.telemetry()
+        assert telemetry["replay_modes"] == mixed_report.replay_mode_counts()
+
+
+class TestRegretReporting:
+    def test_payloads_carry_oracle_fields(self, mixed_report):
+        for payload in mixed_report.payloads():
+            summary = SimSummary.from_payload(payload["summary"])
+            assert summary.opt_misses is not None
+            assert summary.excess_misses is not None
+            assert summary.excess_misses >= 0
+            assert summary.opt_misses + summary.excess_misses == (
+                summary.disk_page_accesses
+            )
+            assert summary.energy_ratio is not None
+            assert summary.energy_ratio >= 1.0
+            assert summary.energy_lower_bound_j is not None
+            assert summary.energy_lower_bound_j > 0
+
+    def test_campaign_aggregate(self, mixed_report):
+        regret = mixed_report.regret_summary()
+        assert regret is not None
+        assert regret["runs"] == 3
+        assert regret["mean_energy_ratio"] >= 1.0
+        assert regret["max_energy_ratio"] >= regret["mean_energy_ratio"]
+        assert regret["excess_misses"] >= 0
+        assert "regret" in mixed_report.render_summary()
+        assert mixed_report.telemetry()["regret"] == regret
+
+    def test_absent_without_opt_in(self, small_machine, workload):
+        report = run_campaign([_task("ALWAYS-ON", small_machine, workload)])
+        assert report.ok
+        assert report.regret_summary() is None
+        assert "regret" not in report.render_summary()
+        payload = report.payloads()[0]
+        summary = SimSummary.from_payload(payload["summary"])
+        assert summary.opt_misses is None
+        assert summary.energy_ratio is None
+
+
+class TestCacheKeyStability:
+    def test_regret_flag_absent_from_legacy_payloads(
+        self, small_machine, workload
+    ):
+        plain = _task("JOINT", small_machine, workload)
+        scored = _task("JOINT", small_machine, workload, regret=True)
+        assert "regret" not in plain.payload()
+        assert scored.payload()["regret"] is True
+        # Pre-regret cache entries stay addressable; opting in re-runs.
+        assert plain.key != scored.key
+
+    def test_pre_regret_summary_payloads_still_load(self):
+        payload = {
+            "label": "JOINT",
+            "duration_s": 600.0,
+            "memory_energy_j": 1.0,
+            "disk_energy_j": 2.0,
+            "total_accesses": 10,
+            "disk_page_accesses": 4,
+            "disk_requests": 4,
+            "disk_write_pages": 0,
+            "mean_latency_s": 0.001,
+            "long_latency": 0,
+            "wake_long_latency": 0,
+            "spin_down_cycles": 1,
+            "utilization": 0.5,
+            "decision_memory_bytes": [],
+        }
+        summary = SimSummary.from_payload(payload)
+        assert summary.replay_mode == "scalar"
+        assert summary.opt_misses is None
+        assert summary.energy_ratio is None

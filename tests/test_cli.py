@@ -286,6 +286,47 @@ class TestVerifyCommand:
         assert "DIVERGED" in out and "reproducer" in out
 
 
+class TestRegretCommand:
+    _ARGS = [
+        "regret",
+        "JOINT",
+        "--dataset-gb",
+        "2",
+        "--rate-mb",
+        "20",
+        "--periods",
+        "2",
+        "--seed",
+        "3",
+    ]
+
+    def test_regret_reports_the_oracle_gap(self, capsys):
+        assert main(self._ARGS) == 0
+        out = capsys.readouterr().out
+        assert "regret report: JOINT" in out
+        assert "vs OPT" in out
+        assert "ratio" in out
+        assert "lower" in out
+
+    def test_regret_fixed_method(self, capsys):
+        args = list(self._ARGS)
+        args[1] = "2TFM-8GB"
+        assert main(args) == 0
+        assert "regret report: 2TFM-8GB" in capsys.readouterr().out
+
+    def test_verify_quick_flag(self, capsys):
+        code = main(["verify", "--quick", "--checks", "optimal"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimal" in out and "PASS" in out
+
+    def test_verify_quick_conflicts_yield_to_explicit_values(self, capsys):
+        # --quick only fills in defaults; explicit --seeds still wins.
+        code = main(["verify", "--quick", "--seeds", "2", "--checks", "stack"])
+        assert code == 0
+        assert "2 seed(s)" in capsys.readouterr().out
+
+
 class TestCampaignCommand:
     def test_campaign_runs_prints_and_caches(self, capsys, tmp_path):
         args = [

@@ -1,0 +1,196 @@
+"""Unit and injected-bug tests for the offline optimality oracle.
+
+The mutation tests are this suite's acceptance criterion: a deliberately
+broken Belady tie-break and a broken break-even threshold must both be
+caught by ``CHECKS["optimal"]`` through the ordinary differential
+runner, exactly like the planted stack-distance bug in
+``test_differential.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config.disk_spec import DiskSpec
+from repro.errors import SimulationError
+from repro.stats.competitive import offline_optimal_energy
+from repro.verify import optimal
+from repro.verify.differential import CHECKS, run_differential
+from repro.verify.optimal import (
+    compute_next_use,
+    naive_opt_replay,
+    offline_disk_energy,
+    opt_replay,
+)
+
+
+class TestNextUse:
+    def test_matches_forward_scan(self):
+        rng = np.random.default_rng(3)
+        pages = rng.integers(0, 9, size=120)
+        fast = compute_next_use(pages)
+        for i in range(pages.size):
+            expected = pages.size
+            for j in range(i + 1, pages.size):
+                if pages[j] == pages[i]:
+                    expected = j
+                    break
+            assert fast[i] == expected
+
+    def test_empty_and_singleton(self):
+        assert compute_next_use(np.array([], dtype=np.int64)).size == 0
+        assert compute_next_use(np.array([7])).tolist() == [1]
+
+
+class TestOptReplay:
+    def test_classic_belady_example(self):
+        # The textbook stream: OPT keeps the page with the farthest reuse.
+        pages = np.array([1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5])
+        out = opt_replay(pages, [(0, 12, 3)])
+        lru_misses = 10  # LRU thrashes this stream at capacity 3.
+        assert out.misses == 7
+        assert out.misses < lru_misses
+
+    def test_zero_capacity_misses_everything(self):
+        pages = np.array([1, 1, 1, 2])
+        out = opt_replay(pages, [(0, 4, 0)])
+        assert out.misses == 4
+        assert out.final_resident == frozenset()
+
+    def test_capacity_one_keeps_only_current(self):
+        pages = np.array([1, 1, 2, 2, 1])
+        out = opt_replay(pages, [(0, 5, 1)])
+        assert out.miss_flags.tolist() == [True, False, True, False, True]
+
+    def test_down_resize_clamps_resident_set(self):
+        # Two epochs: fill three pages, then shrink to one; the survivor
+        # must be the page reused soonest after the boundary.
+        pages = np.array([1, 2, 3, 3, 1])
+        out = opt_replay(pages, [(0, 3, 3), (3, 5, 1)])
+        # At the boundary the next uses are 3->index 3, 1->index 4,
+        # 2->never; capacity 1 keeps page 3 (soonest), so access 3 hits
+        # and access 4 (page 1) misses again.
+        assert out.miss_flags.tolist() == [True, True, True, False, True]
+
+    def test_initial_resident_prevents_cold_misses(self):
+        pages = np.array([5, 6, 5, 6])
+        out = opt_replay(pages, [(0, 4, 2)], initial_resident=[5, 6])
+        assert out.misses == 0
+
+    def test_prefill_page_never_accessed_is_evicted_first(self):
+        pages = np.array([1, 2, 1, 2])
+        out = opt_replay(pages, [(0, 4, 2)], initial_resident=[99, 1])
+        # 99 never recurs: it is the farthest-future victim on the first
+        # miss, after which {1, 2} stay resident.
+        assert out.misses == 1
+        assert out.final_resident == frozenset({1, 2})
+
+    def test_epoch_validation(self):
+        pages = np.array([1, 2, 3])
+        with pytest.raises(SimulationError):
+            opt_replay(pages, [(0, 2, 4)])  # does not cover the trace
+        with pytest.raises(SimulationError):
+            opt_replay(pages, [(1, 3, 4)])  # does not start at 0
+        with pytest.raises(SimulationError):
+            opt_replay(pages, [(0, 3, -1)])  # negative capacity
+        with pytest.raises(SimulationError):
+            opt_replay(pages, [])  # non-empty trace, no epochs
+
+    def test_fast_equals_naive_on_random_schedules(self):
+        rng = np.random.default_rng(11)
+        for _ in range(60):
+            n = int(rng.integers(1, 80))
+            pages = rng.integers(0, 14, size=n)
+            cut = int(rng.integers(0, n + 1))
+            epochs = [
+                (0, cut, int(rng.integers(0, 10))),
+                (cut, n, int(rng.integers(0, 10))),
+            ]
+            prefill = rng.integers(0, 25, size=int(rng.integers(0, 6))).tolist()
+            fast = opt_replay(pages, epochs, initial_resident=prefill)
+            slow = naive_opt_replay(pages, epochs, initial_resident=prefill)
+            assert np.array_equal(fast.miss_flags, slow.miss_flags)
+            assert fast.final_resident == slow.final_resident
+
+
+class TestOfflineDisk:
+    def test_matches_competitive_closed_form(self):
+        spec = DiskSpec()
+        lengths = np.array([0.0, 1.0, spec.break_even_time_s, 40.0, 500.0])
+        assert offline_disk_energy(lengths, spec) == pytest.approx(
+            offline_optimal_energy(lengths.tolist(), spec)
+        )
+
+    def test_break_even_boundary_stays_up(self):
+        spec = DiskSpec()
+        t_be = spec.break_even_time_s
+        # At exactly the break-even length both choices cost the same.
+        at = offline_disk_energy(np.array([t_be]), spec)
+        assert at == pytest.approx(spec.static_power_watts * t_be)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            offline_disk_energy(np.array([-1.0]))
+
+
+class TestCheckRegistration:
+    def test_optimal_is_registered(self):
+        assert "optimal" in CHECKS
+        assert CHECKS["optimal"] is optimal.check_optimal
+
+    def test_clean_code_passes(self):
+        report = run_differential(seeds=10, checks=["optimal"])
+        assert report.ok, report.render()
+
+
+class TestInjectedBug:
+    """Deliberate oracle mutations must be caught by the harness."""
+
+    def test_broken_belady_tie_break_is_caught(self, monkeypatch):
+        # Flip the tie-break to prefer the *largest* page id.  Miss
+        # counts are provably tie-invariant, so this is only visible in
+        # the resident-set comparison -- exactly what the check compares.
+        monkeypatch.setattr(
+            optimal, "evict_key", lambda next_use, page: (-next_use, -page)
+        )
+        report = run_differential(seeds=30, checks=["optimal"])
+        assert not report.ok
+        divergence = report.first_divergence
+        assert divergence is not None
+        assert divergence.check == "optimal"
+        assert "resident" in divergence.detail
+        assert "FAIL" in report.render()
+
+    def test_broken_break_even_threshold_is_caught(self, monkeypatch):
+        # Spin down only past *twice* the break-even time: the schedule
+        # stops matching the competitive-analysis closed form.
+        def buggy(lengths, break_even_s):
+            return np.asarray(lengths, dtype=np.float64) > 2.0 * break_even_s
+
+        monkeypatch.setattr(optimal, "offline_spin_decisions", buggy)
+        report = run_differential(seeds=30, checks=["optimal"])
+        assert not report.ok
+        divergence = report.first_divergence
+        assert divergence is not None
+        assert divergence.check == "optimal"
+        assert "disk energy" in divergence.detail
+
+    def test_minimized_case_still_fails_the_check(self, monkeypatch):
+        monkeypatch.setattr(
+            optimal, "evict_key", lambda next_use, page: (-next_use, -page)
+        )
+        report = run_differential(seeds=30, checks=["optimal"])
+        d = report.first_divergence
+        assert d is not None
+        from repro.verify.strategies import VerifyCase
+
+        rebuilt = VerifyCase(
+            seed=d.seed,
+            times=np.asarray(d.times),
+            pages=np.asarray(d.pages, dtype=np.int64),
+            window_s=d.window_s,
+            period_s=d.period_s,
+            pattern=d.pattern,
+        )
+        assert CHECKS["optimal"](rebuilt) is not None

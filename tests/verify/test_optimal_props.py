@@ -1,0 +1,124 @@
+"""Property tests for the offline optimality oracle.
+
+Hypothesis drives :func:`repro.verify.optimal.opt_replay` across the
+same pattern families the differential fuzzer uses and pins the three
+laws the regret report relies on: OPT misses are monotone in capacity,
+OPT never loses to LRU (so regret is non-negative), and the fast heap
+replay is exchangeable with the brute-force twin under arbitrary
+capacity schedules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.profile import build_profile
+from repro.traces.trace import Trace
+from repro.verify.optimal import (
+    compute_next_use,
+    naive_opt_replay,
+    opt_replay,
+)
+from repro.verify.strategies import access_patterns
+
+
+def _capacity_schedules(n: int) -> st.SearchStrategy:
+    """Epoch lists tiling [0, n) with 1-4 epochs of capacity 0-12."""
+
+    def build(raw):
+        cuts, caps = raw
+        bounds = [0] + sorted(min(c, n) for c in cuts) + [n]
+        return [
+            (bounds[k], bounds[k + 1], caps[k % len(caps)])
+            for k in range(len(bounds) - 1)
+        ]
+
+    return st.tuples(
+        st.lists(st.integers(min_value=0, max_value=max(n, 1)), max_size=3),
+        st.lists(
+            st.integers(min_value=0, max_value=12), min_size=1, max_size=4
+        ),
+    ).map(build)
+
+
+@given(pages=access_patterns(max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_opt_misses_monotone_in_capacity(pages):
+    """More memory never costs OPT a miss."""
+    arr = np.asarray(pages, dtype=np.int64)
+    n = int(arr.size)
+    next_use = compute_next_use(arr)
+    previous = None
+    for capacity in range(0, min(len(set(pages)), 14) + 2):
+        epochs = [(0, n, capacity)] if n else []
+        misses = opt_replay(arr, epochs, next_use=next_use).misses
+        if previous is not None:
+            assert misses <= previous
+        previous = misses
+    # At capacity >= distinct pages, only the mandatory cold misses remain.
+    distinct = len(set(pages))
+    full = opt_replay(arr, [(0, n, distinct)] if n else [], next_use=next_use)
+    assert full.misses == distinct
+
+
+@given(
+    pages=access_patterns(max_size=200),
+    capacity=st.integers(min_value=0, max_value=16),
+)
+@settings(max_examples=100, deadline=None)
+def test_opt_never_exceeds_lru(pages, capacity):
+    """OPT <= LRU at every fixed capacity, via the production profile.
+
+    The LRU side comes from :class:`TraceProfile` -- the same hit mask
+    the vectorized replay kernels consume -- so this is exactly the
+    ``regret >= 0`` guarantee of the analysis layer.
+    """
+    arr = np.asarray(pages, dtype=np.int64)
+    n = int(arr.size)
+    trace = Trace(times=np.arange(n, dtype=np.float64), pages=arr)
+    profile = build_profile(trace, warm_start=False)
+    lru_misses = int((~profile.hit_mask(capacity)).sum())
+    epochs = [(0, n, capacity)] if n else []
+    opt_misses = opt_replay(arr, epochs).misses
+    assert opt_misses <= lru_misses
+    # Regret of the LRU run against OPT: non-negative by the line above,
+    # and exactly zero whenever the working set fits (both pay only the
+    # mandatory cold misses).
+    if len(set(pages)) <= capacity:
+        assert opt_misses == lru_misses == len(set(pages))
+
+
+@given(pages=access_patterns(max_size=150), data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_fast_equals_naive_under_dynamic_schedules(pages, data):
+    arr = np.asarray(pages, dtype=np.int64)
+    n = int(arr.size)
+    epochs = data.draw(_capacity_schedules(n))
+    prefill = data.draw(
+        st.lists(st.integers(min_value=0, max_value=20), max_size=5)
+    )
+    fast = opt_replay(arr, epochs, initial_resident=prefill)
+    slow = naive_opt_replay(arr, epochs, initial_resident=prefill)
+    assert np.array_equal(fast.miss_flags, slow.miss_flags)
+    assert fast.final_resident == slow.final_resident
+    assert fast.misses == int(fast.miss_flags.sum())
+    assert fast.hits == n - fast.misses
+
+
+@given(pages=access_patterns(max_size=150))
+@settings(max_examples=60, deadline=None)
+def test_warm_start_never_hurts(pages):
+    """Seeding OPT with resident pages can only remove misses."""
+    arr = np.asarray(pages, dtype=np.int64)
+    n = int(arr.size)
+    if n == 0:
+        return
+    capacity = max(1, len(set(pages)) // 2)
+    epochs = [(0, n, capacity)]
+    cold = opt_replay(arr, epochs).misses
+    warm = opt_replay(
+        arr, epochs, initial_resident=list(set(pages))[:capacity]
+    ).misses
+    assert warm <= cold
