@@ -1,0 +1,129 @@
+"""Streaming-service benchmarks.
+
+Times the incremental :class:`StreamingManager` feed path against the
+offline epoch replay of the same trace, drives a concurrent multi-tenant
+:class:`SessionRegistry`, then runs the ``service`` perf suite and
+archives its ``BENCH_service.json`` under ``benchmarks/out/`` (the same
+document ``repro bench`` gates against the committed baseline).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.config.machine import scaled_machine
+from repro.perf.suite import (
+    SERVICE_BATCH,
+    SERVICE_TENANTS,
+    run_suite,
+    write_suite,
+)
+from repro.service.sessions import SessionRegistry
+from repro.service.streaming import StreamingManager
+from repro.sim.prefill import warm_start_pages
+from repro.sim.runner import run_method
+from repro.traces.specweb import generate_trace
+from repro.units import GB, MB
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return scaled_machine(1024)
+
+
+@pytest.fixture(scope="module")
+def trace(machine):
+    return generate_trace(
+        dataset_bytes=4 * GB,
+        data_rate=100 * MB,
+        duration_s=1200.0,
+        page_size=machine.page_bytes,
+        seed=3,
+        file_scale=machine.scale,
+    )
+
+
+def _stream_trace(machine, trace, duration_s, prefill=None):
+    stream = StreamingManager("JOINT", machine, prefill=prefill)
+    n = trace.num_accesses
+    for lo in range(0, n, SERVICE_BATCH):
+        hi = min(lo + SERVICE_BATCH, n)
+        stream.feed(trace.times[lo:hi], trace.pages[lo:hi])
+    return stream.close(duration_s)
+
+
+def test_stream_feed(benchmark, machine, trace):
+    """Single tenant, SERVICE_BATCH-access feeds, bit-exact vs offline."""
+    offline = run_method("JOINT", trace, machine, duration_s=1200.0)
+    prefill = warm_start_pages(trace)
+
+    def run():
+        result = _stream_trace(machine, trace, 1200.0, prefill=prefill)
+        assert result.replay_mode == "stream-epoch"
+        assert result.total_energy_j == offline.total_energy_j
+        return result
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_offline_replay(benchmark, machine, trace):
+    """The offline twin of test_stream_feed (same trace, one shot)."""
+    benchmark.pedantic(
+        run_method,
+        args=("JOINT", trace, machine),
+        kwargs=dict(duration_s=1200.0),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_multitenant_registry(benchmark, machine, trace):
+    """SERVICE_TENANTS concurrent streams through one registry."""
+    n = trace.num_accesses
+
+    def run():
+        registry = SessionRegistry(machine)
+        errors = []
+
+        def tenant():
+            try:
+                sid = registry.open_session("JOINT", machine=machine)
+                for lo in range(0, n, SERVICE_BATCH):
+                    hi = min(lo + SERVICE_BATCH, n)
+                    registry.feed(sid, trace.times[lo:hi], trace.pages[lo:hi])
+                registry.close(sid, 1200.0)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=tenant) for _ in range(SERVICE_TENANTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[0]
+        assert registry.stats()["closed_sessions"] == SERVICE_TENANTS
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_service_suite_document(benchmark):
+    """The gated suite itself; archives BENCH_service.json for inspection."""
+    quick = os.environ.get("REPRO_PROFILE", "full").strip().lower() == "quick"
+    doc = benchmark.pedantic(
+        run_suite, args=("service",), kwargs=dict(quick=quick),
+        rounds=1, iterations=1,
+    )
+    OUT_DIR.mkdir(exist_ok=True)
+    path = write_suite(doc, OUT_DIR)
+    print(f"\nwrote {path}")
+    # Streaming should cost about the same as offline replay; anything
+    # below half speed means the incremental path has regressed badly.
+    assert doc["entries"]["stream_vs_offline"]["value"] > 0.5

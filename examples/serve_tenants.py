@@ -1,0 +1,175 @@
+"""Multi-tenant streaming demo: N web servers sharing one ``repro serve``.
+
+Spawns the daemon as a subprocess (exactly as an operator would), then
+drives ``--tenants`` concurrent clients.  Each tenant streams its own
+SPECWeb99-class trace in small batches -- the telemetry-shipping shape
+the service is built for -- collects the period decisions as they fire,
+and closes its session for the final energy accounting.
+
+Run:  python examples/serve_tenants.py
+      python examples/serve_tenants.py --tenants 8 --check   # CI smoke
+
+``--check`` additionally verifies every tenant's daemon-side result
+against an in-process offline replay of the same trace (bit-identical
+energies) and exits non-zero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.config.machine import scaled_machine  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.sim.runner import run_method  # noqa: E402
+from repro.traces.specweb import generate_trace  # noqa: E402
+from repro.units import GB, MB  # noqa: E402
+
+BATCH = 256
+SCALE = 1024
+LISTEN_RE = re.compile(r"repro serve listening on ([\d.]+):(\d+)")
+
+
+def tenant_trace(machine, seed: int):
+    """Each tenant gets its own data set size and request stream."""
+    return generate_trace(
+        dataset_bytes=(2 + seed % 4) * GB,
+        data_rate=100 * MB,
+        duration_s=2 * machine.manager.period_s,
+        page_size=machine.page_bytes,
+        seed=seed,
+        file_scale=machine.scale,
+    )
+
+
+def run_tenant(port: int, index: int, machine, report: dict) -> None:
+    trace = tenant_trace(machine, seed=index)
+    duration = 2 * machine.manager.period_s
+    with ServiceClient(port=port) as client:
+        session = client.open_session(
+            "JOINT", scale=SCALE, session_id=f"tenant-{index}"
+        )
+        decisions = []
+        for lo in range(0, trace.num_accesses, BATCH):
+            hi = min(lo + BATCH, trace.num_accesses)
+            decisions += client.feed(
+                session,
+                trace.times[lo:hi].tolist(),
+                trace.pages[lo:hi].tolist(),
+            )
+        result = client.close(session, duration)
+    # The close result carries the full decision list (the ones that
+    # fired during feeds are its prefix) -- use it as the authority.
+    report[index] = {
+        "trace": trace,
+        "decisions": result["decisions"],
+        "streamed": len(decisions),
+        "result": result,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tenants", type=int, default=4)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify each result against an offline replay; exit 1 on mismatch",
+    )
+    args = parser.parse_args()
+
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONPATH": str(REPO / "src")},
+    )
+    try:
+        match = None
+        for line in daemon.stdout:  # pragma: no branch
+            match = LISTEN_RE.search(line)
+            if match:
+                break
+        if match is None:
+            print("daemon never announced its port", file=sys.stderr)
+            return 1
+        port = int(match.group(2))
+        print(f"daemon up on port {port}; driving {args.tenants} tenants")
+
+        machine = scaled_machine(SCALE)
+        report: dict = {}
+        threads = [
+            threading.Thread(target=run_tenant, args=(port, i, machine, report))
+            for i in range(args.tenants)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        if len(report) != args.tenants:
+            print(
+                f"only {len(report)}/{args.tenants} tenants finished",
+                file=sys.stderr,
+            )
+            return 1
+
+        failures = 0
+        for index in sorted(report):
+            entry = report[index]
+            result = entry["result"]
+            print(
+                f"tenant-{index}: {len(entry['decisions'])} decisions, "
+                f"{result['total_energy_j'] / 1e3:8.1f} kJ "
+                f"({result['replay_mode']})"
+            )
+            if args.check:
+                offline = run_method(
+                    "JOINT",
+                    entry["trace"],
+                    machine,
+                    duration_s=2 * machine.manager.period_s,
+                    warm_start=False,
+                )
+                if result["total_energy_j"] != offline.total_energy_j:
+                    print(
+                        f"  MISMATCH vs offline: {result['total_energy_j']}"
+                        f" != {offline.total_energy_j}",
+                        file=sys.stderr,
+                    )
+                    failures += 1
+
+        with ServiceClient(port=port) as client:
+            stats = client.stats()
+            print(
+                f"daemon rollup: {stats['closed_sessions']} sessions closed, "
+                f"{stats['accesses_fed']} accesses fed, "
+                f"{stats['closed_energy_j'] / 1e3:.1f} kJ accounted"
+            )
+            client.shutdown()
+
+        if args.check and failures:
+            print(f"{failures} tenant(s) diverged from offline", file=sys.stderr)
+            return 1
+        if args.check:
+            print("all tenants bit-identical to offline replay")
+        return 0
+    finally:
+        try:
+            daemon.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            daemon.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,9 @@ Commands:
 * ``bench`` -- run the performance benchmark suites, write
   ``BENCH_<suite>.json`` documents, and optionally gate against the
   committed baselines (see docs/PERFORMANCE.md).
+* ``serve`` -- run the multi-tenant streaming daemon: tenant sessions
+  feed access batches over a line-delimited-JSON socket protocol and
+  receive period decisions online (see docs/SERVICE.md).
 * ``list`` -- list experiments and method names.
 """
 
@@ -179,7 +182,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--checks",
         help=(
             "comma-separated subset (stack,intervals,predictor,joint,"
-            "energy,kernels,epoch,optimal)"
+            "energy,kernels,epoch,optimal,stream)"
         ),
     )
     verify.add_argument(
@@ -211,7 +214,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=["micro", "sweep", "joint", "all"],
+        choices=["micro", "sweep", "joint", "service", "all"],
         default="all",
         help="which suite(s) to run (default: all)",
     )
@@ -245,6 +248,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "--update-baselines",
         action="store_true",
         help="write this run's documents into --baseline-dir",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant streaming power-manager daemon",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default: 0 = ephemeral; the bound port is printed)",
+    )
+    serve.add_argument(
+        "--idle-timeout-s",
+        type=float,
+        default=None,
+        help="evict tenant sessions idle longer than this (default: never)",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=1024,
+        help="cap on concurrently open sessions (default 1024)",
     )
 
     sub.add_parser("list", help="list experiments and method names")
@@ -565,6 +594,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.daemon import ServiceDaemon
+    from repro.service.sessions import SessionRegistry
+
+    registry = SessionRegistry(
+        idle_timeout_s=args.idle_timeout_s, max_sessions=args.max_sessions
+    )
+    daemon = ServiceDaemon(args.host, args.port, registry=registry)
+    # The smoke drivers parse this line to find the ephemeral port.
+    print(f"repro serve listening on {daemon.host}:{daemon.port}", flush=True)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        daemon.stop()
+    stats = registry.stats()
+    print(
+        f"served {stats['closed_sessions']} session(s), "
+        f"{stats['accesses_fed']} access(es), "
+        f"{stats['decisions']} decision(s)"
+    )
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     del args
     print("experiments:")
@@ -595,6 +647,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "verify": _cmd_verify,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

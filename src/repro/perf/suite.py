@@ -1,6 +1,6 @@
 """The benchmark suites behind ``repro bench``.
 
-Three suites, each emitting one JSON document:
+Four suites, each emitting one JSON document:
 
 * ``micro`` (``BENCH_micro.json``) -- data-structure and single-replay
   timings: stack-distance tracking (per-call and batched), profile
@@ -17,6 +17,14 @@ Three suites, each emitting one JSON document:
   and the one-pass ``ResizePredictor.predict`` vs a kept-verbatim copy
   of the old per-candidate loop on a full candidate grid
   (``end_period_speedup``).
+* ``service`` (``BENCH_service.json``) -- the streaming subsystem:
+  single-tenant feed throughput (accesses/s through a
+  :class:`~repro.service.streaming.StreamingManager`), concurrent
+  multi-tenant throughput through a
+  :class:`~repro.service.sessions.SessionRegistry`, and
+  ``stream_vs_offline`` -- offline epoch replay wall-clock over
+  streaming wall-clock on the same trace, the "streaming costs the same
+  as offline" claim as a gated ratio.
 
 Every entry records wall-clock seconds; throughput entries add
 ``ops_per_s``.  Entries with ``"kind": "ratio"`` are ratios of
@@ -46,7 +54,14 @@ from repro.units import GB, MB
 #: Bump when the document layout changes (stale baselines stop gating).
 BENCH_SCHEMA = 1
 
-SUITE_NAMES = ("micro", "sweep", "joint")
+SUITE_NAMES = ("micro", "sweep", "joint", "service")
+
+#: Concurrent tenant streams the service suite drives.
+SERVICE_TENANTS = 8
+
+#: Accesses per ``feed`` batch in the service suite (a realistic
+#: telemetry-shipping cadence: a few hundred accesses per report).
+SERVICE_BATCH = 512
 
 #: The sweep grid: every point replays the same trace; the profile is
 #: built once and shared (exactly how campaigns use the kernels).
@@ -330,10 +345,90 @@ def _suite_joint(quick: bool) -> Dict[str, Any]:
     return entries
 
 
+def _suite_service(quick: bool) -> Dict[str, Any]:
+    import threading
+
+    from repro.service.sessions import SessionRegistry
+    from repro.service.streaming import StreamingManager
+
+    repeats = 2 if quick else 3
+    machine, trace = _workload(quick)
+    times = trace.times
+    pages = trace.pages
+    n = trace.num_accesses
+    period = machine.manager.period_s
+    duration = max(int(np.ceil(trace.duration_s / period)), 1) * period
+    entries: Dict[str, Any] = {}
+
+    def stream_once():
+        stream = StreamingManager("JOINT", machine)
+        for lo in range(0, n, SERVICE_BATCH):
+            hi = min(lo + SERVICE_BATCH, n)
+            stream.feed(times[lo:hi], pages[lo:hi])
+        return stream.close(float(duration))
+
+    stream_wall = _best_of(stream_once, repeats)
+    entries["stream_feed"] = _time_entry(
+        stream_wall, n, batch=SERVICE_BATCH, method="JOINT"
+    )
+
+    # Offline twin, profile build inside the timed window: the streaming
+    # side pays its incremental Mattson pass per feed, so the fair
+    # comparison charges the offline side its one-time profile build.
+    def offline_once():
+        clear_memo()
+        return run_method(
+            "JOINT", trace, machine, duration_s=float(duration), warm_start=False
+        )
+
+    offline_wall = _best_of(offline_once, repeats)
+    entries["offline_epoch"] = _time_entry(offline_wall, n)
+
+    entries["stream_vs_offline"] = _ratio_entry(
+        offline_wall / stream_wall,
+        "offline epoch replay / streaming feed wall-clock, same trace, "
+        f"{SERVICE_BATCH}-access batches",
+    )
+
+    # Concurrent tenants: every thread streams the same trace through
+    # its own registry session (GIL-bound, so this measures the session
+    # layer's locking overhead, not parallel speedup).
+    def tenants_once():
+        registry = SessionRegistry(machine)
+        errors: List[BaseException] = []
+
+        def tenant():
+            try:
+                sid = registry.open_session("JOINT", machine=machine)
+                for lo in range(0, n, SERVICE_BATCH):
+                    hi = min(lo + SERVICE_BATCH, n)
+                    registry.feed(sid, times[lo:hi], pages[lo:hi])
+                registry.close(sid, float(duration))
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=tenant) for _ in range(SERVICE_TENANTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise SimulationError(f"tenant stream failed: {errors[0]}")
+
+    tenants_wall = _best_of(tenants_once, repeats)
+    entries["stream_multitenant"] = _time_entry(
+        tenants_wall, n * SERVICE_TENANTS, tenants=SERVICE_TENANTS
+    )
+    return entries
+
+
 _SUITES: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "micro": _suite_micro,
     "sweep": _suite_sweep,
     "joint": _suite_joint,
+    "service": _suite_service,
 }
 
 

@@ -1,0 +1,144 @@
+"""Client for the ``repro serve`` line-delimited-JSON protocol.
+
+>>> with ServiceClient(port=daemon.port) as client:     # doctest: +SKIP
+...     sid = client.open_session("JOINT")
+...     client.feed(sid, times, pages)
+...     client.decide(sid, now_s=600.0)
+...     result = client.close(sid)
+
+One :class:`ServiceClient` wraps one socket connection; it is not
+thread-safe -- concurrent tenants each open their own (connections are
+cheap; the daemon serves each from its own thread).  Server-side
+failures raise :class:`ServiceError` with the daemon's message.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, List, Optional, Sequence
+
+from repro.service.daemon import connect_address
+
+
+class ServiceError(RuntimeError):
+    """The daemon rejected a request (``ok: false``)."""
+
+
+class ServiceClient:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout_s: float = 30.0,
+    ) -> None:
+        if port <= 0:
+            raise ServiceError("a daemon port is required")
+        self._sock = connect_address(host, port, timeout_s)
+        self._sock.settimeout(timeout_s)
+        self._rfile = self._sock.makefile("rb")
+
+    def close_connection(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close_connection()
+
+    # --- protocol ops -----------------------------------------------------
+
+    def request(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Send one request object; return the daemon's response."""
+        line = json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+        try:
+            self._sock.sendall(line)
+            response_line = self._rfile.readline()
+        except (ConnectionError, socket.timeout, OSError) as exc:
+            raise ServiceError(f"daemon connection failed: {exc}") from exc
+        if not response_line:
+            raise ServiceError("daemon closed the connection")
+        response = json.loads(response_line)
+        if not response.get("ok"):
+            raise ServiceError(str(response.get("error", "unknown error")))
+        return response
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def open_session(
+        self,
+        method: str,
+        *,
+        scale: Optional[int] = None,
+        prefill: Optional[Sequence[int]] = None,
+        warmup_s: float = 0.0,
+        expect_writes: bool = False,
+        session_id: Optional[str] = None,
+    ) -> str:
+        """Open a tenant stream.
+
+        ``scale`` picks the machine granularity server-side; omitted, the
+        daemon's default machine (1024x unless configured otherwise) is
+        used.
+        """
+        payload: Dict[str, object] = {
+            "op": "open_session",
+            "method": method,
+            "warmup_s": warmup_s,
+            "expect_writes": expect_writes,
+        }
+        if scale is not None:
+            payload["scale"] = int(scale)
+        if prefill:
+            payload["prefill"] = [int(p) for p in prefill]
+        if session_id is not None:
+            payload["session_id"] = session_id
+        return str(self.request(payload)["session_id"])
+
+    def feed(
+        self,
+        session: str,
+        times: Sequence[float],
+        pages: Sequence[int],
+        writes: Optional[Sequence[bool]] = None,
+    ) -> List[Dict[str, object]]:
+        payload: Dict[str, object] = {
+            "op": "feed",
+            "session": session,
+            "times": [float(t) for t in times],
+            "pages": [int(p) for p in pages],
+        }
+        if writes is not None:
+            payload["writes"] = [bool(w) for w in writes]
+        return list(self.request(payload)["decisions"])
+
+    def decide(self, session: str, now_s: float) -> List[Dict[str, object]]:
+        """Advance the stream's watermark; returns the decisions fired."""
+        return list(
+            self.request(
+                {"op": "decide", "session": session, "now_s": float(now_s)}
+            )["decisions"]
+        )
+
+    def close(
+        self, session: str, duration_s: Optional[float] = None
+    ) -> Dict[str, object]:
+        payload: Dict[str, object] = {"op": "close", "session": session}
+        if duration_s is not None:
+            payload["duration_s"] = float(duration_s)
+        return dict(self.request(payload)["result"])
+
+    def stats(self, session: Optional[str] = None) -> Dict[str, object]:
+        payload: Dict[str, object] = {"op": "stats"}
+        if session is not None:
+            payload["session"] = session
+        return dict(self.request(payload)["stats"])
+
+    def shutdown(self) -> None:
+        self.request({"op": "shutdown"})

@@ -1,0 +1,299 @@
+"""Multi-tenant session management for the streaming service.
+
+A :class:`SessionRegistry` owns N independent tenant streams, each a
+:class:`~repro.service.streaming.StreamingManager` with its own method
+and machine configuration.  The registry adds what a long-running
+service needs on top of a single stream:
+
+* **per-tenant configuration** -- every ``open_session`` picks its own
+  method, machine, warm-start prefill and warm-up window;
+* **idle eviction** -- sessions that have not been touched for
+  ``idle_timeout_s`` of *wall-clock* time are closed (their final
+  ``SimResult`` is folded into the rollup) and dropped; the clock is
+  injectable so tests do not sleep;
+* **monotonic-time validation** -- stream-time monotonicity is enforced
+  by the stream itself; the registry turns unknown/closed session ids
+  into clean errors instead of daemon crashes;
+* **telemetry rollups** -- :meth:`stats` aggregates accesses, decisions
+  and the energy of every completed stream across all tenants.
+
+All public methods are thread-safe: the daemon serves each tenant
+connection from its own thread.  A registry-wide lock guards the session
+map; a per-session lock serializes feeds into one stream, so concurrent
+tenants never contend with each other.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.config.machine import MachineConfig, scaled_machine
+from repro.core.joint import PeriodDecision
+from repro.errors import SimulationError
+from repro.policies.registry import MethodSpec
+from repro.service.streaming import StreamingManager
+from repro.sim.results import SimResult
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """One tenant's telemetry snapshot."""
+
+    session_id: str
+    method: str
+    replay_mode: str
+    created_s: float
+    last_active_s: float
+    watermark: float
+    accesses_fed: int
+    accesses_processed: int
+    batches: int
+    decision_count: int
+    memory_bytes: int
+    timeout_s: Optional[float]
+
+
+class _Session:
+    __slots__ = (
+        "session_id",
+        "method",
+        "stream",
+        "created_s",
+        "last_active_s",
+        "lock",
+    )
+
+    def __init__(
+        self,
+        session_id: str,
+        method: str,
+        stream: StreamingManager,
+        now_s: float,
+    ) -> None:
+        self.session_id = session_id
+        self.method = method
+        self.stream = stream
+        self.created_s = now_s
+        self.last_active_s = now_s
+        self.lock = threading.Lock()
+
+    def stats(self) -> SessionStats:
+        stream = self.stream
+        return SessionStats(
+            session_id=self.session_id,
+            method=self.method,
+            replay_mode=stream.replay_mode,
+            created_s=self.created_s,
+            last_active_s=self.last_active_s,
+            watermark=stream.watermark,
+            accesses_fed=stream.accesses_fed,
+            accesses_processed=stream.accesses_processed,
+            batches=stream.batches,
+            decision_count=len(stream.decisions),
+            memory_bytes=stream.memory_bytes,
+            timeout_s=stream.timeout_s,
+        )
+
+
+class SessionRegistry:
+    """N independent tenant streams behind one thread-safe front door.
+
+    Parameters
+    ----------
+    default_machine:
+        Machine used when ``open_session`` does not bring its own
+        (default: the paper's machine at the tractable 1024x scale).
+    idle_timeout_s:
+        Evict sessions idle longer than this (None disables eviction).
+        :meth:`evict_idle` runs the sweep; the daemon calls it on every
+        ``open_session`` and ``stats``.
+    max_sessions:
+        Hard cap on concurrently open sessions.
+    clock:
+        Wall-clock source (seconds); injectable so eviction tests do not
+        sleep.  Defaults to :func:`time.monotonic`.
+    """
+
+    def __init__(
+        self,
+        default_machine: Optional[MachineConfig] = None,
+        *,
+        idle_timeout_s: Optional[float] = None,
+        max_sessions: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if idle_timeout_s is not None and idle_timeout_s <= 0:
+            raise SimulationError("idle timeout must be positive")
+        if max_sessions <= 0:
+            raise SimulationError("max_sessions must be positive")
+        self.default_machine = default_machine or scaled_machine()
+        self.idle_timeout_s = idle_timeout_s
+        self.max_sessions = max_sessions
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, _Session] = {}
+        self._ids = itertools.count(1)
+        # Rollup of everything that has already finished.
+        self._closed_sessions = 0
+        self._evicted_sessions = 0
+        self._closed_energy_j = 0.0
+        self._closed_decisions = 0
+        self._closed_accesses = 0
+
+    # --- lifecycle --------------------------------------------------------
+
+    def open_session(
+        self,
+        method: Union[str, MethodSpec],
+        *,
+        machine: Optional[MachineConfig] = None,
+        prefill: Optional[Sequence[int]] = None,
+        warmup_s: float = 0.0,
+        expect_writes: bool = False,
+        session_id: Optional[str] = None,
+    ) -> str:
+        """Open a tenant stream; returns its session id."""
+        self.evict_idle()
+        stream = StreamingManager(
+            method,
+            machine or self.default_machine,
+            prefill=prefill,
+            warmup_s=warmup_s,
+            expect_writes=expect_writes,
+        )
+        now = self._clock()
+        with self._lock:
+            if session_id is None:
+                session_id = f"s{next(self._ids)}"
+            elif session_id in self._sessions:
+                raise SimulationError(f"session {session_id!r} already open")
+            if len(self._sessions) >= self.max_sessions:
+                raise SimulationError(
+                    f"session limit reached ({self.max_sessions})"
+                )
+            self._sessions[session_id] = _Session(
+                session_id, stream.spec.label, stream, now
+            )
+        return session_id
+
+    def feed(
+        self, session_id: str, times, pages, writes=None
+    ) -> List[PeriodDecision]:
+        """Feed one batch into a tenant stream; returns new decisions."""
+        session = self._get(session_id)
+        with session.lock:
+            decisions = session.stream.feed(times, pages, writes)
+            session.last_active_s = self._clock()
+        return decisions
+
+    def advance(self, session_id: str, now_s: float) -> List[PeriodDecision]:
+        """Advance a tenant stream's watermark without feeding data."""
+        session = self._get(session_id)
+        with session.lock:
+            decisions = session.stream.advance(now_s)
+            session.last_active_s = self._clock()
+        return decisions
+
+    def close(
+        self, session_id: str, duration_s: Optional[float] = None
+    ) -> SimResult:
+        """Close a tenant stream and fold it into the rollup."""
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+        if session is None:
+            raise SimulationError(f"unknown session {session_id!r}")
+        with session.lock:
+            result = session.stream.close(duration_s)
+        self._fold(session, result)
+        return result
+
+    def evict_idle(self, now_s: Optional[float] = None) -> List[str]:
+        """Close and drop sessions idle past the timeout; returns their ids.
+
+        An evicted stream is closed at its own default duration, so its
+        energy/decision telemetry still lands in the rollup.
+        """
+        if self.idle_timeout_s is None:
+            return []
+        now = self._clock() if now_s is None else now_s
+        with self._lock:
+            stale = [
+                s
+                for s in self._sessions.values()
+                if now - s.last_active_s > self.idle_timeout_s
+            ]
+            for session in stale:
+                del self._sessions[session.session_id]
+        evicted = []
+        for session in stale:
+            with session.lock:
+                try:
+                    result = session.stream.close()
+                except SimulationError:
+                    # An unclosable stream (e.g. warm-up past its default
+                    # duration) is still dropped; only the rollup loses it.
+                    result = None
+            self._fold(session, result, evicted=True)
+            evicted.append(session.session_id)
+        return evicted
+
+    # --- telemetry --------------------------------------------------------
+
+    def session_stats(self, session_id: str) -> SessionStats:
+        return self._get(session_id).stats()
+
+    def session_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+    def stats(self) -> Dict[str, object]:
+        """Registry-wide telemetry rollup across all tenants."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+            closed = self._closed_sessions
+            evicted = self._evicted_sessions
+            closed_energy = self._closed_energy_j
+            closed_decisions = self._closed_decisions
+            closed_accesses = self._closed_accesses
+        live = [s.stats() for s in sessions]
+        return {
+            "open_sessions": len(live),
+            "closed_sessions": closed,
+            "evicted_sessions": evicted,
+            "accesses_fed": sum(s.accesses_fed for s in live)
+            + closed_accesses,
+            "decisions": sum(s.decision_count for s in live)
+            + closed_decisions,
+            "closed_energy_j": closed_energy,
+            "sessions": {s.session_id: s for s in live},
+        }
+
+    # --- internals --------------------------------------------------------
+
+    def _get(self, session_id: str) -> _Session:
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise SimulationError(f"unknown session {session_id!r}")
+        return session
+
+    def _fold(
+        self,
+        session: _Session,
+        result: Optional[SimResult],
+        evicted: bool = False,
+    ) -> None:
+        with self._lock:
+            self._closed_sessions += 1
+            if evicted:
+                self._evicted_sessions += 1
+            self._closed_accesses += session.stream.accesses_fed
+            self._closed_decisions += len(session.stream.decisions)
+            if result is not None:
+                self._closed_energy_j += (
+                    result.memory_energy_j + result.disk_energy_j
+                )

@@ -1,6 +1,6 @@
 """Differential runner: fast paths vs brute-force oracles over fuzzed seeds.
 
-Eight checks, each pairing a production fast path with its oracle from
+Nine checks, each pairing a production fast path with its oracle from
 :mod:`repro.verify.oracles` (or, for ``optimal``, from
 :mod:`repro.verify.optimal`):
 
@@ -22,6 +22,9 @@ optimal    ``verify.optimal`` lazy-heap Belady + clairvoyant      linear-scan Be
            disk schedule                                          competitive closed
                                                                   form, one-sided
                                                                   OPT <= online bounds
+stream     ``service.streaming.StreamingManager`` incremental     the offline
+           feeds (ragged batch splits, idle advances)             ``run_method`` replay
+                                                                  of the same sequence
 ========== ====================================================== =========
 
 Each seed deterministically expands to a fuzzed workload
@@ -636,6 +639,106 @@ def check_epoch(case: VerifyCase) -> Optional[str]:
     return None
 
 
+#: Method families the stream check rotates through: the four joint
+#: ablations (stream-epoch), two profiled-replay fixed-timeout methods
+#: (stream-vectorized) and the disable model (stream-scalar).
+_STREAM_METHODS = (
+    "JOINT",
+    "JOINT-NC",
+    "JOINT-MEM",
+    "JOINT-TO",
+    "2TNAP",
+    "2TPD",
+    "2TDS",
+)
+
+
+def check_stream(case: VerifyCase) -> Optional[str]:
+    """Streaming replay vs the offline run of the same sequence, bit for bit.
+
+    The fuzzed stream is stretched across several manager periods, fed to
+    a :class:`~repro.service.streaming.StreamingManager` in random ragged
+    batches (empty batches and idle ``advance`` calls interleaved, and
+    occasionally an access snapped to an exact period boundary -- the
+    epoch-edge case), then closed at the offline run's duration.  Every
+    ``SimResult`` field must compare exactly equal to ``run_method`` on
+    the identical access sequence, and the stream must land on the
+    streaming twin of the offline replay mode.
+    """
+    from repro.service.streaming import StreamingManager
+    from repro.sim.prefill import warm_start_pages
+    from repro.sim.runner import run_method
+
+    if case.times.size == 0:
+        return None
+    machine = random_small_machine(case.seed)
+    rng = np.random.default_rng(case.seed ^ 0x57A3)
+    period = machine.manager.period_s
+    span = max(float(case.times[-1]), 1e-3)
+    times = case.times * (3.25 * period / span)
+    if times.size >= 2 and rng.random() < 0.7:
+        # Snap one access onto an exact boundary: the off-by-one epoch
+        # edge (side='left' vs 'right') only shows up on exact ties.
+        k = int(rng.integers(0, times.size))
+        times = times.copy()
+        times[k] = period * max(int(round(times[k] / period)), 1)
+        times = np.sort(times)
+    method = _STREAM_METHODS[int(rng.integers(0, len(_STREAM_METHODS)))]
+    writes = None
+    if rng.random() < 0.25:
+        writes = rng.random(times.size) < 0.3
+    trace = Trace(
+        times=times,
+        pages=case.pages,
+        page_size=machine.page_bytes,
+        writes=writes,
+    )
+    warm = bool(rng.integers(0, 2))
+    duration = max(int(np.ceil(float(times[-1]) / period)), 1) * period
+    prefill = warm_start_pages(trace) if warm else []
+    context = f"(method {method}, warm={warm}, writes={writes is not None})"
+
+    offline = run_method(
+        method, trace, machine, duration_s=float(duration), warm_start=warm
+    )
+    stream = StreamingManager(
+        method,
+        machine,
+        prefill=prefill,
+        expect_writes=writes is not None and bool(writes.any()),
+    )
+    n = times.size
+    cuts = sorted(rng.integers(0, n + 1, size=int(rng.integers(1, 8))).tolist())
+    bounds = [0] + cuts + [n]
+    for lo, hi in zip(bounds, bounds[1:]):
+        stream.feed(
+            times[lo:hi],
+            case.pages[lo:hi],
+            None if writes is None else writes[lo:hi],
+        )
+        if rng.random() < 0.4:
+            # Idle advance within the gap to the next batch: boundaries
+            # that the fire rule allows must not change the outcome.
+            next_first = float(times[hi]) if hi < n else float(duration)
+            gap = next_first - stream.watermark
+            stream.advance(stream.watermark + rng.random() * max(gap, 0.0))
+    result = stream.close(float(duration))
+
+    expected_mode = f"stream-{offline.replay_mode}"
+    if result.replay_mode != expected_mode:
+        return (
+            f"stream replay mode {result.replay_mode} != expected "
+            f"{expected_mode} {context}"
+        )
+    for f in dataclasses.fields(result):
+        if f.name == "replay_mode":
+            continue
+        diff = deep_diff(getattr(result, f.name), getattr(offline, f.name), f.name)
+        if diff is not None:
+            return f"{diff} {context}"
+    return None
+
+
 def _timeouts_equal(a: Optional[float], b: Optional[float]) -> bool:
     if a is None or b is None:
         return a is None and b is None
@@ -652,6 +755,7 @@ CHECKS: Dict[str, Callable[[VerifyCase], Optional[str]]] = {
     "kernels": check_kernels,
     "epoch": check_epoch,
     "optimal": check_optimal,
+    "stream": check_stream,
 }
 
 

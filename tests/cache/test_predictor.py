@@ -166,6 +166,17 @@ class TestRecordArray:
         predictor.record_array(np.empty(0), np.empty(0, dtype=np.int64))
         assert len(predictor) == 0
 
+    def test_empty_batch_between_batches_is_a_no_op(self):
+        """Streaming feeds may be empty; state must carry across them."""
+        predictor = ResizePredictor()
+        predictor.record_array(np.array([0.0, 1.0]), np.array([0, 3]))
+        predictor.record_array(np.empty(0), np.empty(0, dtype=np.int64))
+        predictor.record_array(np.array([2.0]), np.array([1]))
+        assert len(predictor) == 3
+        # An empty batch must not reset the monotonicity watermark.
+        with pytest.raises(SimulationError):
+            predictor.record_array(np.array([1.5]), np.array([0]))
+
     def test_rejects_time_regression_across_batches(self):
         predictor = ResizePredictor()
         predictor.record(5.0, -1)

@@ -186,6 +186,22 @@ class TestAccessArray:
         out = StackDistanceTracker().access_array([])
         assert out.size == 0
 
+    def test_empty_batch_between_batches_is_a_no_op(self):
+        """The streaming service feeds whatever batches arrive, including
+        empty ones -- they must not perturb the tracker state."""
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        pages = rng.integers(0, 25, 200)
+        interleaved = StackDistanceTracker()
+        parts = [
+            interleaved.access_array(pages[:80]),
+            interleaved.access_array(pages[:0]),
+            interleaved.access_array(pages[80:]),
+        ]
+        straight = StackDistanceTracker().access_array(pages)
+        assert np.concatenate(parts).tolist() == straight.tolist()
+
 
 class TestLRUConsistency:
     """distance < m  <=>  hit in an m-page LRU cache."""

@@ -38,6 +38,7 @@ def test_every_example_is_covered():
         "disk_array_layout.py",
         "decision_anatomy.py",
         "campaign_grid.py",
+        "serve_tenants.py",
     }
 
 

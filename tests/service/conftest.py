@@ -1,0 +1,35 @@
+"""Shared workload for the service tests: short periods, small trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.specweb import generate_trace
+from repro.units import GB, MB
+
+
+@pytest.fixture(scope="package")
+def service_trace(fast_machine):
+    """Three fast-machine periods of accesses (read-only)."""
+    return generate_trace(
+        dataset_bytes=1 * GB,
+        data_rate=50 * MB,
+        duration_s=3 * fast_machine.manager.period_s,
+        page_size=fast_machine.page_bytes,
+        seed=7,
+        file_scale=fast_machine.scale,
+    )
+
+
+@pytest.fixture(scope="package")
+def write_trace(fast_machine):
+    """Same shape with a write mix (forces the scalar stream path)."""
+    return generate_trace(
+        dataset_bytes=1 * GB,
+        data_rate=50 * MB,
+        duration_s=3 * fast_machine.manager.period_s,
+        page_size=fast_machine.page_bytes,
+        seed=8,
+        file_scale=fast_machine.scale,
+        write_fraction=0.3,
+    )

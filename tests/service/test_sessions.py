@@ -1,0 +1,186 @@
+"""SessionRegistry: lifecycle, idle eviction, rollups, thread-safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.service.sessions import SessionRegistry
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture()
+def registry(fast_machine):
+    return SessionRegistry(fast_machine)
+
+
+def feed_all(registry, sid, trace, batch=1000):
+    decisions = []
+    for lo in range(0, trace.num_accesses, batch):
+        decisions += registry.feed(
+            sid, trace.times[lo : lo + batch], trace.pages[lo : lo + batch]
+        )
+    return decisions
+
+
+class TestLifecycle:
+    def test_auto_session_ids_are_unique(self, registry):
+        a = registry.open_session("JOINT")
+        b = registry.open_session("2TNAP")
+        assert a != b
+        assert registry.session_ids() == sorted([a, b])
+
+    def test_explicit_id_and_duplicate_rejected(self, registry):
+        registry.open_session("JOINT", session_id="web-1")
+        with pytest.raises(SimulationError):
+            registry.open_session("JOINT", session_id="web-1")
+
+    def test_unknown_session_errors(self, registry):
+        with pytest.raises(SimulationError):
+            registry.feed("nope", [1.0], [0])
+        with pytest.raises(SimulationError):
+            registry.advance("nope", 1.0)
+        with pytest.raises(SimulationError):
+            registry.close("nope")
+        with pytest.raises(SimulationError):
+            registry.session_stats("nope")
+
+    def test_close_removes_session(self, registry, service_trace):
+        sid = registry.open_session("JOINT")
+        feed_all(registry, sid, service_trace)
+        result = registry.close(sid)
+        assert result.total_energy_j > 0
+        assert registry.session_ids() == []
+        with pytest.raises(SimulationError):
+            registry.close(sid)
+
+    def test_max_sessions_cap(self, fast_machine):
+        registry = SessionRegistry(fast_machine, max_sessions=2)
+        registry.open_session("JOINT")
+        registry.open_session("JOINT")
+        with pytest.raises(SimulationError):
+            registry.open_session("JOINT")
+
+    def test_per_tenant_machine(self, registry, fast_machine):
+        sid = registry.open_session("JOINT", machine=fast_machine.scaled(2))
+        stats = registry.session_stats(sid)
+        assert stats.memory_bytes > 0
+
+
+class TestEviction:
+    def test_idle_sessions_evicted_and_rolled_up(
+        self, fast_machine, service_trace
+    ):
+        clock = FakeClock()
+        registry = SessionRegistry(
+            fast_machine, idle_timeout_s=60.0, clock=clock
+        )
+        idle = registry.open_session("JOINT", session_id="idle")
+        feed_all(registry, idle, service_trace)
+        clock.now = 30.0
+        active = registry.open_session("JOINT", session_id="active")
+        registry.feed(active, service_trace.times[:5], service_trace.pages[:5])
+
+        # idle last touched at t=0, active at t=30: at t=80 only the
+        # first has been stale longer than the 60s timeout.
+        clock.now = 80.0
+        assert registry.evict_idle() == ["idle"]
+        assert registry.session_ids() == ["active"]
+
+        stats = registry.stats()
+        assert stats["evicted_sessions"] == 1
+        assert stats["closed_sessions"] == 1
+        assert stats["closed_energy_j"] > 0
+
+    def test_evicting_empty_session_is_clean(self, fast_machine):
+        """A never-fed session closes at one default period of idle."""
+        clock = FakeClock()
+        registry = SessionRegistry(
+            fast_machine, idle_timeout_s=10.0, clock=clock
+        )
+        registry.open_session("JOINT", session_id="empty")
+        clock.now = 100.0
+        assert registry.evict_idle() == ["empty"]
+        stats = registry.stats()
+        assert stats["closed_sessions"] == 1
+        assert stats["evicted_sessions"] == 1
+        # The machine idled for one simulated period: real, tiny energy.
+        assert stats["closed_energy_j"] > 0.0
+
+    def test_open_session_sweeps(self, fast_machine):
+        clock = FakeClock()
+        registry = SessionRegistry(
+            fast_machine, idle_timeout_s=10.0, clock=clock
+        )
+        registry.open_session("JOINT", session_id="old")
+        clock.now = 100.0
+        registry.open_session("JOINT", session_id="new")
+        assert registry.session_ids() == ["new"]
+
+    def test_bad_idle_timeout_rejected(self, fast_machine):
+        with pytest.raises(SimulationError):
+            SessionRegistry(fast_machine, idle_timeout_s=0.0)
+
+
+class TestTelemetry:
+    def test_session_stats_track_stream(self, registry, service_trace):
+        sid = registry.open_session("JOINT")
+        decisions = feed_all(registry, sid, service_trace)
+        stats = registry.session_stats(sid)
+        assert stats.method == "JOINT"
+        assert stats.replay_mode == "stream-epoch"
+        assert stats.accesses_fed == service_trace.num_accesses
+        assert stats.decision_count == len(decisions)
+        assert stats.watermark == float(service_trace.times[-1])
+
+    def test_rollup_spans_open_and_closed(self, registry, service_trace):
+        a = registry.open_session("JOINT")
+        b = registry.open_session("JOINT")
+        feed_all(registry, a, service_trace)
+        feed_all(registry, b, service_trace)
+        result = registry.close(a)
+        stats = registry.stats()
+        assert stats["open_sessions"] == 1
+        assert stats["closed_sessions"] == 1
+        assert stats["accesses_fed"] == 2 * service_trace.num_accesses
+        assert stats["closed_energy_j"] == pytest.approx(
+            result.total_energy_j
+        )
+        assert set(stats["sessions"]) == {b}
+
+
+def test_concurrent_tenants_are_isolated(
+    fast_machine, service_trace
+):
+    """8 threads stream concurrently; every result is bit-identical."""
+    registry = SessionRegistry(fast_machine)
+    results = {}
+    errors = []
+
+    def tenant(i):
+        try:
+            sid = registry.open_session("JOINT", session_id=f"t{i}")
+            feed_all(registry, sid, service_trace, batch=700)
+            results[i] = registry.close(sid)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=tenant, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors[0]
+    assert len(results) == 8
+    energies = {r.total_energy_j for r in results.values()}
+    assert len(energies) == 1  # same trace -> identical accounting
+    assert registry.stats()["closed_sessions"] == 8
