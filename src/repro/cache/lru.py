@@ -62,6 +62,20 @@ class LRUCache:
             self._pages[page] = None
         return False
 
+    def touch_run(self, pages: Iterable[int]) -> None:
+        """Refresh recency for a run of *resident* pages, in order.
+
+        Equivalent to calling :meth:`access` on each page when every one
+        is already cached (a pure hit run): no evictions, no loads, and
+        ``last_evicted`` ends up None.  Raises ``KeyError`` on a
+        non-resident page -- the vectorized write-replay kernel uses
+        that as a loud signal that its hit classification was wrong.
+        """
+        move = self._pages.move_to_end
+        for page in pages:
+            move(page)
+        self.last_evicted = None
+
     def peek(self, page: int) -> bool:
         """True if resident, without updating recency."""
         return page in self._pages

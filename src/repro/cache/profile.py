@@ -45,12 +45,33 @@ from repro.errors import SimulationError
 #: Bump when the profile payload layout changes (invalidates old entries).
 PROFILE_SCHEMA = 1
 
-#: In-process memo capacity (profiles are O(trace) sized; keep few).
-_MEMO_CAPACITY = 8
+#: Default in-process memo capacity (profiles are O(trace) sized).
+DEFAULT_MEMO_CAPACITY = 8
+
+#: Environment override for the memo capacity.  Cross-trace grid sweeps
+#: (:mod:`repro.campaign.gridscan`) revisit many profiles round-robin,
+#: so the 8-entry default thrashes; raise it for such runs.
+PROFILE_MEMO_ENV = "REPRO_PROFILE_MEMO"
 
 #: Environment switch: set to ``0``/``off`` to disable profile use and
 #: force every replay through the scalar loop (debugging escape hatch).
 KERNELS_ENV = "REPRO_KERNELS"
+
+
+def memo_capacity() -> int:
+    """The in-process memo's entry limit (``$REPRO_PROFILE_MEMO``).
+
+    Read per call so tests and long-lived services can retune without a
+    restart.  Invalid or non-positive values fall back to the default.
+    """
+    raw = os.environ.get(PROFILE_MEMO_ENV, "").strip()
+    if not raw:
+        return DEFAULT_MEMO_CAPACITY
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_MEMO_CAPACITY
+    return value if value > 0 else DEFAULT_MEMO_CAPACITY
 
 
 def kernels_enabled() -> bool:
@@ -88,6 +109,37 @@ class TraceProfile:
         """
         depths = self.depths if length is None else self.depths[:length]
         return (depths >= 0) & (depths < capacity_pages)
+
+    def sorted_depths(self) -> np.ndarray:
+        """The depths sorted ascending, cached after the first call.
+
+        Cold accesses (``-1``) sort first, so the hit count of *every*
+        capacity is two ``searchsorted`` calls away -- the backbone of
+        the cross-trace grid sweeps (:mod:`repro.campaign.gridscan`).
+        """
+        cached = getattr(self, "_sorted_depths", None)
+        if cached is None:
+            cached = np.sort(self.depths)
+            cached.setflags(write=False)
+            object.__setattr__(self, "_sorted_depths", cached)
+        return cached
+
+    def hit_counts(self, capacities_pages) -> np.ndarray:
+        """Hits at each LRU capacity (vectorized Mattson counting).
+
+        ``capacities_pages`` is an array of page capacities; the result
+        aligns with it.  An access of depth ``d`` hits capacity ``m``
+        iff ``0 <= d < m``, so the count is the number of sorted depths
+        inside ``[0, m)``.
+        """
+        capacities = np.asarray(capacities_pages, dtype=np.int64)
+        ordered = self.sorted_depths()
+        warm_lo = int(np.searchsorted(ordered, 0, side="left"))
+        return np.searchsorted(ordered, capacities, side="left") - warm_lo
+
+    def miss_counts(self, capacities_pages) -> np.ndarray:
+        """Misses (cold + over-capacity) at each LRU capacity."""
+        return len(self) - self.hit_counts(capacities_pages)
 
     def to_payload(self) -> Dict[str, Any]:
         """JSON-safe encoding for the campaign result cache."""
@@ -222,7 +274,8 @@ def clear_memo() -> None:
 def _memo_put(key: str, profile: TraceProfile) -> None:
     _memo[key] = profile
     _memo.move_to_end(key)
-    while len(_memo) > _MEMO_CAPACITY:
+    capacity = memo_capacity()
+    while len(_memo) > capacity:
         _memo.popitem(last=False)
 
 

@@ -8,6 +8,7 @@ task model and cache-key definition.
 """
 
 from repro.campaign.cache import CACHE_ENV, NullCache, ResultCache, default_cache_root
+from repro.campaign.gridscan import GridScanResult, grid_scan, naive_grid_scan
 from repro.campaign.executor import (
     CampaignReport,
     CampaignStats,
@@ -40,6 +41,7 @@ __all__ = [
     "CampaignStats",
     "ExperimentTask",
     "GridPoint",
+    "GridScanResult",
     "NullCache",
     "ResultCache",
     "RunJournal",
@@ -54,7 +56,9 @@ __all__ = [
     "default_cache_root",
     "digest",
     "execute_task",
+    "grid_scan",
     "grid_tasks",
+    "naive_grid_scan",
     "read_events",
     "resolve_methods",
     "run_campaign",

@@ -1,0 +1,213 @@
+"""Cross-trace batched candidate grids: one tensorized pass per sweep.
+
+The paper's joint policy search scores every (memory size x disk
+timeout) candidate on every workload.  Done naively that is
+``traces x sizes x timeouts`` independent evaluations, each re-deriving
+the trace's hit/miss outcomes from scratch.  But the expensive part --
+the stack-distance profile -- depends only on the trace, and the
+timeout axis depends only on the idle-gap distribution of each
+``(trace, size)`` pair.  :func:`grid_scan` therefore factors the sweep:
+
+* one shared :class:`~repro.cache.profile.TraceProfile` per trace (via
+  the process memo / result cache -- raise ``$REPRO_PROFILE_MEMO`` for
+  wide sweeps, see :func:`repro.cache.profile.memo_capacity`);
+* one sorted-depth Mattson count for *all* memory sizes at once
+  (:meth:`TraceProfile.hit_counts`);
+* one miss-gap array per ``(trace, size)``, with every timeout scored
+  against it as a single broadcast reduction.
+
+The result is **bit-identical** to :func:`naive_grid_scan`, the
+per-cell reference evaluator (``tests/campaign/test_gridscan.py``
+asserts exact equality): the broadcast ``max(gap - timeout, 0)`` rows
+reduce in the same pairwise order numpy uses for each cell's 1-D sum,
+and the count fields are integers.
+
+The scored quantity is the paper's spin-down arithmetic applied to the
+profile-predicted miss stream: a disk with timeout ``t`` spins down
+once per idle gap longer than ``t``, sleeps the remainder of each such
+gap, and each spin-down costs the transition energy.  It is an
+*estimator* for ranking candidates (it prices neither latency nor
+memory energy), not a replacement for the full simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.cache.profile import get_profile
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class GridScanResult:
+    """Per-cell scores of a (trace x memory size x timeout) sweep."""
+
+    #: Candidate cache sizes, bytes -- axis 1 of the tensors.
+    memory_bytes: np.ndarray
+    #: Candidate spin-down timeouts, seconds -- axis 2 of the tensors.
+    timeouts_s: np.ndarray
+    #: Profile content keys, one per trace -- axis 0 of the tensors.
+    trace_keys: Tuple[str, ...]
+    #: Predicted disk misses, shape ``(traces, sizes)``.
+    miss_counts: np.ndarray
+    #: Disk spin-downs, shape ``(traces, sizes, timeouts)``.
+    spin_downs: np.ndarray
+    #: Disk standby seconds, shape ``(traces, sizes, timeouts)``.
+    sleep_s: np.ndarray
+    #: Estimated net disk savings, joules, same shape.
+    est_savings_j: np.ndarray
+
+    @property
+    def num_traces(self) -> int:
+        return len(self.trace_keys)
+
+    def total_savings(self) -> np.ndarray:
+        """Fleet view: savings summed over traces, shape ``(S, T)``."""
+        return self.est_savings_j.sum(axis=0)
+
+    def best_candidate(self) -> Tuple[int, float]:
+        """The ``(memory_bytes, timeout_s)`` maximizing total savings."""
+        totals = self.total_savings()
+        flat = int(np.argmax(totals))
+        s, t = np.unravel_index(flat, totals.shape)
+        return int(self.memory_bytes[s]), float(self.timeouts_s[t])
+
+
+def _candidate_arrays(machine, memory_bytes, timeouts_s):
+    sizes = np.asarray(list(memory_bytes), dtype=np.int64)
+    taus = np.asarray(list(timeouts_s), dtype=np.float64)
+    if sizes.size == 0 or taus.size == 0:
+        raise SimulationError("grid needs at least one size and one timeout")
+    if np.any(sizes < 0):
+        raise SimulationError("memory sizes must be non-negative")
+    if np.any(taus < 0):
+        raise SimulationError("timeouts must be non-negative")
+    page = machine.page_bytes
+    if np.any(sizes % page):
+        raise SimulationError("memory sizes must be whole pages")
+    return sizes, taus, sizes // page
+
+
+def _miss_gaps(trace, profile, capacity_pages: int) -> np.ndarray:
+    """Idle gaps the disk sees under an LRU cache of ``capacity_pages``.
+
+    Gap boundaries are the predicted miss times, plus the observation
+    edges at 0 and the trace's last access (the paper's idle-period
+    bookkeeping).  Shared verbatim by the tensor and naive paths so
+    their floating point cannot diverge.
+    """
+    hits = profile.hit_mask(capacity_pages, trace.num_accesses)
+    miss_times = trace.times[~hits]
+    edges = np.concatenate(([0.0], miss_times, [trace.duration_s]))
+    return np.diff(edges)
+
+
+def grid_scan(
+    traces: Sequence,
+    machine,
+    memory_bytes: Sequence[int],
+    timeouts_s: Sequence[float],
+    warm_start: bool = True,
+    cache=None,
+) -> GridScanResult:
+    """Score every (trace, memory size, timeout) cell in one batched pass.
+
+    ``cache`` optionally overrides the process-wide profile backend
+    (see :func:`repro.cache.profile.get_profile`).
+    """
+    sizes, taus, capacities = _candidate_arrays(
+        machine, memory_bytes, timeouts_s
+    )
+    n_traces = len(traces)
+    if n_traces == 0:
+        raise SimulationError("grid needs at least one trace")
+
+    disk = machine.disk
+    static_w = disk.static_power_watts
+    transition_j = disk.transition_energy_joules
+
+    keys = []
+    misses = np.empty((n_traces, sizes.size), dtype=np.int64)
+    spins = np.empty((n_traces, sizes.size, taus.size), dtype=np.int64)
+    sleeps = np.empty((n_traces, sizes.size, taus.size), dtype=np.float64)
+    for r, trace in enumerate(traces):
+        kwargs = {} if cache is None else {"cache": cache}
+        profile = get_profile(trace, warm_start=warm_start, **kwargs)
+        keys.append(profile.key)
+        misses[r] = profile.miss_counts(capacities)
+        for s, capacity in enumerate(capacities.tolist()):
+            gaps = _miss_gaps(trace, profile, capacity)
+            # One broadcast per (trace, size): every timeout's sleep and
+            # spin-down count falls out of a single (T, gaps) reduction.
+            excess = np.maximum(gaps[None, :] - taus[:, None], 0.0)
+            sleeps[r, s] = excess.sum(axis=1)
+            spins[r, s] = (gaps[None, :] > taus[:, None]).sum(axis=1)
+    savings = static_w * sleeps - spins * transition_j
+    return GridScanResult(
+        memory_bytes=sizes,
+        timeouts_s=taus,
+        trace_keys=tuple(keys),
+        miss_counts=misses,
+        spin_downs=spins,
+        sleep_s=sleeps,
+        est_savings_j=savings,
+    )
+
+
+def naive_grid_scan(
+    traces: Sequence,
+    machine,
+    memory_bytes: Sequence[int],
+    timeouts_s: Sequence[float],
+    warm_start: bool = True,
+    cache=None,
+) -> GridScanResult:
+    """Reference evaluator: every cell recomputed independently.
+
+    Exists to pin :func:`grid_scan` down -- the differential test
+    asserts exact (bitwise) equality between the two -- and as the
+    baseline the ``fullres`` bench suite measures the batched pass
+    against.
+    """
+    sizes, taus, capacities = _candidate_arrays(
+        machine, memory_bytes, timeouts_s
+    )
+    n_traces = len(traces)
+    if n_traces == 0:
+        raise SimulationError("grid needs at least one trace")
+
+    disk = machine.disk
+    static_w = disk.static_power_watts
+    transition_j = disk.transition_energy_joules
+
+    keys = []
+    misses = np.empty((n_traces, sizes.size), dtype=np.int64)
+    spins = np.empty((n_traces, sizes.size, taus.size), dtype=np.int64)
+    sleeps = np.empty((n_traces, sizes.size, taus.size), dtype=np.float64)
+    savings = np.empty_like(sleeps)
+    for r, trace in enumerate(traces):
+        kwargs = {} if cache is None else {"cache": cache}
+        for s, capacity in enumerate(capacities.tolist()):
+            for t, tau in enumerate(taus.tolist()):
+                profile = get_profile(trace, warm_start=warm_start, **kwargs)
+                gaps = _miss_gaps(trace, profile, capacity)
+                hits = profile.hit_mask(capacity, trace.num_accesses)
+                misses[r, s] = trace.num_accesses - int(hits.sum())
+                sleep = float(np.maximum(gaps - tau, 0.0).sum())
+                spin = int((gaps > tau).sum())
+                sleeps[r, s, t] = sleep
+                spins[r, s, t] = spin
+                savings[r, s, t] = static_w * sleep - spin * transition_j
+        keys.append(get_profile(trace, warm_start=warm_start, **kwargs).key)
+    return GridScanResult(
+        memory_bytes=sizes,
+        timeouts_s=taus,
+        trace_keys=tuple(keys),
+        miss_counts=misses,
+        spin_downs=spins,
+        sleep_s=sleeps,
+        est_savings_j=savings,
+    )

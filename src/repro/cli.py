@@ -41,6 +41,14 @@ from repro.policies.registry import standard_methods
 from repro.sim.runner import run_method
 from repro.units import GB, MB
 
+#: Shared help for the --scale knob: the page-granularity divisor.
+_SCALE_HELP = (
+    "page-granularity divisor: pages are scale x 4 kB, shrinking the "
+    "per-access arrays by the same factor; 1 = full paper resolution "
+    "(~10^7 accesses per 400 s at 100 MB/s -- see docs/PERFORMANCE.md), "
+    "default 1024 keeps quick runs in milliseconds"
+)
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -112,7 +120,9 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--popularity", type=float, default=0.1)
     simulate.add_argument("--periods", type=int, default=5)
     simulate.add_argument("--warmup-periods", type=int, default=1)
-    simulate.add_argument("--scale", type=int, default=1024)
+    simulate.add_argument(
+        "--scale", type=int, default=1024, help=_SCALE_HELP
+    )
     simulate.add_argument("--seed", type=int, default=42)
 
     regret = sub.add_parser(
@@ -133,7 +143,7 @@ def _build_parser() -> argparse.ArgumentParser:
     regret.add_argument(
         "--warmup-periods", type=int, default=0, help=argparse.SUPPRESS
     )
-    regret.add_argument("--scale", type=int, default=1024)
+    regret.add_argument("--scale", type=int, default=1024, help=_SCALE_HELP)
     regret.add_argument("--seed", type=int, default=42)
 
     report = sub.add_parser(
@@ -149,7 +159,7 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--popularity", type=float, default=0.1)
     report.add_argument("--periods", type=int, default=5)
     report.add_argument("--warmup-periods", type=int, default=1)
-    report.add_argument("--scale", type=int, default=1024)
+    report.add_argument("--scale", type=int, default=1024, help=_SCALE_HELP)
     report.add_argument("--seed", type=int, default=42)
 
     trace = sub.add_parser(
@@ -163,7 +173,7 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--rate-mb", type=float, default=100.0)
     trace.add_argument("--popularity", type=float, default=0.1)
     trace.add_argument("--duration-s", type=float, default=1800.0)
-    trace.add_argument("--scale", type=int, default=1024)
+    trace.add_argument("--scale", type=int, default=1024, help=_SCALE_HELP)
     trace.add_argument("--seed", type=int, default=42)
     trace.add_argument("--save", help="write the trace to this .npz path")
 
@@ -182,7 +192,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--checks",
         help=(
             "comma-separated subset (stack,intervals,predictor,joint,"
-            "energy,kernels,epoch,optimal,stream)"
+            "energy,kernels,epoch,optimal,stream,writes)"
         ),
     )
     verify.add_argument(
@@ -214,7 +224,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=["micro", "sweep", "joint", "service", "all"],
+        choices=["micro", "sweep", "joint", "service", "fullres", "all"],
         default="all",
         help="which suite(s) to run (default: all)",
     )

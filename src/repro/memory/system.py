@@ -115,6 +115,25 @@ class MemorySystem:
         del pages
         self.charge_accesses(float(times[hi - 1]), hi - lo)
 
+    def consume_hit_run_rw(self, times, pages, writes, lo: int, hi: int) -> None:
+        """Account a hit run of a write-carrying trace, keeping the LRU live.
+
+        Exactly what ``hi - lo`` consecutive :meth:`access_rw` hits would
+        have done: the energy of :meth:`charge_hit_run`, every page's
+        recency refreshed in order, and the write hits' pages marked
+        dirty.  Hits never evict, so no dirty page can spill to the
+        flush queue mid-run, and ``flush_all`` sorts its sweep, so
+        batching the dirty marks into one set update is order-exact.
+        Only valid when every access in the run is a hit on the live
+        cache (:meth:`LRUCache.touch_run` raises otherwise).
+        """
+        self.charge_hit_run(times, pages, lo, hi)
+        run_pages = pages[lo:hi]
+        self.cache.touch_run(run_pages.tolist())
+        flags = writes[lo:hi]
+        if flags.any():
+            self._dirty.update(run_pages[flags].tolist())
+
     # --- interface ----------------------------------------------------------------
 
     def access(self, now: float, page: int) -> bool:
@@ -501,6 +520,67 @@ class DisableMemorySystem(MemorySystem):
             return True
         self._load(now, page)
         return False
+
+    def consume_hit_run(self, times, pages, lo: int, hi: int) -> int:
+        """Consume the longest pure-hit prefix of ``[lo, hi)``; return its end.
+
+        A *pure hit* touches a resident page whose bank has not passed
+        its lazy disable deadline: :meth:`access` would charge dynamic
+        energy, accrue the bank's nap power up to ``now``, refresh the
+        bank's idle clock and the page's recency, and return True --
+        nothing else.  This scans accesses in order, performing exactly
+        those operations (the accrual inlined with the identical
+        floating-point sequence), and stops at the first access that
+        would miss, invalidate a disabled bank, or resurrect one; the
+        caller replays that access through the live :meth:`access`.
+
+        The stack-distance profile cannot classify these runs -- bank
+        invalidations shrink the true reuse depths -- so the residency
+        oracle here is the live ``_page_bank`` map itself.
+        """
+        pb_get = self._page_bank.get
+        last = self._last_access
+        acc = self._accounted_until
+        timeout = self.timeout_s
+        nap_power = self.spec.bank_power("nap")
+        energy = self.energy
+        static = energy.static_j
+        move = self.cache._pages.move_to_end
+        pos = lo
+        stopped = False
+        # Convert to Python scalars in geometrically growing blocks: the
+        # run usually ends after a handful of hits (miss-heavy spans), so
+        # a whole-tail -- or even fixed-large-block -- tolist() per call
+        # pays for thousands of elements the loop never reads.  Doubling
+        # keeps the conversion within 4x of the consumed prefix while
+        # still amortizing long runs.
+        block = 32
+        while pos < hi and not stopped:
+            stop = min(pos + block, hi)
+            block = min(block * 2, 1 << 16)
+            for now, page in zip(
+                times[pos:stop].tolist(), pages[pos:stop].tolist()
+            ):
+                bank = pb_get(page)
+                if bank is None or now > last[bank] + timeout:
+                    stopped = True
+                    break
+                # _accrue_bank inlined: the disable deadline is >= now
+                # here, so the nap stretch ends at now.
+                start = acc[bank]
+                if now > start:
+                    static += nap_power * (now - start)
+                    acc[bank] = now
+                last[bank] = now
+                move(page)
+                pos += 1
+        energy.static_j = static
+        count = pos - lo
+        if count:
+            self.cache.last_evicted = None
+            self._advance_clock(float(times[pos - 1]))
+            energy.add_accesses(count, self.spec.dynamic_energy_per_access)
+        return pos
 
     def _load(self, now: float, page: int) -> None:
         evicted = self.cache.load(page)

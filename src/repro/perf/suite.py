@@ -17,6 +17,14 @@ Four suites, each emitting one JSON document:
   and the one-pass ``ResizePredictor.predict`` vs a kept-verbatim copy
   of the old per-candidate loop on a full candidate grid
   (``end_period_speedup``).
+* ``fullres`` (``BENCH_fullres.json``) -- the paper-scale pipeline: the
+  chunked generate-and-replay path vs its materialized twin (wall-clock
+  parity and a tracemalloc peak-memory ratio, both gated), the write
+  and disable replay kernels vs their scalar loops, and the batched
+  cross-trace grid sweep (:mod:`repro.campaign.gridscan`) vs the
+  per-cell reference.  The memory entries use a ``scale=1`` workload so
+  the materialized arrays actually dominate; everything else runs at
+  the standard bench scale.
 * ``service`` (``BENCH_service.json``) -- the streaming subsystem:
   single-tenant feed throughput (accesses/s through a
   :class:`~repro.service.streaming.StreamingManager`), concurrent
@@ -54,7 +62,7 @@ from repro.units import GB, MB
 #: Bump when the document layout changes (stale baselines stop gating).
 BENCH_SCHEMA = 1
 
-SUITE_NAMES = ("micro", "sweep", "joint", "service")
+SUITE_NAMES = ("micro", "sweep", "joint", "service", "fullres")
 
 #: Concurrent tenant streams the service suite drives.
 SERVICE_TENANTS = 8
@@ -424,11 +432,239 @@ def _suite_service(quick: bool) -> Dict[str, Any]:
     return entries
 
 
+def _memory_entry(peak_bytes: int, **meta: Any) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "kind": "memory",
+        "peak_bytes": int(peak_bytes),
+        "peak_mb": round(peak_bytes / (1024 * 1024), 2),
+    }
+    entry.update(meta)
+    return entry
+
+
+def _traced_peak(fn: Callable[[], Any]) -> int:
+    """Peak traced allocation (bytes) while ``fn`` runs, via tracemalloc."""
+    import gc
+    import tracemalloc
+
+    gc.collect()
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return int(peak)
+
+
+def _suite_fullres(quick: bool) -> Dict[str, Any]:
+    from repro.campaign.gridscan import grid_scan, naive_grid_scan
+    from repro.cache.profile import KERNELS_ENV, get_profile
+    from repro.sim.runner import run_chunked
+    from repro.traces.specweb import generate_trace_chunked
+    from repro.traces.suites import build
+
+    repeats = 2 if quick else 3
+    entries: Dict[str, Any] = {}
+
+    # The suite's workhorse: a finer machine (scale 64) and a
+    # hit-dominated ~240k-access workload.  Both fast paths must run the
+    # exact scalar sequence on every miss, so miss-heavy traces would
+    # measure that shared cost, not the kernels; the hit runs are where
+    # vectorized consumption pays.
+    kernel_machine = scaled_machine(64)
+    kernel_kwargs = dict(
+        dataset_bytes=512 * MB,
+        data_rate=100 * MB,
+        duration_s=600.0 if quick else 1200.0,
+        page_size=kernel_machine.page_bytes,
+        seed=3,
+        file_scale=kernel_machine.scale,
+    )
+
+    # -- chunked pipeline vs materialized twin: wall-clock parity ------
+    # Full pipelines on both sides (generate + replay, cold start), same
+    # seed, so the ratio says "chunking is free", not just "replay is".
+    def materialized_pipeline():
+        full = generate_trace(**kernel_kwargs)
+        return run_method("2TDS-128GB", full, kernel_machine, warm_start=False)
+
+    def chunked_pipeline():
+        source = generate_trace_chunked(chunk_accesses=1 << 20, **kernel_kwargs)
+        return run_chunked("2TDS-128GB", source, kernel_machine)
+
+    pipeline_accesses = int(
+        generate_trace_chunked(
+            chunk_accesses=1 << 20, **kernel_kwargs
+        ).num_accesses
+    )
+    # Both pipelines churn ~240k-access arrays; collect between the two
+    # timed windows so one side's garbage doesn't bill the other.
+    import gc
+
+    gc.collect()
+    materialized_wall = _best_of(materialized_pipeline, max(repeats, 3))
+    entries["pipeline_materialized"] = _time_entry(
+        materialized_wall, pipeline_accesses
+    )
+    gc.collect()
+    chunked_wall = _best_of(chunked_pipeline, max(repeats, 3))
+    entries["pipeline_chunked"] = _time_entry(chunked_wall, pipeline_accesses)
+    entries["chunked_replay_parity"] = _ratio_entry(
+        materialized_wall / chunked_wall,
+        "materialized / chunked generate-and-replay wall-clock, same seed "
+        "(~1.0: chunking must not cost throughput)",
+    )
+
+    # -- chunked pipeline vs materialized twin: peak memory ------------
+    # A scale=1 workload, so the per-access arrays (not the simulator
+    # state) dominate the materialized side's footprint.
+    fine = scaled_machine(1)
+    fine_kwargs = dict(
+        dataset_bytes=256 * MB,
+        data_rate=100 * MB,
+        duration_s=30.0 if quick else 120.0,
+        page_size=fine.page_bytes,
+        seed=11,
+        file_scale=fine.scale,
+    )
+
+    def materialized_fine():
+        full = generate_trace(**fine_kwargs)
+        return run_method("2TDS-128GB", full, fine, warm_start=False)
+
+    def chunked_fine():
+        source = generate_trace_chunked(chunk_accesses=1 << 16, **fine_kwargs)
+        return run_chunked("2TDS-128GB", source, fine)
+
+    fine_accesses = int(
+        generate_trace_chunked(chunk_accesses=1 << 16, **fine_kwargs).num_accesses
+    )
+    materialized_peak = _traced_peak(materialized_fine)
+    entries["pipeline_peak_materialized"] = _memory_entry(
+        materialized_peak, scale=1, accesses=fine_accesses
+    )
+    chunked_peak = _traced_peak(chunked_fine)
+    entries["pipeline_peak_chunked"] = _memory_entry(
+        chunked_peak, scale=1, accesses=fine_accesses
+    )
+    entries["chunked_memory_ratio"] = _ratio_entry(
+        materialized_peak / chunked_peak,
+        "materialized / chunked pipeline peak tracemalloc bytes, scale=1 "
+        "(the chunked side must stay bounded by the chunk, not the trace)",
+    )
+
+    # -- write-replay kernel vs the scalar loop ------------------------
+    # Lightly written (3%): the writes kernel replays each write exactly
+    # and vectorizes the read runs between them.
+    writeful = generate_trace(write_fraction=0.03, **kernel_kwargs)
+    clear_memo()
+    write_profile = build_profile(writeful)
+
+    def run_writes(prof):
+        result = run_method("2TFM-16GB", writeful, kernel_machine, profile=prof)
+        expected = "scalar" if prof is None else "writes"
+        if result.replay_mode != expected:
+            raise SimulationError(
+                f"write replay: expected {expected}, got {result.replay_mode}"
+            )
+        return result
+
+    write_scalar = _best_of(lambda: run_writes(None), repeats)
+    entries["write_replay_scalar"] = _time_entry(
+        write_scalar, writeful.num_accesses
+    )
+    write_fast = _best_of(lambda: run_writes(write_profile), repeats)
+    entries["write_replay_fast"] = _time_entry(
+        write_fast, writeful.num_accesses
+    )
+    entries["write_replay_speedup"] = _ratio_entry(
+        write_scalar / write_fast,
+        "scalar / writes-kernel wall-clock, 3%-write trace, "
+        "profile prebuilt",
+    )
+
+    # -- disable-model replay vs the scalar loop -----------------------
+    # The disable fast path needs no profile (it replays from live bank
+    # state); only the $REPRO_KERNELS kill switch forces it scalar.
+    import os
+
+    readful = generate_trace(**kernel_kwargs)
+
+    def run_disable(expected):
+        result = run_method(
+            "2TDS-128GB", readful, kernel_machine, warm_start=False
+        )
+        if result.replay_mode != expected:
+            raise SimulationError(
+                f"disable replay: expected {expected}, got {result.replay_mode}"
+            )
+        return result
+
+    saved = os.environ.get(KERNELS_ENV)
+    os.environ[KERNELS_ENV] = "0"
+    try:
+        disable_scalar = _best_of(lambda: run_disable("scalar"), repeats)
+    finally:
+        if saved is None:
+            os.environ.pop(KERNELS_ENV, None)
+        else:
+            os.environ[KERNELS_ENV] = saved
+    entries["disable_replay_scalar"] = _time_entry(
+        disable_scalar, readful.num_accesses
+    )
+    disable_fast = _best_of(lambda: run_disable("disable"), repeats)
+    entries["disable_replay_fast"] = _time_entry(
+        disable_fast, readful.num_accesses
+    )
+    entries["disable_replay_speedup"] = _ratio_entry(
+        disable_scalar / disable_fast,
+        "scalar ($REPRO_KERNELS=0) / disable-kernel wall-clock, "
+        "live-bank fast path",
+    )
+
+    # -- batched cross-trace grid vs the per-cell reference ------------
+    grid_machine = scaled_machine(1024)
+    duration = 600.0 if quick else 1200.0
+    grid_traces = [
+        build("paper-default", grid_machine, duration, seed=seed)
+        for seed in (3, 5, 9)
+    ]
+    page = grid_machine.page_bytes
+    sizes = [page * (1 << k) for k in range(0, 12, 2)]
+    timeouts = [float(t) for t in (0.5, 2.0, 8.0, 15.2, 30.0, 120.0, 600.0)]
+    cells = len(grid_traces) * len(sizes) * len(timeouts)
+    # Profiles are shared state (memo / result cache) under either
+    # evaluator, so warm them outside the timed window: the ratio
+    # measures the per-cell sweep work the batching removes.
+    clear_memo()
+    for grid_trace in grid_traces:
+        get_profile(grid_trace)
+
+    naive_wall = _best_of(
+        lambda: naive_grid_scan(grid_traces, grid_machine, sizes, timeouts),
+        repeats,
+    )
+    entries["grid_naive"] = _time_entry(naive_wall, cells)
+
+    batched_wall = _best_of(
+        lambda: grid_scan(grid_traces, grid_machine, sizes, timeouts), repeats
+    )
+    entries["grid_batched"] = _time_entry(batched_wall, cells)
+    entries["grid_speedup"] = _ratio_entry(
+        naive_wall / batched_wall,
+        f"per-cell reference / batched pass, {cells} "
+        "(trace x size x timeout) cells, profiles memoized up front",
+    )
+    return entries
+
+
 _SUITES: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "micro": _suite_micro,
     "sweep": _suite_sweep,
     "joint": _suite_joint,
     "service": _suite_service,
+    "fullres": _suite_fullres,
 }
 
 
@@ -473,6 +709,8 @@ def render_suite(doc: Dict[str, Any]) -> str:
     for name, entry in sorted(doc["entries"].items()):
         if entry.get("kind") == "ratio":
             lines.append(f"  {name:<22} {entry['value']:.2f}x")
+        elif entry.get("kind") == "memory":
+            lines.append(f"  {name:<22} {entry['peak_mb']:.1f} MB peak")
         else:
             ops = entry.get("ops_per_s")
             rate = f"{ops:,.0f} ops/s" if ops else ""

@@ -39,10 +39,13 @@ the epoch complete:
 
 Replay modes mirror :func:`repro.sim.kernels.select_mode`:
 ``stream-epoch`` (joint manager on the nap memory model),
-``stream-vectorized`` (fixed capacity, profiled-replay memory) and
-``stream-scalar`` (write-back streams, the disable model, or the
-``REPRO_KERNELS=0`` kill switch).  Oracle-disk methods need future
-knowledge and are rejected.
+``stream-vectorized`` (fixed capacity, profiled-replay memory),
+``stream-writes`` (fixed capacity with write-back -- hit runs through
+:meth:`MemorySystem.consume_hit_run_rw`, flush sweeps through the
+scalar drain), ``stream-disable`` (the 2TDS model's profile-free
+pure-hit-prefix replay) and ``stream-scalar`` (joint write-back
+streams or the ``REPRO_KERNELS=0`` kill switch).  Oracle-disk methods
+need future knowledge and are rejected.
 """
 
 from __future__ import annotations
@@ -57,7 +60,11 @@ from repro.cache.stack_distance import COLD, StackDistanceTracker
 from repro.config.machine import MachineConfig
 from repro.core.joint import JointPowerManager, PeriodDecision
 from repro.errors import SimulationError
-from repro.memory.system import NapMemorySystem, supports_profiled_replay
+from repro.memory.system import (
+    DisableMemorySystem,
+    NapMemorySystem,
+    supports_profiled_replay,
+)
 from repro.policies.registry import MethodSpec, parse_method
 from repro.sim import kernels
 from repro.sim.engine import SimulationEngine, _ReplayState
@@ -68,6 +75,8 @@ from repro.sim.results import SimResult
 STREAM_SCALAR = "stream-scalar"
 STREAM_VECTORIZED = "stream-vectorized"
 STREAM_EPOCH = "stream-epoch"
+STREAM_WRITES = "stream-writes"
+STREAM_DISABLE = "stream-disable"
 
 _INITIAL_BUFFER = 1024
 
@@ -166,23 +175,32 @@ class StreamingManager:
         self._memory = memory
 
         # --- replay mode, mirroring kernels.select_mode ------------------
-        if self.expect_writes or not kernels_enabled():
+        if not kernels_enabled():
             self.replay_mode = STREAM_SCALAR
+        elif manager is None and type(memory) is DisableMemorySystem:
+            self.replay_mode = (
+                STREAM_SCALAR if self.expect_writes else STREAM_DISABLE
+            )
         elif manager is not None:
-            if type(memory) is NapMemorySystem:
+            if self.expect_writes:
+                self.replay_mode = STREAM_SCALAR
+            elif type(memory) is NapMemorySystem:
                 self.replay_mode = STREAM_EPOCH
             else:
                 self.replay_mode = STREAM_SCALAR
         elif supports_profiled_replay(memory):
-            self.replay_mode = STREAM_VECTORIZED
+            self.replay_mode = (
+                STREAM_WRITES if self.expect_writes else STREAM_VECTORIZED
+            )
         else:
             self.replay_mode = STREAM_SCALAR
 
         # The incremental Mattson pass: the same tracker, prefill and page
         # sequence build_profile would run offline, so the depths handed
-        # to the kernels are identical to a TraceProfile's.
+        # to the kernels are identical to a TraceProfile's.  The disable
+        # mode needs none: its residency oracle is the live bank map.
         self._tracker: Optional[StackDistanceTracker] = None
-        if self.replay_mode != STREAM_SCALAR:
+        if self.replay_mode in (STREAM_EPOCH, STREAM_VECTORIZED, STREAM_WRITES):
             self._tracker = StackDistanceTracker()
             if prefill:
                 self._tracker.access_array(prefill)
@@ -526,6 +544,30 @@ class StreamingManager:
             self._lo = cut
             engine._drain_events(st, boundary)
             self._resident = min(self._resident, self._memory.capacity_pages)
+        if self._manager is None:
+            # Manager-less modes can also drain mid-period: with no
+            # epoch decisions pending, replaying any prefix strictly
+            # below the watermark is bit-exact even when it splits a hit
+            # run -- dynamic energy is an integer-count product, the
+            # clock advance is idempotent, and the per-bank/static
+            # accruals, LRU touches and metrics counters are all
+            # per-access sequential, so two sub-runs charge exactly what
+            # the unsplit run charges.  At this point every buffered
+            # access below the watermark also lies below the pending
+            # boundary (otherwise it would have witnessed it above), so
+            # the span cannot cross an unfired period close.  This keeps
+            # the pending ring bounded by the feed granularity instead
+            # of a full period (~15 M accesses at scale=1).
+            cut = self._lo + int(
+                np.searchsorted(
+                    self._times[self._lo : self._hi],
+                    self.watermark,
+                    side="left",
+                )
+            )
+            if cut > self._lo:
+                self._replay_span(self._lo, cut, math.inf)
+                self._lo = cut
 
     def _pump_scalar(self) -> None:
         """Scalar mode: replay accesses strictly below the watermark.
@@ -607,6 +649,12 @@ class StreamingManager:
             )
         elif self.replay_mode == STREAM_VECTORIZED:
             self._replay_span_vectorized(lo, hi, duration_s)
+        elif self.replay_mode == STREAM_WRITES:
+            self._replay_span_writes(lo, hi, duration_s)
+        elif self.replay_mode == STREAM_DISABLE:
+            kernels._replay_disable_span(
+                self._engine, st, self._memory, times, pages, lo, hi
+            )
         else:
             self._replay_span_scalar(lo, hi)
         self.accesses_processed += hi - lo
@@ -645,6 +693,26 @@ class StreamingManager:
             kernels._consume_hits(
                 engine, st, memory, times, pages, pos, hi, duration_s
             )
+
+    def _replay_span_writes(self, lo: int, hi: int, duration_s: float) -> None:
+        """The replay_writes inner loop over one buffered span.
+
+        Same classification as the vectorized span (the incremental
+        tracker's depths stand in for the profile; write-allocate keeps
+        the LRU evolution read-identical), with misses, dirty evictions
+        and flush sweeps through the exact scalar path.
+        """
+        memory = self._memory
+        times = self._times[: self._hi]
+        pages = self._pages[: self._hi]
+        writes = self._writes[: self._hi]
+        window = self._depths[lo:hi]
+        hits = (window >= 0) & (window < memory.capacity_pages)
+        miss_indices = np.flatnonzero(~hits) + lo
+        kernels._replay_writes_inner(
+            self._engine, self._st, memory, times, pages, writes,
+            miss_indices, lo, hi, duration_s,
+        )
 
     def _replay_span_scalar(self, lo: int, hi: int) -> None:
         """The engine's per-access reference loop over one buffered span."""

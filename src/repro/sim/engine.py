@@ -214,6 +214,10 @@ class SimulationEngine:
             kernels.replay_vectorized(self, st, trace, profile, duration_s)
         elif mode == kernels.MODE_EPOCH:
             kernels.replay_epoch(self, st, trace, profile, duration_s)
+        elif mode == kernels.MODE_WRITES:
+            kernels.replay_writes(self, st, trace, profile, duration_s)
+        elif mode == kernels.MODE_DISABLE:
+            kernels.replay_disable(self, st, trace, duration_s)
         else:
             self._replay_scalar(st, trace, duration_s)
 
@@ -278,8 +282,8 @@ class SimulationEngine:
     def _replay_scalar(
         self, st: _ReplayState, trace: Trace, duration_s: float
     ) -> None:
-        """The per-access reference loop (write traces, the disable
-        memory model, and profile-less replays)."""
+        """The per-access reference loop (joint write-back runs,
+        profile-less replays, and the ``REPRO_KERNELS=0`` kill switch)."""
         memory = self.memory
         manager = self.manager
         has_writes = st.has_writes

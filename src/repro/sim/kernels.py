@@ -16,11 +16,11 @@ operations, so a fast replay is bit-identical to the scalar loop -- the
 differential ``kernels``/``epoch`` checks and ``tests/sim/test_kernels.py``
 assert as much.
 
-Two fast modes exist:
+Four fast modes exist:
 
-* ``"vectorized"`` -- fixed-capacity runs (no joint manager) under a
-  memory system that opted into profiled replay (nap, power-down): one
-  ``hit_mask`` call decides every access up front.
+* ``"vectorized"`` -- fixed-capacity read-only runs (no joint manager)
+  under a memory system that opted into profiled replay (nap,
+  power-down): one ``hit_mask`` call decides every access up front.
 * ``"epoch"`` -- joint-manager runs.  Between two period boundaries the
   cache capacity is fixed, so the replay walks the trace *epoch by
   epoch*: each epoch's ``(times, depths)`` slice feeds the manager's
@@ -34,34 +34,58 @@ Two fast modes exist:
   analytically (hit iff ``0 <= depth < r``; each miss grows ``r`` to
   capacity; a down-resize clamps it), which is exactly the LRU stack's
   inclusion behaviour.
+* ``"writes"`` -- fixed-capacity *write-carrying* runs under a
+  profiled-replay memory.  Write-back is write-allocate, so the LRU
+  evolves exactly as in a read-only replay and the profile's hit mask
+  stays valid; hit runs keep the live cache and dirty set in sync
+  through :meth:`MemorySystem.consume_hit_run_rw` (hits never evict, so
+  no flush can arise inside a run), and every miss, periodic flush
+  sweep and dirty eviction runs through the exact scalar
+  ``access_rw``/``_flush``/``_drain_events`` path.
+* ``"disable"`` -- the disable-state (2TDS) model on fixed-capacity
+  read-only runs.  Bank invalidations make the stack-distance profile
+  unusable (true reuse depths shrink when banks drop their pages), so
+  this mode needs *no profile*: the live ``_page_bank`` map is the
+  residency oracle, and :meth:`DisableMemorySystem.consume_hit_run`
+  consumes maximal pure-hit prefixes in a tight loop, falling back to
+  the scalar ``access`` at every miss/invalidation/resurrection.
 
 Fallback conditions (any one routes the run through the scalar loop):
 
+* the ``$REPRO_KERNELS`` kill switch is set;
 * the memory system did not opt into profiled replay
-  (:data:`MemorySystem.profiled_replay`) -- the disable model
-  invalidates cached pages as banks disable, so hit/miss depends on
-  timing the profile cannot see;
+  (:data:`MemorySystem.profiled_replay`) and is not the disable model;
 * a joint run under anything but the nap model (only nap is resizable);
-* the trace carries writes (write-back flushing interleaves with the
-  access stream, and dirty/eviction identity needs the live LRU);
-* no profile was supplied, or it does not cover the trace.
+* a joint run whose trace carries writes (flushes interleave with
+  resizes under the live manager);
+* a disable-model run whose trace carries writes (invalidation spills
+  interleave with the flush cadence);
+* no profile was supplied, or it does not cover the trace (except the
+  disable mode, which replays from live bank state alone).
 """
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.cache.profile import TraceProfile
+from repro.cache.profile import TraceProfile, kernels_enabled
 from repro.cache.stack_distance import COLD
 from repro.errors import SimulationError
-from repro.memory.system import NapMemorySystem, supports_profiled_replay
+from repro.memory.system import (
+    DisableMemorySystem,
+    NapMemorySystem,
+    supports_profiled_replay,
+)
 
 #: SimResult.replay_mode values.
 MODE_SCALAR = "scalar"
 MODE_VECTORIZED = "vectorized"
 MODE_EPOCH = "epoch"
+MODE_WRITES = "writes"
+MODE_DISABLE = "disable"
 
 
 def select_mode(
@@ -72,26 +96,45 @@ def select_mode(
     Returns ``(mode, reason)``: ``reason`` explains a scalar fallback and
     is None when a fast mode applies.
     """
+    if not kernels_enabled():
+        return MODE_SCALAR, "the $REPRO_KERNELS kill switch disables the fast paths"
+    has_writes = trace.writes is not None and bool(trace.writes.any())
+    memory = engine.memory
+    if engine.manager is None and type(memory) is DisableMemorySystem:
+        # The disable mode replays from live bank state: no profile needed.
+        if has_writes:
+            return (
+                MODE_SCALAR,
+                "write-back flushing under disable-model invalidations "
+                "needs the live scalar loop",
+            )
+        return MODE_DISABLE, None
     if profile is None:
         return MODE_SCALAR, "no trace profile supplied"
     if len(profile) != trace.num_accesses:
         return MODE_SCALAR, "profile does not cover the trace"
-    if trace.writes is not None and bool(trace.writes.any()):
-        return MODE_SCALAR, "write-back traces interleave flushes with accesses"
     if engine.manager is not None:
-        if type(engine.memory) is not NapMemorySystem:
+        if has_writes:
+            return (
+                MODE_SCALAR,
+                "write-back traces interleave flushes with resizes under "
+                "the joint manager",
+            )
+        if type(memory) is not NapMemorySystem:
             return (
                 MODE_SCALAR,
                 "joint replay supports only the nap memory model, not "
-                f"{type(engine.memory).__name__}",
+                f"{type(memory).__name__}",
             )
         return MODE_EPOCH, None
-    if not supports_profiled_replay(engine.memory):
+    if not supports_profiled_replay(memory):
         return (
             MODE_SCALAR,
-            f"{type(engine.memory).__name__} hit/miss outcomes depend on "
+            f"{type(memory).__name__} hit/miss outcomes depend on "
             "state the profile cannot predict",
         )
+    if has_writes:
+        return MODE_WRITES, None
     return MODE_VECTORIZED, None
 
 
@@ -128,6 +171,129 @@ def replay_vectorized(engine, st, trace, profile: TraceProfile, duration_s: floa
         pos = m + 1
     if pos < n:
         _consume_hits(engine, st, memory, times, pages, pos, n, duration_s)
+
+
+def replay_writes(engine, st, trace, profile: TraceProfile, duration_s: float) -> None:
+    """Drive one fixed-capacity write-carrying replay through segments.
+
+    Write-back is write-allocate: :meth:`MemorySystem.access_rw` loads
+    on every miss (read or write), so the LRU evolves exactly as in a
+    read-only replay and ``hit_mask`` classifies every access up front.
+    Hit runs go through :meth:`MemorySystem.consume_hit_run_rw`, which
+    keeps the live cache order and dirty set in step; misses, dirty
+    evictions and periodic flush sweeps run the exact scalar path.
+    """
+    times = trace.times
+    pages = trace.pages
+    writes = trace.writes
+    n = int(np.searchsorted(times, duration_s, side="left"))
+    hits = profile.hit_mask(engine.memory.capacity_pages, n)
+    miss_indices = np.flatnonzero(~hits)
+    _replay_writes_inner(
+        engine, st, engine.memory, times, pages, writes,
+        miss_indices, 0, n, duration_s,
+    )
+
+
+def _replay_writes_inner(
+    engine, st, memory, times, pages, writes, miss_indices,
+    lo: int, hi: int, duration_s: float,
+) -> None:
+    """Replay ``[lo, hi)`` of a write-carrying trace given its misses.
+
+    Shared by :func:`replay_writes` (misses from the profile's hit
+    mask) and the streaming manager (misses from the incremental
+    tracker's depth window).
+    """
+    drain = engine._drain_events
+    serve_miss = engine._serve_miss
+    flush = engine._flush
+    pos = lo
+    for m in miss_indices.tolist():
+        if pos < m:
+            _consume_hits(
+                engine, st, memory, times, pages, pos, m, duration_s,
+                writes=writes,
+            )
+        now = float(times[m])
+        page = int(pages[m])
+        is_write = bool(writes[m])
+        drain(st, now)
+        hit = memory.access_rw(now, page, is_write)
+        pending = memory.take_pending_flushes()
+        if pending:
+            st.last_flush_page = flush(now, pending, st.metrics, st.last_flush_page)
+        if is_write:
+            if hit:
+                st.metrics.on_hit(now)
+            else:
+                st.metrics.on_write(now)
+        elif hit:
+            st.metrics.on_hit(now)
+        else:
+            serve_miss(st, now, page)
+        pos = m + 1
+    if pos < hi:
+        _consume_hits(
+            engine, st, memory, times, pages, pos, hi, duration_s,
+            writes=writes,
+        )
+
+
+def replay_disable(engine, st, trace, duration_s: float) -> None:
+    """Drive one disable-model (2TDS) replay epoch by epoch, profile-free.
+
+    Mirrors :func:`replay_epoch`'s boundary walk (period closings and
+    policy callbacks must see hits attributed to the right period);
+    within an epoch, :meth:`DisableMemorySystem.consume_hit_run`
+    consumes maximal pure-hit prefixes against the live bank map and
+    every stopping access replays through the exact scalar ``access``.
+    """
+    times = trace.times
+    pages = trace.pages
+    n = int(np.searchsorted(times, duration_s, side="left"))
+    memory = engine.memory
+    drain = engine._drain_events
+    pos = 0
+    while pos < n:
+        boundary = st.next_boundary
+        if boundary > st.duration_s:
+            end = n
+        else:
+            end = min(int(np.searchsorted(times, boundary, side="left")), n)
+        if end > pos:
+            _replay_disable_span(engine, st, memory, times, pages, pos, end)
+            pos = end
+            if pos >= n:
+                break
+        drain(st, boundary)
+
+
+def _replay_disable_span(engine, st, memory, times, pages, lo: int, hi: int) -> None:
+    """Replay ``[lo, hi)`` (no interior events) via pure-hit prefixes.
+
+    Shared by :func:`replay_disable` and the streaming manager; the
+    caller guarantees no period boundary or flush falls inside the
+    span, so the interior ``drain`` calls are order-keeping no-ops.
+    """
+    drain = engine._drain_events
+    serve_miss = engine._serve_miss
+    pos = lo
+    while pos < hi:
+        stop = memory.consume_hit_run(times, pages, pos, hi)
+        if stop > pos:
+            st.metrics.on_hits(stop - pos)
+            pos = stop
+            if pos >= hi:
+                break
+        now = float(times[pos])
+        page = int(pages[pos])
+        drain(st, now)
+        if memory.access(now, page):
+            st.metrics.on_hit(now)
+        else:
+            serve_miss(st, now, page)
+        pos += 1
 
 
 def replay_epoch(engine, st, trace, profile: TraceProfile, duration_s: float) -> None:
@@ -254,31 +420,38 @@ def _epoch_misses(
 
 
 def _consume_hits(
-    engine, st, memory, times, pages, lo: int, hi: int, duration_s: float
+    engine, st, memory, times, pages, lo: int, hi: int, duration_s: float,
+    writes=None,
 ) -> None:
     """Account the hit run ``times[lo:hi]``, firing events in time order.
 
-    Within the run the only pending events are period boundaries (the
-    fast paths exclude write-back flushes); each boundary splits the run
-    with one ``searchsorted``.  An access at exactly the boundary time
-    fires the boundary first (matching the scalar ``drain_events``
-    ordering), hence ``side='left'``.
+    Within the run the pending events are period boundaries and -- for
+    write-carrying replays (``writes`` given) -- periodic flush sweeps;
+    each splits the run with one ``searchsorted``, so a sweep at
+    ``flush_at`` sees exactly the dirty marks of accesses before it.
+    An access at exactly the event time fires the event first (matching
+    the scalar ``drain_events`` ordering), hence ``side='left'``.
     """
     while lo < hi:
-        event_at = st.next_boundary
+        flush_at = st.next_flush if st.has_writes else math.inf
+        event_at = min(flush_at, st.next_boundary)
         if event_at > duration_s:
             cut = hi
         else:
             cut = min(max(int(np.searchsorted(times, event_at, side="left")), lo), hi)
         count = cut - lo
         if count > 0:
-            memory.charge_hit_run(times, pages, lo, cut)
+            if writes is None:
+                memory.charge_hit_run(times, pages, lo, cut)
+            else:
+                memory.consume_hit_run_rw(times, pages, writes, lo, cut)
             st.metrics.on_hits(count)
             lo = cut
         if lo < hi:
             drained_until = float(times[lo])
             engine._drain_events(st, drained_until)
-            if st.next_boundary == event_at:
+            flush_after = st.next_flush if st.has_writes else math.inf
+            if min(flush_after, st.next_boundary) == event_at:
                 raise SimulationError(
-                    "vectorized replay made no progress at a period boundary"
+                    "vectorized replay made no progress at a pending event"
                 )

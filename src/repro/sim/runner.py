@@ -68,7 +68,9 @@ def run_method(
             # resident tail become ghost entries, exactly as a long-running
             # extended LRU list would hold them.
             manager.prefill(prefill)
-        run_profile = _resolve_profile(profile, trace, warm_start, memory)
+        run_profile = _resolve_profile(
+            profile, trace, warm_start, memory, joint=True
+        )
         engine = SimulationEngine(
             machine,
             memory,
@@ -110,17 +112,60 @@ def run_method(
     )
 
 
+def run_chunked(
+    method: Union[str, MethodSpec],
+    source,
+    machine: MachineConfig,
+    duration_s: Optional[float] = None,
+    warmup_s: float = 0.0,
+    prefill: Optional[list] = None,
+    label: Optional[str] = None,
+) -> SimResult:
+    """Replay a :class:`~repro.traces.chunked.ChunkedTrace` chunk by chunk.
+
+    Drives the chunks through a
+    :class:`~repro.service.streaming.StreamingManager`, so the run
+    inherits the streaming layer's bit-exactness contract: the result is
+    identical to ``run_method`` on the materialized trace with the same
+    ``prefill`` and duration -- but peak memory is bounded by the chunk
+    size plus the streaming buffer (one epoch of pending accesses),
+    never the full trace.  The default duration rounds the last access
+    up to a whole number of periods, exactly as ``engine.run`` does.
+
+    ``prefill`` seeds the caches (``run_method``'s ``warm_start`` needs
+    the full trace to compute its prefill, so chunked runs default to a
+    cold start; pass :func:`repro.sim.prefill.warm_start_pages` of a
+    materialized twin when warm parity is wanted).
+    """
+    from repro.service.streaming import StreamingManager
+
+    stream = StreamingManager(
+        method,
+        machine,
+        prefill=prefill,
+        warmup_s=warmup_s,
+        expect_writes=bool(getattr(source, "has_writes", False)),
+        label=label,
+    )
+    for chunk in source.chunks():
+        stream.feed(chunk.times, chunk.pages, chunk.writes)
+    return stream.close(duration_s)
+
+
 def _resolve_profile(
     profile: Union[str, TraceProfile, None],
     trace: Trace,
     warm_start: bool,
     memory,
+    joint: bool = False,
 ) -> Optional[TraceProfile]:
     """The profile to hand the engine, or None for the scalar loop.
 
     ``"auto"`` skips the (one-pass, but O(trace)) profile build whenever
     the run would fall back anyway, and honours the ``$REPRO_KERNELS``
-    kill switch.
+    kill switch.  The disable model never needs a profile (its fast
+    mode replays from live bank state), and joint write-back runs stay
+    scalar, so neither triggers a build.
     """
     if profile is None:
         return None
@@ -134,7 +179,7 @@ def _resolve_profile(
         return None
     if not supports_profiled_replay(memory):
         return None
-    if trace.writes is not None and bool(trace.writes.any()):
+    if joint and trace.writes is not None and bool(trace.writes.any()):
         return None
     return get_profile(trace, warm_start=warm_start)
 

@@ -1,0 +1,210 @@
+"""Chunked traces: paper-scale access streams without paper-scale RAM.
+
+A full-resolution (``--scale 1``) workload easily reaches 10^7 accesses;
+materializing the expanded per-access arrays costs hundreds of MB before
+a single access is replayed.  A :class:`ChunkedTrace` delivers the same
+stream as a sequence of bounded :class:`TraceChunk` batches instead --
+the generators keep only their O(requests) plan plus one chunk of
+expansion in memory, and replay drives the chunks straight through
+:class:`~repro.service.streaming.StreamingManager` (see
+:func:`repro.sim.runner.run_chunked`), inheriting the streaming layer's
+bit-exactness contract with the offline engine.
+
+Equivalence contract (enforced by ``tests/traces/test_chunked.py``):
+for any chunk size, concatenating a source's chunks yields arrays
+**identical** to the materialized builder with the same seed -- same
+RNG draws, same stable sort order, same dtypes.  The chunked SPECWeb
+generator achieves this by drawing its request-level plan up front
+(arrival times, file choices, write flags -- exactly the draws
+:meth:`SpecWebGenerator.generate` makes, in the same order) and then
+expanding requests block by block: expanded accesses wait in a carryover
+buffer until the next unexpanded request's arrival time proves no later
+access can sort before them, so the emitted prefix reproduces the
+materialized ``argsort(times, kind="stable")`` order exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.traces.trace import Trace
+from repro.units import PAGE_SIZE
+
+#: Default accesses per chunk: ~16 MB of (times + pages) per chunk.
+DEFAULT_CHUNK_ACCESSES = 1 << 20
+
+
+@dataclass(frozen=True)
+class TraceChunk:
+    """One bounded batch of a trace's access stream."""
+
+    times: np.ndarray
+    pages: np.ndarray
+    files: Optional[np.ndarray] = None
+    writes: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def num_accesses(self) -> int:
+        return len(self)
+
+
+@dataclass(frozen=True)
+class ChunkedTrace:
+    """A trace delivered as bounded chunks instead of full arrays.
+
+    ``factory`` builds a fresh chunk iterator each call, so a chunked
+    trace can be replayed (or materialized for testing) repeatedly.
+    ``num_accesses`` and ``duration_s`` are the *final* stream totals,
+    known up front by the generators (``None`` for sources that cannot
+    know without a pass, e.g. streaming CSV).
+    """
+
+    factory: Callable[[], Iterator[TraceChunk]]
+    page_size: int = PAGE_SIZE
+    num_accesses: Optional[int] = None
+    duration_s: Optional[float] = None
+    has_writes: bool = False
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def chunks(self) -> Iterator[TraceChunk]:
+        """A fresh iterator over the stream's chunks."""
+        return self.factory()
+
+    def materialize(self) -> Trace:
+        """Concatenate every chunk into a full :class:`Trace`.
+
+        For tests and small streams only -- this holds the whole trace,
+        defeating the point of chunking.
+        """
+        times, pages, files, writes = [], [], [], []
+        has_files = True
+        for chunk in self.chunks():
+            times.append(chunk.times)
+            pages.append(chunk.pages)
+            if chunk.files is None:
+                has_files = False
+            else:
+                files.append(chunk.files)
+            if chunk.writes is not None:
+                writes.append(chunk.writes)
+        if not times:
+            raise TraceError("chunked trace produced no chunks")
+        return Trace(
+            times=np.concatenate(times),
+            pages=np.concatenate(pages),
+            page_size=self.page_size,
+            files=np.concatenate(files) if has_files and files else None,
+            writes=np.concatenate(writes) if writes else None,
+            meta=dict(self.meta),
+        )
+
+    def with_meta(self, **entries: object) -> "ChunkedTrace":
+        """Copy with extra provenance entries."""
+        meta = dict(self.meta)
+        meta.update(entries)
+        return ChunkedTrace(
+            factory=self.factory,
+            page_size=self.page_size,
+            num_accesses=self.num_accesses,
+            duration_s=self.duration_s,
+            has_writes=self.has_writes,
+            meta=meta,
+        )
+
+
+def chunk_trace(
+    trace: Trace, chunk_accesses: int = DEFAULT_CHUNK_ACCESSES
+) -> ChunkedTrace:
+    """View an already-materialized trace as chunks (no copies)."""
+    if chunk_accesses <= 0:
+        raise TraceError("chunk size must be positive")
+    n = trace.num_accesses
+
+    def factory() -> Iterator[TraceChunk]:
+        for lo in range(0, max(n, 1), chunk_accesses):
+            hi = min(lo + chunk_accesses, n)
+            yield TraceChunk(
+                times=trace.times[lo:hi],
+                pages=trace.pages[lo:hi],
+                files=None if trace.files is None else trace.files[lo:hi],
+                writes=None if trace.writes is None else trace.writes[lo:hi],
+            )
+
+    return ChunkedTrace(
+        factory=factory,
+        page_size=trace.page_size,
+        num_accesses=n,
+        duration_s=trace.duration_s,
+        has_writes=trace.writes is not None and bool(trace.writes.any()),
+        meta=dict(trace.meta),
+    )
+
+
+def modulate_rate_chunked(
+    source: ChunkedTrace,
+    profile: Callable[[float], float],
+    steps: int = 2048,
+) -> ChunkedTrace:
+    """Chunked twin of :func:`repro.traces.modulation.modulate_rate`.
+
+    The warp of access ``k`` depends only on its order statistic
+    ``(k + 0.5) / n`` and the profile's cumulative integral, so it
+    applies chunk by chunk given the stream totals.  Bit-identical to
+    modulating the materialized trace (same grid, same ``np.interp``
+    calls); write flags are dropped, exactly as the materialized
+    transform drops them.
+    """
+    n = source.num_accesses
+    duration = source.duration_s
+    if n is None or duration is None:
+        raise TraceError("chunked modulation needs known stream totals")
+    if n == 0:
+        raise TraceError("cannot modulate an empty trace")
+    if steps < 2:
+        raise TraceError("need at least two integration steps")
+    if duration <= 0:
+        raise TraceError("trace has no extent to modulate")
+
+    grid = np.linspace(0.0, duration, steps)
+    rates = np.asarray([profile(t) for t in grid], dtype=float)
+    if np.any(rates < 0) or not np.all(np.isfinite(rates)):
+        raise TraceError("rate profile must be finite and non-negative")
+    if rates.max() <= 0:
+        raise TraceError("rate profile is identically zero")
+    cumulative = np.concatenate(
+        ([0.0], np.cumsum((rates[1:] + rates[:-1]) / 2))
+    )
+    cumulative /= cumulative[-1]
+    # The warped stream ends where its last access lands (np.interp is
+    # elementwise, so this is bit-identical to the materialized twin's
+    # final timestamp).
+    last_position = np.asarray([(n - 0.5) / n])
+    warped_end = float(np.interp(last_position, cumulative, grid)[0])
+
+    def factory() -> Iterator[TraceChunk]:
+        offset = 0
+        for chunk in source.chunks():
+            count = len(chunk)
+            positions = (np.arange(offset, offset + count) + 0.5) / n
+            yield TraceChunk(
+                times=np.interp(positions, cumulative, grid),
+                pages=chunk.pages,
+                files=chunk.files,
+            )
+            offset += count
+
+    return ChunkedTrace(
+        factory=factory,
+        page_size=source.page_size,
+        num_accesses=n,
+        duration_s=warped_end,
+        has_writes=False,
+        meta={**source.meta, "modulated": True},
+    )

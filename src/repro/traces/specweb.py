@@ -65,8 +65,15 @@ class SpecWebGenerator:
                 f"unknown arrival process {self.arrival_process!r}"
             )
 
-    def generate(self, duration_s: float) -> Trace:
-        """Generate a trace covering ``[0, duration_s)``."""
+    def _plan(self, duration_s: float):
+        """The request-level plan: every RNG draw, before any expansion.
+
+        Returns ``(arrivals, file_ids, request_is_write, exponent)``.
+        Both :meth:`generate` and :meth:`generate_chunked` start from
+        this exact draw sequence, which is what makes them bit-identical
+        for the same seed: arrivals first, then file choices, then write
+        flags, all at request granularity (O(requests) memory).
+        """
         if duration_s <= 0:
             raise TraceError("duration must be positive")
         rng = np.random.default_rng(self.seed)
@@ -98,6 +105,30 @@ class SpecWebGenerator:
                 "no requests generated; duration too short for the data rate"
             )
         file_ids = sampler.sample(arrivals.size, rng)
+        request_is_write = None
+        if self.write_fraction > 0.0:
+            request_is_write = rng.random(arrivals.size) < self.write_fraction
+        return arrivals, file_ids, request_is_write, exponent
+
+    def _meta(self, duration_s: float, exponent: float) -> dict:
+        fs = self.fileset
+        return {
+            "generator": "specweb",
+            "data_rate": self.data_rate,
+            "popularity": self.popularity,
+            "zipf_exponent": exponent,
+            "dataset_bytes": fs.total_bytes,
+            "num_files": fs.num_files,
+            "duration_s": duration_s,
+            "write_fraction": self.write_fraction,
+            "arrival_process": self.arrival_process,
+            "seed": self.seed,
+        }
+
+    def generate(self, duration_s: float) -> Trace:
+        """Generate a trace covering ``[0, duration_s)``."""
+        arrivals, file_ids, request_is_write, exponent = self._plan(duration_s)
+        fs = self.fileset
 
         # Expand each request into its file's sequential page accesses.
         pages_per_req = fs.num_pages[file_ids]
@@ -112,8 +143,7 @@ class SpecWebGenerator:
         times = arrivals[req_index] + offsets * page_gap
         files = file_ids[req_index]
         writes = None
-        if self.write_fraction > 0.0:
-            request_is_write = rng.random(arrivals.size) < self.write_fraction
+        if request_is_write is not None:
             writes = request_is_write[req_index]
 
         # Interleaved connections make the merged stream non-monotonic;
@@ -125,18 +155,130 @@ class SpecWebGenerator:
             page_size=fs.page_size,
             files=files[order],
             writes=None if writes is None else writes[order],
-            meta={
-                "generator": "specweb",
-                "data_rate": self.data_rate,
-                "popularity": self.popularity,
-                "zipf_exponent": exponent,
-                "dataset_bytes": fs.total_bytes,
-                "num_files": fs.num_files,
-                "duration_s": duration_s,
-                "write_fraction": self.write_fraction,
-                "arrival_process": self.arrival_process,
-                "seed": self.seed,
-            },
+            meta=self._meta(duration_s, exponent),
+        )
+
+    def generate_chunked(
+        self, duration_s: float, chunk_accesses: Optional[int] = None
+    ):
+        """Chunked twin of :meth:`generate`: same stream, bounded memory.
+
+        Concatenating the chunks is bit-identical to :meth:`generate`
+        with the same seed.  Requests are expanded block by block; an
+        expanded access is emitted only once the next *unexpanded*
+        request's arrival time proves nothing can still sort before it
+        (intra-file offsets are non-negative, so every future access is
+        at or past that arrival, and ties resolve to the earlier
+        expansion index exactly as the materialized stable sort does).
+        Peak memory is O(requests + chunk + carryover), where carryover
+        is the accesses of still-open connections.
+        """
+        from repro.traces.chunked import (
+            DEFAULT_CHUNK_ACCESSES,
+            ChunkedTrace,
+            TraceChunk,
+        )
+
+        chunk = DEFAULT_CHUNK_ACCESSES if chunk_accesses is None else chunk_accesses
+        if chunk <= 0:
+            raise TraceError("chunk size must be positive")
+        arrivals, file_ids, request_is_write, exponent = self._plan(duration_s)
+        fs = self.fileset
+        pages_per_req = fs.num_pages[file_ids]
+        # cum[i] = accesses expanded by requests before i (global indices).
+        cum = np.concatenate(([0], np.cumsum(pages_per_req)))
+        total_accesses = int(cum[-1])
+        page_gap = fs.page_size / self.connection_rate
+        last_time = float(
+            (arrivals + (pages_per_req - 1) * page_gap).max()
+        )
+        n_req = int(arrivals.size)
+        has_writes = request_is_write is not None and bool(
+            request_is_write.any()
+        )
+
+        def factory():
+            empty_w = (
+                np.empty(0, dtype=bool) if request_is_write is not None else None
+            )
+            pend_t = np.empty(0, dtype=np.float64)
+            pend_p = np.empty(0, dtype=np.int64)
+            pend_f = np.empty(0, dtype=np.int64)
+            pend_w = empty_w
+            pend_i = np.empty(0, dtype=np.int64)
+            req = 0
+            while req < n_req:
+                # Expand a block of requests totalling ~one chunk.
+                end = (
+                    int(np.searchsorted(cum, cum[req] + chunk, side="right"))
+                    - 1
+                )
+                end = min(max(end, req + 1), n_req)
+                ids = file_ids[req:end]
+                ppr = pages_per_req[req:end]
+                block_n = int(cum[end] - cum[req])
+                req_local = np.repeat(np.arange(end - req), ppr)
+                starts = np.concatenate(([0], np.cumsum(ppr)[:-1]))
+                offsets = np.arange(block_n) - starts[req_local]
+                pend_t = np.concatenate(
+                    (pend_t, arrivals[req:end][req_local] + offsets * page_gap)
+                )
+                pend_p = np.concatenate(
+                    (pend_p, fs.first_page[ids][req_local] + offsets)
+                )
+                pend_f = np.concatenate((pend_f, ids[req_local]))
+                if pend_w is not None:
+                    pend_w = np.concatenate(
+                        (pend_w, request_is_write[req:end][req_local])
+                    )
+                pend_i = np.concatenate(
+                    (pend_i, int(cum[req]) + np.arange(block_n))
+                )
+                req = end
+
+                # Stable-sort the carryover by time (expansion index
+                # breaks ties, matching argsort(times, kind="stable")).
+                order = np.lexsort((pend_i, pend_t))
+                pend_t = pend_t[order]
+                pend_p = pend_p[order]
+                pend_f = pend_f[order]
+                if pend_w is not None:
+                    pend_w = pend_w[order]
+                pend_i = pend_i[order]
+
+                # Everything at or before the next unexpanded arrival is
+                # final: future accesses arrive at or past it with larger
+                # expansion indices, so they sort strictly after.
+                if req < n_req:
+                    safe = int(
+                        np.searchsorted(
+                            pend_t, float(arrivals[req]), side="right"
+                        )
+                    )
+                else:
+                    safe = int(pend_t.size)
+                for lo in range(0, safe, chunk):
+                    hi = min(lo + chunk, safe)
+                    yield TraceChunk(
+                        times=pend_t[lo:hi],
+                        pages=pend_p[lo:hi],
+                        files=pend_f[lo:hi],
+                        writes=None if pend_w is None else pend_w[lo:hi],
+                    )
+                pend_t = pend_t[safe:]
+                pend_p = pend_p[safe:]
+                pend_f = pend_f[safe:]
+                if pend_w is not None:
+                    pend_w = pend_w[safe:]
+                pend_i = pend_i[safe:]
+
+        return ChunkedTrace(
+            factory=factory,
+            page_size=fs.page_size,
+            num_accesses=total_accesses,
+            duration_s=last_time,
+            has_writes=has_writes,
+            meta=self._meta(duration_s, exponent),
         )
 
 
@@ -173,3 +315,37 @@ def generate_trace(
         seed=None if seed is None else seed + 1,
     )
     return generator.generate(duration_s)
+
+
+def generate_trace_chunked(
+    dataset_bytes: float,
+    data_rate: float,
+    duration_s: float,
+    popularity: float = 0.10,
+    page_size: int = PAGE_SIZE,
+    seed: Optional[int] = None,
+    file_scale: float = 1.0,
+    write_fraction: float = 0.0,
+    chunk_accesses: Optional[int] = None,
+):
+    """Chunked twin of :func:`generate_trace`: same stream, bounded RAM.
+
+    Same seed derivation and file-set construction as the materialized
+    helper, so ``generate_trace_chunked(...).materialize()`` equals
+    ``generate_trace(...)`` bit for bit.  This is the entry point for
+    full-resolution (``--scale 1``) runs whose expanded arrays would not
+    fit comfortably in memory.
+    """
+    rng = np.random.default_rng(seed)
+    fileset = specweb_fileset(
+        dataset_bytes, page_size=page_size, rng=rng, file_scale=file_scale
+    )
+    generator = SpecWebGenerator(
+        fileset=fileset,
+        data_rate=data_rate,
+        popularity=popularity,
+        connection_rate=12.5 * MB * file_scale,
+        write_fraction=write_fraction,
+        seed=None if seed is None else seed + 1,
+    )
+    return generator.generate_chunked(duration_s, chunk_accesses)

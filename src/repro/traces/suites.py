@@ -48,11 +48,27 @@ def _specweb(dataset_gb, rate_mb, popularity=0.1, write_fraction=0.0):
             write_fraction=write_fraction,
         )
 
+    def build_chunks(machine, duration_s, seed, chunk_accesses):
+        from repro.traces.specweb import generate_trace_chunked
+
+        return generate_trace_chunked(
+            dataset_bytes=dataset_gb * GB,
+            data_rate=rate_mb * MB,
+            duration_s=duration_s,
+            popularity=popularity,
+            page_size=machine.page_bytes,
+            seed=seed,
+            file_scale=machine.scale,
+            write_fraction=write_fraction,
+            chunk_accesses=chunk_accesses,
+        )
+
+    build.chunked = build_chunks
     return build
 
 
 def _selfsimilar(dataset_gb, rate_mb, bias=0.75):
-    def build(machine: MachineConfig, duration_s: float, seed: int) -> Trace:
+    def _generator(machine: MachineConfig, seed: int):
         from repro.traces.fileset import specweb_fileset
         from repro.traces.specweb import SpecWebGenerator
 
@@ -64,7 +80,7 @@ def _selfsimilar(dataset_gb, rate_mb, bias=0.75):
             rng=np.random.default_rng(seed),
             file_scale=machine.scale,
         )
-        generator = SpecWebGenerator(
+        return SpecWebGenerator(
             fileset=fileset,
             data_rate=rate_mb * MB,
             connection_rate=12.5 * MB * machine.scale,
@@ -72,8 +88,16 @@ def _selfsimilar(dataset_gb, rate_mb, bias=0.75):
             burst_bias=bias,
             seed=seed + 1,
         )
-        return generator.generate(duration_s)
 
+    def build(machine: MachineConfig, duration_s: float, seed: int) -> Trace:
+        return _generator(machine, seed).generate(duration_s)
+
+    def build_chunks(machine, duration_s, seed, chunk_accesses):
+        return _generator(machine, seed).generate_chunked(
+            duration_s, chunk_accesses
+        )
+
+    build.chunked = build_chunks
     return build
 
 
@@ -84,6 +108,13 @@ def _modulated(profile_factory, dataset_gb=16, rate_mb=60):
         flat = base_build(machine, duration_s, seed)
         return modulate_rate(flat, profile_factory(duration_s))
 
+    def build_chunks(machine, duration_s, seed, chunk_accesses):
+        from repro.traces.chunked import modulate_rate_chunked
+
+        flat = base_build.chunked(machine, duration_s, seed, chunk_accesses)
+        return modulate_rate_chunked(flat, profile_factory(duration_s))
+
+    build.chunked = build_chunks
     return build
 
 
@@ -123,3 +154,29 @@ def build(
             + ", ".join(suite_names())
         )
     return SUITES[key](machine, duration_s, seed).with_meta(suite=key)
+
+
+def build_chunked(
+    name: str,
+    machine: MachineConfig,
+    duration_s: float,
+    seed: int = 42,
+    chunk_accesses: int = None,
+):
+    """Chunked twin of :func:`build`: the same workload, bounded memory.
+
+    Every suite builder has a chunked variant whose concatenated chunks
+    are bit-identical to the materialized build with the same seed (the
+    fuzz matrix in ``tests/traces/test_chunked.py`` holds this across
+    all suites and chunk sizes).  Returns a
+    :class:`~repro.traces.chunked.ChunkedTrace`.
+    """
+    key = name.strip().lower()
+    if key not in SUITES:
+        raise TraceError(
+            f"unknown workload suite {name!r}; available: "
+            + ", ".join(suite_names())
+        )
+    return SUITES[key].chunked(
+        machine, duration_s, seed, chunk_accesses
+    ).with_meta(suite=key)

@@ -40,8 +40,42 @@ def scale_data_rate(trace: Trace, factor: float) -> Trace:
         pages=trace.pages,
         page_size=trace.page_size,
         files=trace.files,
+        writes=trace.writes,
         meta={**trace.meta, "rate_scaled_by": factor},
     ).with_meta()
+
+
+def scale_data_rate_chunked(source, factor: float):
+    """Chunked twin of :func:`scale_data_rate` (elementwise, bit-exact).
+
+    ``source`` is a :class:`~repro.traces.chunked.ChunkedTrace`; the
+    time division applies chunk by chunk, so concatenating the result's
+    chunks equals scaling the materialized trace.
+    """
+    from repro.traces.chunked import ChunkedTrace, TraceChunk
+
+    if factor <= 0:
+        raise TraceError("rate factor must be positive")
+
+    def factory():
+        for chunk in source.chunks():
+            yield TraceChunk(
+                times=chunk.times / factor,
+                pages=chunk.pages,
+                files=chunk.files,
+                writes=chunk.writes,
+            )
+
+    return ChunkedTrace(
+        factory=factory,
+        page_size=source.page_size,
+        num_accesses=source.num_accesses,
+        duration_s=(
+            None if source.duration_s is None else source.duration_s / factor
+        ),
+        has_writes=source.has_writes,
+        meta={**source.meta, "rate_scaled_by": factor},
+    )
 
 
 def scale_dataset(trace: Trace, factor: float, seed: Optional[int] = None) -> Trace:

@@ -30,11 +30,17 @@ def save_npz(trace: Trace, path: PathLike) -> None:
     }
     if trace.files is not None:
         arrays["files"] = trace.files
+    if trace.writes is not None:
+        arrays["writes"] = trace.writes
     np.savez_compressed(path, **arrays)
 
 
 def load_npz(path: PathLike) -> Trace:
-    """Read a trace written by :func:`save_npz`."""
+    """Read a trace written by :func:`save_npz`.
+
+    Archives written before write flags were persisted load as
+    read-only traces (the ``writes`` member is optional).
+    """
     path = Path(path)
     if not path.exists():
         raise TraceError(f"trace file not found: {path}")
@@ -45,8 +51,24 @@ def load_npz(path: PathLike) -> Trace:
             pages=data["pages"],
             page_size=int(data["page_size"][0]),
             files=data["files"] if "files" in data else None,
+            writes=data["writes"] if "writes" in data else None,
             meta=meta,
         )
+
+
+def load_npz_chunked(path: PathLike, chunk_accesses: int = None):
+    """A saved trace as a :class:`~repro.traces.chunked.ChunkedTrace`.
+
+    The compressed archive decompresses whole arrays, so this bounds the
+    *replay-side* footprint (kernel temporaries, hit masks), not the
+    load itself; use the chunked generators or :func:`load_csv_chunked`
+    to avoid materializing entirely.
+    """
+    from repro.traces.chunked import DEFAULT_CHUNK_ACCESSES, chunk_trace
+
+    if chunk_accesses is None:
+        chunk_accesses = DEFAULT_CHUNK_ACCESSES
+    return chunk_trace(load_npz(path), chunk_accesses)
 
 
 def save_csv(trace: Trace, path: PathLike) -> None:
@@ -88,5 +110,70 @@ def load_csv(path: PathLike, page_size: int = 4096) -> Trace:
         pages=np.asarray(pages, dtype=np.int64),
         page_size=page_size,
         files=np.asarray(files, dtype=np.int64) if files else None,
+        meta={"source": str(path)},
+    )
+
+
+def load_csv_chunked(
+    path: PathLike, page_size: int = 4096, chunk_accesses: int = None
+):
+    """Stream a CSV trace as bounded chunks without loading it whole.
+
+    Unlike :func:`load_npz_chunked` this genuinely never materializes
+    the trace: each iteration re-reads the file row by row, holding at
+    most one chunk of parsed arrays.  Stream totals (``num_accesses``,
+    ``duration_s``) are unknown up front and left ``None``.
+    """
+    from repro.traces.chunked import (
+        DEFAULT_CHUNK_ACCESSES,
+        ChunkedTrace,
+        TraceChunk,
+    )
+
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace file not found: {path}")
+    chunk = DEFAULT_CHUNK_ACCESSES if chunk_accesses is None else chunk_accesses
+    if chunk <= 0:
+        raise TraceError("chunk size must be positive")
+
+    def factory():
+        with path.open(newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is None:
+                raise TraceError(f"empty trace file: {path}")
+            has_files = len(header) >= 3
+            times, pages, files = [], [], []
+            for row in reader:
+                if not row:
+                    continue
+                times.append(float(row[0]))
+                pages.append(int(row[1]))
+                if has_files:
+                    files.append(int(row[2]))
+                if len(times) >= chunk:
+                    yield TraceChunk(
+                        times=np.asarray(times),
+                        pages=np.asarray(pages, dtype=np.int64),
+                        files=(
+                            np.asarray(files, dtype=np.int64)
+                            if has_files
+                            else None
+                        ),
+                    )
+                    times, pages, files = [], [], []
+            if times:
+                yield TraceChunk(
+                    times=np.asarray(times),
+                    pages=np.asarray(pages, dtype=np.int64),
+                    files=(
+                        np.asarray(files, dtype=np.int64) if has_files else None
+                    ),
+                )
+
+    return ChunkedTrace(
+        factory=factory,
+        page_size=page_size,
         meta={"source": str(path)},
     )

@@ -1,6 +1,6 @@
 """Differential runner: fast paths vs brute-force oracles over fuzzed seeds.
 
-Nine checks, each pairing a production fast path with its oracle from
+Ten checks, each pairing a production fast path with its oracle from
 :mod:`repro.verify.oracles` (or, for ``optimal``, from
 :mod:`repro.verify.optimal`):
 
@@ -15,9 +15,12 @@ joint      ``core.joint.JointPowerManager`` period decision       per-size LRU +
                                                                   grid search
 energy     ``sim.engine`` / ``disk.drive`` incremental accounting event-log integration
 kernels    ``sim.kernels`` vectorized replay                      the scalar engine loop
-epoch      ``sim.kernels`` epoch-segmented joint replay           the scalar engine loop
-                                                                  driving the live
-                                                                  joint manager
+writes     ``sim.kernels`` write-carrying vectorized replay       the scalar engine loop
+           (dirty marks batched, flush sweeps interleaved)        (write-back path)
+epoch      ``sim.kernels`` epoch-segmented joint replay +         the scalar engine loop
+           the disable-model (2TDS) pure-hit-prefix replay        driving the live
+                                                                  joint manager / the
+                                                                  live bank map
 optimal    ``verify.optimal`` lazy-heap Belady + clairvoyant      linear-scan Belady,
            disk schedule                                          competitive closed
                                                                   form, one-sided
@@ -512,6 +515,76 @@ def check_kernels(case: VerifyCase) -> Optional[str]:
     return None
 
 
+def check_writes(case: VerifyCase) -> Optional[str]:
+    """Write-carrying vectorized replay vs the scalar engine loop, bit for bit.
+
+    Rotates the nap and power-down memory models, random capacities,
+    disk timeouts and warm starts, with fuzzed per-access write flags
+    and a flush cadence short enough that periodic write-back sweeps
+    land *inside* hit runs; the fast replay must reproduce every flush,
+    dirty eviction and energy figure exactly.
+    """
+    from repro.memory.system import PowerDownMemorySystem
+    from repro.sim.prefill import warm_start_pages
+
+    if case.times.size == 0:
+        return None
+    machine = random_small_machine(case.seed)
+    rng = np.random.default_rng(case.seed ^ 0x3317E5)
+    spec = machine.memory
+    banks = spec.installed_bytes // spec.bank_bytes
+    capacity = spec.bank_bytes * int(rng.integers(1, banks + 1))
+    timeout = float(
+        rng.choice([0.0, 1.0, machine.disk.break_even_time_s, 30.0, math.inf])
+    )
+    model = ("nap", "pd")[int(rng.integers(0, 2))]
+    warm = bool(rng.integers(0, 2))
+    flush_interval = float(rng.choice([0.05, 1.0, 30.0]))
+    writes = rng.random(case.times.size) < 0.4
+    if not bool(writes.any()):
+        writes[int(rng.integers(0, writes.size))] = True
+    trace = Trace(
+        times=case.times,
+        pages=case.pages,
+        page_size=machine.page_bytes,
+        writes=writes,
+    )
+    prefill = warm_start_pages(trace) if warm else []
+
+    def replay(profile):
+        if model == "nap":
+            memory = NapMemorySystem(spec, capacity)
+        else:
+            memory = PowerDownMemorySystem(spec, capacity)
+        if prefill:
+            memory.prefill(prefill)
+        engine = SimulationEngine(
+            machine,
+            memory,
+            disk_policy=FixedTimeoutPolicy(timeout),
+            label="verify-writes",
+            flush_interval_s=flush_interval,
+        )
+        return engine.run(trace, profile=profile)
+
+    fast = replay(build_profile(trace, warm_start=warm))
+    slow = replay(None)
+    if fast.replay_mode != "writes":
+        return f"fast path refused an eligible write run (mode {fast.replay_mode})"
+    if slow.replay_mode != "scalar":
+        return "reference run did not use the scalar loop"
+    for f in dataclasses.fields(fast):
+        if f.name == "replay_mode":
+            continue
+        diff = deep_diff(getattr(fast, f.name), getattr(slow, f.name), f.name)
+        if diff is not None:
+            return (
+                f"{diff} (model {model}, timeout {timeout}, capacity "
+                f"{capacity} B, warm={warm}, flush every {flush_interval}s)"
+            )
+    return None
+
+
 def deep_diff(a, b, path: str = "result") -> Optional[str]:
     """First difference between two values, compared *exactly*.
 
@@ -582,8 +655,18 @@ def check_epoch(case: VerifyCase) -> Optional[str]:
     and managers, and every ``SimResult`` field *and* every
     ``PeriodDecision`` -- including each candidate evaluation's
     prediction and fit -- must compare exactly equal.
+
+    A second leg runs the same stretched stream through the
+    disable-state (2TDS) memory model: its profile-free pure-hit-prefix
+    replay (``replay_mode == "disable"``) must match a scalar run forced
+    via the ``REPRO_KERNELS`` kill switch across bank invalidations,
+    lazy disables and resurrection misses.
     """
+    import os
+
+    from repro.cache.profile import KERNELS_ENV
     from repro.core.enumeration import candidate_sizes
+    from repro.memory.system import DisableMemorySystem
     from repro.sim.prefill import warm_start_pages
 
     if case.times.size == 0:
@@ -636,12 +719,64 @@ def check_epoch(case: VerifyCase) -> Optional[str]:
                 f"{diff} (flags {flags}, initial {initial} B, warm={warm}, "
                 f"period {period}s)"
             )
+
+    # --- disable-model (2TDS) leg ---------------------------------------
+    spec = machine.memory
+    banks = spec.installed_bytes // spec.bank_bytes
+    ds_capacity = spec.bank_bytes * int(rng.integers(1, banks + 1))
+    # Short timeouts relative to the stretched gaps exercise lazy
+    # disables, invalidation misses and bank resurrections.
+    ds_timeout = float(
+        rng.choice([0.5, 30.0, 0.25 * period, machine.disk.break_even_time_s])
+    )
+    disk_timeout = float(rng.choice([0.0, 1.0, 30.0, math.inf]))
+
+    def replay_ds():
+        memory = DisableMemorySystem(spec, ds_capacity, timeout_s=ds_timeout)
+        if prefill:
+            memory.prefill(prefill)
+        engine = SimulationEngine(
+            machine,
+            memory,
+            disk_policy=FixedTimeoutPolicy(disk_timeout),
+            label="verify-epoch-ds",
+        )
+        return engine.run(trace)
+
+    fast_ds = replay_ds()
+    previous = os.environ.get(KERNELS_ENV)
+    os.environ[KERNELS_ENV] = "0"
+    try:
+        slow_ds = replay_ds()
+    finally:
+        if previous is None:
+            os.environ.pop(KERNELS_ENV, None)
+        else:
+            os.environ[KERNELS_ENV] = previous
+    if fast_ds.replay_mode != "disable":
+        return (
+            f"fast path refused an eligible 2TDS run (mode {fast_ds.replay_mode})"
+        )
+    if slow_ds.replay_mode != "scalar":
+        return "2TDS reference run did not use the scalar loop"
+    for f in dataclasses.fields(fast_ds):
+        if f.name == "replay_mode":
+            continue
+        diff = deep_diff(
+            getattr(fast_ds, f.name), getattr(slow_ds, f.name), f.name
+        )
+        if diff is not None:
+            return (
+                f"{diff} (2TDS leg: bank timeout {ds_timeout}s, capacity "
+                f"{ds_capacity} B, disk timeout {disk_timeout}, warm={warm})"
+            )
     return None
 
 
 #: Method families the stream check rotates through: the four joint
-#: ablations (stream-epoch), two profiled-replay fixed-timeout methods
-#: (stream-vectorized) and the disable model (stream-scalar).
+#: ablations (stream-epoch; stream-scalar when the fuzz adds writes),
+#: two profiled-replay fixed-timeout methods (stream-vectorized, or
+#: stream-writes under writes) and the disable model (stream-disable).
 _STREAM_METHODS = (
     "JOINT",
     "JOINT-NC",
@@ -753,6 +888,7 @@ CHECKS: Dict[str, Callable[[VerifyCase], Optional[str]]] = {
     "joint": check_joint,
     "energy": check_energy,
     "kernels": check_kernels,
+    "writes": check_writes,
     "epoch": check_epoch,
     "optimal": check_optimal,
     "stream": check_stream,

@@ -69,6 +69,69 @@ class TestHitMask:
         assert profile.hit_mask(8, length=10).shape == (10,)
 
 
+class TestVectorizedCounts:
+    def test_hit_counts_match_hit_mask(self):
+        """The searchsorted fast path == summing the boolean mask."""
+        trace = make_trace(seed=21)
+        profile = build_profile(trace, warm_start=True)
+        capacities = np.array([0, 1, 2, 5, 17, 40, 1000], dtype=np.int64)
+        counts = profile.hit_counts(capacities)
+        expected = np.array(
+            [int(profile.hit_mask(int(m)).sum()) for m in capacities],
+            dtype=np.int64,
+        )
+        assert np.array_equal(counts, expected)
+        misses = profile.miss_counts(capacities)
+        assert np.array_equal(misses, len(profile) - expected)
+
+    def test_cold_profile_counts(self):
+        trace = make_trace(seed=22)
+        profile = build_profile(trace, warm_start=False)
+        capacities = np.array([3, 9, 30])
+        expected = np.array(
+            [int(profile.hit_mask(int(m)).sum()) for m in capacities]
+        )
+        assert np.array_equal(profile.hit_counts(capacities), expected)
+
+    def test_sorted_depths_cached_and_frozen(self):
+        profile = build_profile(make_trace(seed=23))
+        ordered = profile.sorted_depths()
+        assert profile.sorted_depths() is ordered
+        assert not ordered.flags.writeable
+        assert np.array_equal(ordered, np.sort(profile.depths))
+
+
+class TestMemoCapacity:
+    @pytest.mark.parametrize("value,expected", [
+        ("", 8), ("32", 32), ("1", 1),
+        ("0", 8), ("-4", 8), ("lots", 8), ("  16  ", 16),
+    ])
+    def test_env_parsing(self, monkeypatch, value, expected):
+        monkeypatch.setenv(profile_mod.PROFILE_MEMO_ENV, value)
+        assert profile_mod.memo_capacity() == expected
+
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv(profile_mod.PROFILE_MEMO_ENV, raising=False)
+        assert profile_mod.memo_capacity() == profile_mod.DEFAULT_MEMO_CAPACITY
+
+    def test_env_widens_the_memo(self, monkeypatch):
+        """With the env raised, a round-robin wider than the default
+        stays fully memoized (no rebuilds on the second pass)."""
+        monkeypatch.setenv(profile_mod.PROFILE_MEMO_ENV, "16")
+        traces = [make_trace(seed=100 + i, n=50) for i in range(12)]
+        first = [get_profile(t) for t in traces]
+        second = [get_profile(t) for t in traces]
+        assert all(a is b for a, b in zip(first, second))
+
+    def test_small_capacity_evicts_lru(self, monkeypatch):
+        monkeypatch.setenv(profile_mod.PROFILE_MEMO_ENV, "2")
+        traces = [make_trace(seed=200 + i, n=50) for i in range(3)]
+        first = [get_profile(t) for t in traces]
+        # Oldest entry fell out; the two newest are still memoized.
+        assert get_profile(traces[0]) is not first[0]
+        assert get_profile(traces[2]) is first[2]
+
+
 class TestContentAddress:
     def test_key_separates_warm_and_cold(self):
         trace = make_trace(seed=4)

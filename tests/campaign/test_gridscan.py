@@ -1,0 +1,157 @@
+"""Cross-trace grid sweeps: the batched pass == the per-cell reference.
+
+The load-bearing assertion is *bitwise* equality between
+:func:`grid_scan` and :func:`naive_grid_scan` on every result field,
+float arrays included -- the broadcast ``max(gap - timeout, 0)`` rows
+must reduce exactly like each cell's independent 1-D sum, or sweep
+results would depend on which evaluator produced them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.profile import clear_memo, get_profile, set_active_cache
+from repro.campaign.gridscan import GridScanResult, grid_scan, naive_grid_scan
+from repro.errors import SimulationError
+from repro.traces.suites import build
+
+
+@pytest.fixture(autouse=True)
+def _memo_only():
+    previous = set_active_cache(None)
+    clear_memo()
+    yield
+    set_active_cache(previous)
+    clear_memo()
+
+
+@pytest.fixture(scope="module")
+def traces(machine):
+    return [
+        build("paper-default", machine, 600.0, seed=3),
+        build("bursty", machine, 600.0, seed=5),
+        build("write-heavy", machine, 600.0, seed=7),
+    ]
+
+
+def page_sizes(machine, *pages):
+    return [machine.page_bytes * p for p in pages]
+
+
+class TestExactEquality:
+    def test_batched_matches_naive_bitwise(self, machine, traces):
+        sizes = page_sizes(machine, 1, 16, 256, 4096)
+        timeouts = [0.0, 1.0, machine.disk.break_even_time_s, 30.0, 600.0]
+        batched = grid_scan(traces, machine, sizes, timeouts)
+        naive = naive_grid_scan(traces, machine, sizes, timeouts)
+        assert batched.trace_keys == naive.trace_keys
+        assert np.array_equal(batched.memory_bytes, naive.memory_bytes)
+        assert np.array_equal(batched.timeouts_s, naive.timeouts_s)
+        assert np.array_equal(batched.miss_counts, naive.miss_counts)
+        assert np.array_equal(batched.spin_downs, naive.spin_downs)
+        # Bitwise, not approximate: array_equal on float64 is exact.
+        assert np.array_equal(batched.sleep_s, naive.sleep_s)
+        assert np.array_equal(batched.est_savings_j, naive.est_savings_j)
+
+    def test_cold_profiles_also_match(self, machine, traces):
+        sizes = page_sizes(machine, 8, 512)
+        timeouts = [5.0, 60.0]
+        batched = grid_scan(
+            traces[:2], machine, sizes, timeouts, warm_start=False
+        )
+        naive = naive_grid_scan(
+            traces[:2], machine, sizes, timeouts, warm_start=False
+        )
+        assert np.array_equal(batched.sleep_s, naive.sleep_s)
+        assert np.array_equal(batched.spin_downs, naive.spin_downs)
+        assert np.array_equal(batched.miss_counts, naive.miss_counts)
+
+
+class TestSemantics:
+    def test_shapes_and_keys(self, machine, traces):
+        sizes = page_sizes(machine, 4, 64, 1024)
+        timeouts = [1.0, 10.0]
+        result = grid_scan(traces, machine, sizes, timeouts)
+        assert isinstance(result, GridScanResult)
+        assert result.num_traces == len(traces)
+        assert result.miss_counts.shape == (3, 3)
+        assert result.spin_downs.shape == (3, 3, 2)
+        assert result.sleep_s.shape == (3, 3, 2)
+        assert result.est_savings_j.shape == (3, 3, 2)
+        for trace, key in zip(traces, result.trace_keys):
+            assert key == get_profile(trace).key
+
+    def test_miss_counts_match_profile(self, machine, traces):
+        sizes = page_sizes(machine, 2, 128)
+        result = grid_scan(traces, machine, sizes, [10.0])
+        for r, trace in enumerate(traces):
+            profile = get_profile(trace)
+            for s, capacity in enumerate([2, 128]):
+                hits = profile.hit_mask(capacity, trace.num_accesses)
+                assert result.miss_counts[r, s] == trace.num_accesses - int(
+                    hits.sum()
+                )
+
+    def test_monotone_in_both_axes(self, machine, traces):
+        """More memory -> fewer misses; longer timeout -> fewer
+        spin-downs and less sleep (per trace, elementwise)."""
+        sizes = page_sizes(machine, 1, 32, 1024, 32768)
+        timeouts = [0.0, 2.0, 20.0, 200.0]
+        result = grid_scan(traces, machine, sizes, timeouts)
+        assert np.all(np.diff(result.miss_counts, axis=1) <= 0)
+        assert np.all(np.diff(result.spin_downs, axis=2) <= 0)
+        assert np.all(np.diff(result.sleep_s, axis=2) <= 0)
+
+    def test_zero_timeout_sleeps_all_idle(self, machine, traces):
+        """At timeout 0 every gap is slept in full, so total sleep is
+        the trace duration minus nothing -- the sum of all gaps."""
+        trace = traces[0]
+        result = grid_scan([trace], machine, page_sizes(machine, 64), [0.0])
+        assert result.sleep_s[0, 0, 0] == pytest.approx(trace.duration_s)
+
+    def test_savings_arithmetic(self, machine, traces):
+        result = grid_scan(
+            traces[:1], machine, page_sizes(machine, 64), [15.0]
+        )
+        disk = machine.disk
+        expected = (
+            disk.static_power_watts * result.sleep_s
+            - result.spin_downs * disk.transition_energy_joules
+        )
+        assert np.array_equal(result.est_savings_j, expected)
+
+    def test_total_savings_and_best_candidate(self, machine, traces):
+        sizes = page_sizes(machine, 16, 256)
+        timeouts = [1.0, 60.0]
+        result = grid_scan(traces, machine, sizes, timeouts)
+        totals = result.total_savings()
+        assert totals.shape == (2, 2)
+        assert np.array_equal(totals, result.est_savings_j.sum(axis=0))
+        best_size, best_timeout = result.best_candidate()
+        s, t = np.unravel_index(int(np.argmax(totals)), totals.shape)
+        assert best_size == sizes[s]
+        assert best_timeout == timeouts[t]
+
+
+class TestValidation:
+    def test_rejects_empty_axes(self, machine, traces):
+        with pytest.raises(SimulationError):
+            grid_scan(traces, machine, [], [1.0])
+        with pytest.raises(SimulationError):
+            grid_scan(traces, machine, page_sizes(machine, 1), [])
+
+    def test_rejects_no_traces(self, machine):
+        with pytest.raises(SimulationError):
+            grid_scan([], machine, page_sizes(machine, 1), [1.0])
+
+    def test_rejects_negative_candidates(self, machine, traces):
+        with pytest.raises(SimulationError):
+            grid_scan(traces, machine, [-machine.page_bytes], [1.0])
+        with pytest.raises(SimulationError):
+            grid_scan(traces, machine, page_sizes(machine, 1), [-1.0])
+
+    def test_rejects_unaligned_sizes(self, machine, traces):
+        with pytest.raises(SimulationError):
+            grid_scan(traces, machine, [machine.page_bytes + 1], [1.0])

@@ -21,6 +21,14 @@ def throughput(ops_per_s, wall_s=1.0):
     return {"kind": "throughput", "ops_per_s": ops_per_s, "wall_s": wall_s}
 
 
+def memory(peak_bytes):
+    return {
+        "kind": "memory",
+        "peak_bytes": peak_bytes,
+        "peak_mb": peak_bytes / (1024 * 1024),
+    }
+
+
 class TestCompare:
     def test_equal_docs_pass(self):
         base = doc(speedup=ratio(4.0), tracker=throughput(1000.0))
@@ -56,6 +64,23 @@ class TestCompare:
     def test_missing_entry_fails(self):
         report = compare(doc(), doc(speedup=ratio(4.0)))
         assert not report.ok
+
+    def test_memory_entries_inform_but_never_gate(self):
+        current = doc(peak=memory(900 * 1024 * 1024))
+        baseline = doc(peak=memory(10 * 1024 * 1024))
+        report = compare(current, baseline)
+        assert report.ok
+        assert not report.lines[0].gated
+
+    def test_fullres_suite_registered(self):
+        from repro.perf.suite import SUITE_NAMES, _SUITES, render_suite
+
+        assert "fullres" in SUITE_NAMES
+        assert set(SUITE_NAMES) == set(_SUITES)
+        rendered = render_suite(
+            doc(suite="fullres", peak=memory(32 * 1024 * 1024))
+        )
+        assert "32.0 MB peak" in rendered
 
     def test_schema_mismatch_reports_ungated(self):
         current = doc(speedup=ratio(1.0))

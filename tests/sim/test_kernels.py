@@ -4,9 +4,10 @@ The fast paths promise the *same floating-point operations* as the
 per-access reference loop, so every comparison here is exact equality --
 no tolerances anywhere.  Joint-manager runs take the ``"epoch"`` mode
 (decisions included in the comparison), fixed-capacity nap/power-down
-runs take ``"vectorized"``, and the remaining fallback conditions (write
-traces, the disable memory model, the ``$REPRO_KERNELS`` kill switch)
-must route through the scalar loop and say so in
+runs take ``"vectorized"``, write-carrying traces take ``"writes"``,
+the disable memory model takes ``"disable"``, and the remaining
+fallback conditions (joint write-back runs, the ``$REPRO_KERNELS``
+kill switch) must route through the scalar loop and say so in
 ``SimResult.replay_mode``.
 """
 
@@ -183,34 +184,129 @@ class TestEpochIdentity:
         assert result.replay_mode == kernels.MODE_SCALAR
 
 
-class TestFallbacks:
-    def test_disable_memory_stays_scalar(self, trace, machine):
-        result = run_method("2TDS", trace, machine, profile="auto")
+def _write_trace(machine, seed=5, duration_s=300.0, write_fraction=0.2):
+    writeful = generate_trace(
+        dataset_bytes=4 * GB,
+        data_rate=100 * MB,
+        duration_s=duration_s,
+        page_size=machine.page_bytes,
+        seed=seed,
+        file_scale=machine.scale,
+        write_fraction=write_fraction,
+    )
+    assert writeful.writes is not None and writeful.writes.any()
+    return writeful
+
+
+class TestWriteIdentity:
+    """Write-carrying traces through the ``"writes"`` fast path.
+
+    Write-allocate means the LRU evolves exactly as in the read-only
+    replay, so the profile's hit mask stays valid; what the fast path
+    must get right is splitting hit runs at periodic flush sweeps so
+    each sweep sees precisely the dirty pages marked before it.
+    """
+
+    @pytest.mark.parametrize(
+        "method", ["2TFM-8GB", "2TFM-16GB", "ALWAYS-ON", "2TNAP", "2TPD"]
+    )
+    def test_run_method_identical(self, method, machine):
+        writeful = _write_trace(machine)
+        fast = run_method(method, writeful, machine, audit=True, profile="auto")
+        slow = run_method(method, writeful, machine, audit=True, profile=None)
+        _assert_identical(fast, slow, mode=kernels.MODE_WRITES)
+
+    def test_cold_start_identical(self, machine):
+        writeful = _write_trace(machine, seed=7)
+        fast = run_method(
+            "2TFM-16GB", writeful, machine, warm_start=False, profile="auto"
+        )
+        slow = run_method(
+            "2TFM-16GB", writeful, machine, warm_start=False, profile=None
+        )
+        _assert_identical(fast, slow, mode=kernels.MODE_WRITES)
+
+    def test_warmup_and_duration_clipping(self, machine):
+        period = machine.manager.period_s
+        writeful = _write_trace(machine, seed=9, duration_s=4 * period)
+        kwargs = dict(duration_s=3 * period, warmup_s=period)
+        fast = run_method("2TFM-16GB", writeful, machine, profile="auto", **kwargs)
+        slow = run_method("2TFM-16GB", writeful, machine, profile=None, **kwargs)
+        _assert_identical(fast, slow, mode=kernels.MODE_WRITES)
+
+    def test_write_heavy_trace(self, machine):
+        writeful = _write_trace(machine, seed=13, write_fraction=0.8)
+        fast = run_method("2TFM-16GB", writeful, machine, audit=True, profile="auto")
+        slow = run_method("2TFM-16GB", writeful, machine, audit=True, profile=None)
+        assert fast.disk_write_pages > 0
+        _assert_identical(fast, slow, mode=kernels.MODE_WRITES)
+
+    def test_seeded_verify_corpus(self):
+        # Fuzzes flush intervals, nap/pd models, warm/cold starts and
+        # write densities; every SimResult field compared exactly.
+        for seed in range(20):
+            assert CHECKS["writes"](random_case(seed)) is None
+
+
+class TestDisableIdentity:
+    """The disable model (2TDS) through the ``"disable"`` fast path.
+
+    Chip invalidations make 2TDS hit/miss outcomes unpredictable from a
+    stack-distance profile, so its fast path replays hit runs from the
+    *live* bank state instead -- an access is a guaranteed hit iff its
+    page's bank is resident and still inside the timeout window.  The
+    disable mode needs no profile, so ``profile=None`` does not force
+    the scalar loop; the reference legs use the kill switch instead.
+    """
+
+    def test_run_method_identical(self, trace, machine, monkeypatch):
+        fast = run_method("2TDS", trace, machine, audit=True, profile="auto")
+        monkeypatch.setenv("REPRO_KERNELS", "0")
+        slow = run_method("2TDS", trace, machine, audit=True, profile="auto")
+        _assert_identical(fast, slow, mode=kernels.MODE_DISABLE)
+
+    def test_cold_start_identical(self, trace, machine, monkeypatch):
+        fast = run_method("2TDS", trace, machine, warm_start=False, profile="auto")
+        monkeypatch.setenv("REPRO_KERNELS", "0")
+        slow = run_method("2TDS", trace, machine, warm_start=False, profile="auto")
+        _assert_identical(fast, slow, mode=kernels.MODE_DISABLE)
+
+    def test_warmup_and_duration_clipping(self, trace, machine, monkeypatch):
+        period = machine.manager.period_s
+        kwargs = dict(duration_s=3 * period, warmup_s=period)
+        fast = run_method("2TDS", trace, machine, profile="auto", **kwargs)
+        monkeypatch.setenv("REPRO_KERNELS", "0")
+        slow = run_method("2TDS", trace, machine, profile="auto", **kwargs)
+        _assert_identical(fast, slow, mode=kernels.MODE_DISABLE)
+
+    def test_disable_with_writes_stays_scalar(self, machine):
+        # Flush sweeps interleave with invalidation-driven residency
+        # changes, which only the live scalar loop tracks.
+        writeful = _write_trace(machine)
+        result = run_method("2TDS", writeful, machine, profile="auto")
         assert result.replay_mode == kernels.MODE_SCALAR
 
+    def test_seeded_verify_corpus(self):
+        # The epoch check's second leg fuzzes 2TDS capacities/timeouts
+        # against the kill-switch-forced scalar loop.
+        for seed in range(20):
+            assert CHECKS["epoch"](random_case(seed)) is None
+
+
+class TestFallbacks:
     def test_per_bank_memory_vectorizes(self, trace, machine):
         # PD retains data across power-down, so its hit/miss stream is
         # profile-predictable; since this PR it rides the fast path.
         result = run_method("2TPD", trace, machine, profile="auto")
         assert result.replay_mode == kernels.MODE_VECTORIZED
 
-    def test_write_traces_stay_scalar(self, machine):
-        writeful = generate_trace(
-            dataset_bytes=4 * GB,
-            data_rate=100 * MB,
-            duration_s=300.0,
-            page_size=machine.page_bytes,
-            seed=5,
-            file_scale=machine.scale,
-            write_fraction=0.2,
-        )
-        assert writeful.writes is not None and writeful.writes.any()
-        result = run_method("2TFM-16GB", writeful, machine, profile="auto")
-        assert result.replay_mode == kernels.MODE_SCALAR
-
     def test_kill_switch_forces_scalar(self, trace, machine, monkeypatch):
         monkeypatch.setenv("REPRO_KERNELS", "0")
         result = run_method("2TFM-16GB", trace, machine, profile="auto")
+        assert result.replay_mode == kernels.MODE_SCALAR
+        # The disable mode bypasses the profile gate, so the kill switch
+        # must short-circuit before the memory-model dispatch.
+        result = run_method("2TDS", trace, machine, profile="auto")
         assert result.replay_mode == kernels.MODE_SCALAR
 
     def test_explicit_none_forces_scalar(self, trace, machine):

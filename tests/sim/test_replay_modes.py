@@ -2,8 +2,8 @@
 
 One campaign, three methods, three replay loops: JOINT takes the epoch
 kernel, a fixed-capacity nap method takes the vectorized kernel, and the
-disable-model DS method legitimately falls back to the scalar loop.  The
-campaign report must say so -- and, when tasks opt into regret scoring,
+disable-model DS method replays hit runs from live bank state in the
+disable mode.  The campaign report must say so -- and, when tasks opt into regret scoring,
 carry the oracle fields end-to-end through the JSON payloads.
 """
 
@@ -58,8 +58,8 @@ class TestReplayModeReporting:
     def test_each_loop_counted_once(self, mixed_report):
         assert mixed_report.ok
         assert mixed_report.replay_mode_counts() == {
+            "disable": 1,
             "epoch": 1,
-            "scalar": 1,
             "vectorized": 1,
         }
 
@@ -67,7 +67,7 @@ class TestReplayModeReporting:
         text = mixed_report.render_summary()
         assert "replay modes" in text
         assert "epoch=1" in text
-        assert "scalar=1" in text
+        assert "disable=1" in text
         assert "vectorized=1" in text
 
     def test_telemetry_carries_modes(self, mixed_report):

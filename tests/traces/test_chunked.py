@@ -1,0 +1,332 @@
+"""Chunked trace pipeline: generation equivalence and bounded replay.
+
+The contract under test: for any chunk size, concatenating a chunked
+source's chunks is **bit-identical** to the materialized builder with
+the same seed (same RNG draws, same stable sort, same dtypes), and
+replaying the chunks through :func:`repro.sim.runner.run_chunked` is
+bit-identical to :func:`repro.sim.runner.run_method` on the
+materialized twin -- while peak memory stays bounded by the chunk size
+instead of the trace length (asserted at paper scale in
+:class:`TestPaperScaleBoundedMemory`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.sim.prefill import warm_start_pages
+from repro.sim.runner import run_chunked, run_method
+from repro.traces.chunked import (
+    ChunkedTrace,
+    TraceChunk,
+    chunk_trace,
+    modulate_rate_chunked,
+)
+from repro.traces.modulation import diurnal_profile, modulate_rate
+from repro.traces.specweb import generate_trace, generate_trace_chunked
+from repro.traces.suites import build, build_chunked, suite_names
+from repro.traces.synthesizer import scale_data_rate, scale_data_rate_chunked
+from repro.traces.trace_io import (
+    load_csv,
+    load_csv_chunked,
+    load_npz,
+    load_npz_chunked,
+    save_csv,
+    save_npz,
+)
+from repro.units import GB, MB
+from repro.verify.differential import deep_diff
+
+
+def assert_traces_equal(materialized, chunked_trace):
+    """Every array of the chunked concatenation matches bit for bit."""
+    got = chunked_trace.materialize()
+    assert np.array_equal(got.times, materialized.times)
+    assert got.times.dtype == materialized.times.dtype
+    assert np.array_equal(got.pages, materialized.pages)
+    assert got.pages.dtype == materialized.pages.dtype
+    if materialized.files is None:
+        assert got.files is None
+    else:
+        assert np.array_equal(got.files, materialized.files)
+    if materialized.writes is None or not materialized.writes.any():
+        assert got.writes is None or not got.writes.any()
+    else:
+        assert np.array_equal(got.writes, materialized.writes)
+    assert got.page_size == materialized.page_size
+    if chunked_trace.num_accesses is not None:
+        assert chunked_trace.num_accesses == materialized.num_accesses
+    if chunked_trace.duration_s is not None:
+        assert chunked_trace.duration_s == materialized.duration_s
+
+
+def assert_results_identical(offline, streamed):
+    assert streamed.replay_mode == f"stream-{offline.replay_mode}"
+    for fld in dataclasses.fields(streamed):
+        if fld.name == "replay_mode":
+            continue
+        diff = deep_diff(
+            getattr(streamed, fld.name), getattr(offline, fld.name), fld.name
+        )
+        assert diff is None, diff
+
+
+class TestGenerationEquivalence:
+    """Chunked generation == materialized generation, across every suite."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        suite=st.sampled_from(sorted(suite_names())),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        chunk_accesses=st.sampled_from([100, 1000, 7777, 1 << 20]),
+    )
+    def test_fuzz_all_suites(self, machine, suite, seed, chunk_accesses):
+        duration = 600.0
+        materialized = build(suite, machine, duration, seed=seed)
+        chunked = build_chunked(
+            suite, machine, duration, seed=seed, chunk_accesses=chunk_accesses
+        )
+        assert_traces_equal(materialized, chunked)
+        assert chunked.meta["suite"] == suite
+
+    def test_write_flags_round_trip(self, machine):
+        chunked = build_chunked(
+            "write-heavy", machine, 600.0, seed=7, chunk_accesses=500
+        )
+        assert chunked.has_writes
+        trace = chunked.materialize()
+        assert trace.writes is not None and trace.writes.any()
+
+    def test_chunk_size_bound_holds(self, machine):
+        chunked = build_chunked(
+            "paper-default", machine, 600.0, seed=3, chunk_accesses=128
+        )
+        sizes = [len(c) for c in chunked.chunks()]
+        assert sizes, "no chunks produced"
+        assert max(sizes) <= 128
+
+    def test_generate_trace_chunked_direct(self, machine):
+        kwargs = dict(
+            dataset_bytes=4 * GB,
+            data_rate=100 * MB,
+            duration_s=300.0,
+            page_size=machine.page_bytes,
+            seed=11,
+            file_scale=machine.scale,
+            write_fraction=0.2,
+        )
+        materialized = generate_trace(**kwargs)
+        chunked = generate_trace_chunked(chunk_accesses=900, **kwargs)
+        assert_traces_equal(materialized, chunked)
+
+
+class TestTransforms:
+    def test_chunk_trace_views(self, small_trace):
+        chunked = chunk_trace(small_trace, 1000)
+        assert_traces_equal(small_trace, chunked)
+
+    def test_chunk_trace_rejects_bad_size(self, small_trace):
+        with pytest.raises(TraceError):
+            chunk_trace(small_trace, 0)
+
+    def test_scale_data_rate_chunked(self, small_trace):
+        materialized = scale_data_rate(small_trace, 2.5)
+        chunked = scale_data_rate_chunked(chunk_trace(small_trace, 700), 2.5)
+        assert_traces_equal(materialized, chunked)
+        assert chunked.meta["rate_scaled_by"] == 2.5
+
+    def test_modulate_rate_chunked(self, machine):
+        flat = build("paper-default", machine, 600.0, seed=5)
+        profile = diurnal_profile(600.0, peak_to_trough=8.0)
+        materialized = modulate_rate(flat, profile)
+        chunked = modulate_rate_chunked(chunk_trace(flat, 900), profile)
+        assert_traces_equal(materialized, chunked)
+
+    def test_modulate_needs_totals(self):
+        src = ChunkedTrace(
+            factory=lambda: iter(()), num_accesses=None, duration_s=None
+        )
+        with pytest.raises(TraceError):
+            modulate_rate_chunked(src, lambda t: 1.0)
+
+    def test_materialize_empty_raises(self):
+        src = ChunkedTrace(factory=lambda: iter(()))
+        with pytest.raises(TraceError):
+            src.materialize()
+
+    def test_with_meta(self, small_trace):
+        chunked = chunk_trace(small_trace, 1000).with_meta(origin="test")
+        assert chunked.meta["origin"] == "test"
+        assert chunked.num_accesses == small_trace.num_accesses
+
+
+class TestIo:
+    def test_npz_writes_round_trip(self, machine, tmp_path):
+        trace = build("write-heavy", machine, 600.0, seed=9)
+        assert trace.writes is not None and trace.writes.any()
+        path = tmp_path / "writeful.npz"
+        save_npz(trace, path)
+        loaded = load_npz(path)
+        assert np.array_equal(loaded.writes, trace.writes)
+        chunked = load_npz_chunked(path, chunk_accesses=500)
+        assert_traces_equal(loaded, chunked)
+
+    def test_csv_chunked_matches_loader(self, small_trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_csv(small_trace, path)
+        whole = load_csv(path, page_size=small_trace.page_size)
+        chunked = load_csv_chunked(
+            path, page_size=small_trace.page_size, chunk_accesses=700
+        )
+        assert_traces_equal(whole, chunked)
+        sizes = [len(c) for c in chunked.chunks()]
+        assert max(sizes) <= 700
+
+
+class TestChunkedReplay:
+    """run_chunked == run_method, bit for bit."""
+
+    @pytest.mark.parametrize(
+        "method", ["2TFM-8GB", "2TDS-128GB", "2TNAP", "JOINT"]
+    )
+    def test_cold_identity(self, machine, method):
+        trace = build("paper-default", machine, 600.0, seed=3)
+        source = build_chunked(
+            "paper-default", machine, 600.0, seed=3, chunk_accesses=2000
+        )
+        offline = run_method(method, trace, machine, warm_start=False)
+        streamed = run_chunked(method, source, machine)
+        assert_results_identical(offline, streamed)
+
+    @pytest.mark.parametrize("method", ["2TFM-8GB", "2TDS-128GB", "JOINT"])
+    def test_warm_identity(self, machine, method):
+        trace = build("paper-default", machine, 600.0, seed=3)
+        source = build_chunked(
+            "paper-default", machine, 600.0, seed=3, chunk_accesses=2000
+        )
+        offline = run_method(method, trace, machine, warm_start=True)
+        streamed = run_chunked(
+            method, source, machine, prefill=warm_start_pages(trace)
+        )
+        assert_results_identical(offline, streamed)
+
+    def test_write_trace_identity(self, machine):
+        trace = build("write-heavy", machine, 600.0, seed=7)
+        source = build_chunked(
+            "write-heavy", machine, 600.0, seed=7, chunk_accesses=1500
+        )
+        offline = run_method("2TFM-8GB", trace, machine, warm_start=False)
+        streamed = run_chunked("2TFM-8GB", source, machine)
+        assert_results_identical(offline, streamed)
+
+    def test_pending_ring_stays_bounded(self, machine):
+        """Manager-less streams drain mid-period: the ring never holds
+        more than ~one feed batch even when the whole trace fits in a
+        single 600-s metrics period."""
+        from repro.service.streaming import StreamingManager
+
+        source = build_chunked(
+            "paper-default", machine, 600.0, seed=3, chunk_accesses=512
+        )
+        stream = StreamingManager("2TFM-8GB", machine, expect_writes=False)
+        worst = 0
+        for chunk in source.chunks():
+            stream.feed(chunk.times, chunk.pages, chunk.writes)
+            worst = max(worst, stream._hi - stream._lo)
+        stream.close()
+        assert worst <= 2 * 512
+
+
+class TestPaperScaleBoundedMemory:
+    """The ISSUE 8 acceptance bar: a 10^7-access scale=1 trace replays
+    end-to-end through the chunked pipeline with peak RSS bounded by the
+    chunk size (plus the generator's O(requests) plan), not the trace.
+
+    Runs in subprocesses so /proc VmHWM measures each pipeline alone.
+    The materialized twin merely *generates* the trace and already peaks
+    ~4x above the full chunked generate-and-replay run.
+    """
+
+    PARAMS = (
+        "dataset_bytes=1 * GB, data_rate=100 * MB, duration_s=400.0, "
+        "page_size=machine.page_bytes, seed=11, file_scale=machine.scale"
+    )
+
+    @staticmethod
+    def _run(body: str) -> dict:
+        script = textwrap.dedent(
+            """\
+            import gc, json, sys
+
+            def vm(key):
+                with open("/proc/self/status") as handle:
+                    for line in handle:
+                        if line.startswith(key):
+                            return int(line.split()[1]) * 1024
+                raise RuntimeError(key)
+
+            from repro.config.machine import scaled_machine
+            from repro.sim.runner import run_chunked
+            from repro.traces.specweb import (
+                generate_trace,
+                generate_trace_chunked,
+            )
+            from repro.units import GB, MB
+
+            machine = scaled_machine(1)
+            gc.collect()
+            base = vm("VmRSS")
+            """
+        ) + textwrap.dedent(body)
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=240,
+        )
+        assert proc.returncode == 0, proc.stderr
+        return eval(proc.stdout.strip().splitlines()[-1])
+
+    @pytest.mark.skipif(sys.platform != "linux", reason="/proc VmHWM")
+    def test_ten_million_accesses_bounded(self):
+        chunk = 1 << 20
+        chunked = self._run(
+            f"""\
+            source = generate_trace_chunked(
+                {self.PARAMS}, chunk_accesses={chunk},
+            )
+            result = run_chunked("2TDS-128GB", source, machine)
+            print(dict(
+                n=source.num_accesses,
+                delta=vm("VmHWM") - base,
+                mode=repr(result.replay_mode),
+                accesses=result.total_accesses,
+            ))
+            """
+        )
+        materialized = self._run(
+            f"""\
+            trace = generate_trace({self.PARAMS})
+            print(dict(n=trace.num_accesses, delta=vm("VmHWM") - base))
+            """
+        )
+        assert chunked["n"] >= 10**7
+        assert chunked["accesses"] == chunked["n"]
+        assert chunked["mode"] == repr("stream-disable")
+        assert materialized["n"] == chunked["n"]
+        # The replay's peak above the import baseline stays within a
+        # small multiple of the chunk footprint (~17 bytes/access for
+        # times+pages+ring slack) plus the live memory-model state --
+        # measured ~195 MB -- while merely materializing the same trace
+        # (no replay at all) peaks ~890 MB in the expansion sort.
+        assert chunked["delta"] < materialized["delta"] / 2
+        assert chunked["delta"] < 400 * 1024 * 1024
