@@ -67,6 +67,58 @@ class ReadaheadClusterer:
         self._pending = DiskRequest(time_s=time_s, start_page=page, num_pages=1)
         return pending
 
+    def add_run(self, times, pages) -> int:
+        """Add a run of page misses; return how many requests closed.
+
+        Equivalent to one :meth:`add` call per element, with the pending
+        request held in locals for the whole run.  The caller only needs
+        the *count* of completed requests (it feeds
+        :meth:`repro.sim.metrics.MetricsCollector.on_requests`), so the
+        closed requests themselves are not materialised.
+        """
+        n = len(times)
+        if n == 0:
+            return 0
+        last_time = self._last_time
+        merge_window_s = self.merge_window_s
+        max_pages = self.max_pages
+        pending = self._pending
+        # The pending request lives in three scalars for the whole run;
+        # one frozen DiskRequest is built at write-back (p_num == 0 is
+        # the no-pending sentinel, impossible for a live request).
+        if pending is not None:
+            p_time = pending.time_s
+            p_page = pending.start_page
+            p_num = pending.num_pages
+        else:
+            p_time = 0.0
+            p_page = 0
+            p_num = 0
+        completed = 0
+        for i in range(n):
+            time_s = times[i]
+            page = pages[i]
+            if time_s < last_time:
+                raise SimulationError("misses must arrive in time order")
+            last_time = time_s
+            if p_num:
+                if (
+                    page == p_page + p_num
+                    and time_s - p_time <= merge_window_s
+                    and p_num < max_pages
+                ):
+                    p_num += 1
+                    continue
+                completed += 1
+            p_time = time_s
+            p_page = page
+            p_num = 1
+        self._pending = DiskRequest(
+            time_s=p_time, start_page=p_page, num_pages=p_num
+        )
+        self._last_time = last_time
+        return completed
+
     def flush(self) -> Optional[DiskRequest]:
         """Close and return the in-flight request, if any."""
         pending, self._pending = self._pending, None

@@ -113,9 +113,9 @@ class SimSummary:
     spin_down_cycles: int
     utilization: float
     decision_memory_bytes: Tuple[int, ...] = ()
-    #: Which replay loop produced the run ("scalar", "vectorized" or
-    #: "epoch"); defaulted so payloads cached before the field existed
-    #: still load.
+    #: Which replay loop produced the run ("scalar", "vectorized",
+    #: "missrun", "epoch", "writes" or "disable"); defaulted so payloads
+    #: cached before the field existed still load.
     replay_mode: str = "scalar"
     #: Offline-optimality regret (see :mod:`repro.analysis.regret`);
     #: None unless the task asked for it (``SimTask(regret=True)``), and

@@ -192,7 +192,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--checks",
         help=(
             "comma-separated subset (stack,intervals,predictor,joint,"
-            "energy,kernels,epoch,optimal,stream,writes)"
+            "energy,kernels,missrun,epoch,optimal,stream,writes)"
         ),
     )
     verify.add_argument(
@@ -224,7 +224,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=["micro", "sweep", "joint", "service", "fullres", "all"],
+        choices=["micro", "sweep", "joint", "missrun", "service", "fullres", "all"],
         default="all",
         help="which suite(s) to run (default: all)",
     )

@@ -45,6 +45,22 @@ class DiskEnergy:
         else:
             raise SimulationError(f"unknown time category {category!r}")
 
+    def add_requests(self, count: int, bytes_transferred: int) -> None:
+        """Account ``count`` served requests moving ``bytes_transferred``.
+
+        The integer side of a batched submission
+        (:meth:`repro.disk.drive.SimDisk.submit_run`): request and byte
+        counters are plain sums, so one batched addition is exactly
+        ``count`` single increments.  The float time buckets are *not*
+        batchable this way -- addition order matters -- so the miss-run
+        kernel accumulates them element by element and writes the fields
+        back directly.
+        """
+        if count < 0 or bytes_transferred < 0:
+            raise SimulationError("request and byte counts must be non-negative")
+        self.requests += count
+        self.bytes_transferred += bytes_transferred
+
     @property
     def accounted_s(self) -> float:
         return self.active_s + self.idle_s + self.standby_s + self.transition_s

@@ -82,6 +82,31 @@ class DiskEventLog:
             )
         )
 
+    def record_submit_run(self, submissions) -> None:
+        """Batch append: one ``submit`` event per tuple.
+
+        ``submissions`` is a sequence of ``(arrival_s, start_s, finish_s,
+        wake_delay_s, service_s, woke)`` tuples, appended in order --
+        exactly the events ``len(submissions)`` :meth:`record_submit`
+        calls would have produced.  :meth:`SimDisk.submit_run` buffers
+        its per-request tuples and flushes them here before every
+        interleaved spin-down so the log order stays event-exact.
+        """
+        self.events.extend(
+            DiskEvent(
+                kind=SUBMIT,
+                time_s=arrival_s,
+                arrival_s=arrival_s,
+                start_s=start_s,
+                finish_s=finish_s,
+                wake_delay_s=wake_delay_s,
+                service_s=service_s,
+                woke=woke,
+            )
+            for arrival_s, start_s, finish_s, wake_delay_s, service_s, woke
+            in submissions
+        )
+
     def record_spin_down(self, time_s: float) -> None:
         self.events.append(DiskEvent(kind=SPIN_DOWN, time_s=time_s))
 

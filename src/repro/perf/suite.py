@@ -25,6 +25,13 @@ Four suites, each emitting one JSON document:
   per-cell reference.  The memory entries use a ``scale=1`` workload so
   the materialized arrays actually dominate; everything else runs at
   the standard bench scale.
+* ``missrun`` (``BENCH_missrun.json``) -- the miss-run kernel on a
+  miss-heavy workload (a dataset four times the memory, so capacity
+  misses dominate): the batched miss-run replay vs the scalar loop on
+  the same method and trace, with ``miss_replay_speedup`` as the gated
+  ratio.  This is the workload shape the other suites deliberately
+  avoid -- their hit-dominated traces measure hit-run consumption,
+  which used to leave every miss on the scalar path.
 * ``service`` (``BENCH_service.json``) -- the streaming subsystem:
   single-tenant feed throughput (accesses/s through a
   :class:`~repro.service.streaming.StreamingManager`), concurrent
@@ -62,7 +69,7 @@ from repro.units import GB, MB
 #: Bump when the document layout changes (stale baselines stop gating).
 BENCH_SCHEMA = 1
 
-SUITE_NAMES = ("micro", "sweep", "joint", "service", "fullres")
+SUITE_NAMES = ("micro", "sweep", "joint", "missrun", "service", "fullres")
 
 #: Concurrent tenant streams the service suite drives.
 SERVICE_TENANTS = 8
@@ -192,7 +199,13 @@ def _suite_sweep(quick: bool) -> Dict[str, Any]:
             start = time.perf_counter()
             result = run_method(method, trace, machine, profile=profile_mode)
             walls.append(time.perf_counter() - start)
-            expected = "scalar" if profile_mode is None else "vectorized"
+            if profile_mode is None:
+                expected = "scalar"
+            elif method.startswith(("2T", "ON")):
+                # Request-blind policies batch their misses too.
+                expected = "missrun"
+            else:
+                expected = "vectorized"
             if result.replay_mode != expected:
                 raise SimulationError(
                     f"{method}: expected a {expected} replay, got "
@@ -349,6 +362,57 @@ def _suite_joint(quick: bool) -> Dict[str, Any]:
     entries["end_period_speedup"] = _ratio_entry(
         ref_wall / fast_wall,
         f"old per-candidate loop / one-pass predict, {len(pages)} candidates",
+    )
+    return entries
+
+
+def _suite_missrun(quick: bool) -> Dict[str, Any]:
+    repeats = 2 if quick else 3
+    entries: Dict[str, Any] = {}
+
+    # Miss-heavy workload: a uniform (popularity=1.0) scan over a
+    # dataset sixteen times the 1 GB memory the method brings, so nearly
+    # every access is a capacity miss and misses arrive in long
+    # sequential runs.  The hit-dominated ``_workload`` trace the other
+    # suites use would measure hit-run consumption instead.
+    machine = scaled_machine(1024)
+    trace = generate_trace(
+        dataset_bytes=16 * GB,
+        data_rate=100 * MB,
+        duration_s=600.0 if quick else 1200.0,
+        popularity=1.0,
+        page_size=machine.page_bytes,
+        seed=7,
+        file_scale=machine.scale,
+    )
+    clear_memo()
+    profile = build_profile(trace)
+
+    def run_missheavy(prof, expected):
+        result = run_method("2TFM-1GB", trace, machine, profile=prof)
+        if result.replay_mode != expected:
+            raise SimulationError(
+                f"miss-run replay: expected {expected}, got "
+                f"{result.replay_mode}"
+            )
+        return result
+
+    miss_fraction = round(run_missheavy(profile, "missrun").miss_ratio, 4)
+
+    scalar_wall = _best_of(lambda: run_missheavy(None, "scalar"), repeats)
+    entries["miss_replay_scalar"] = _time_entry(
+        scalar_wall, trace.num_accesses, miss_fraction=miss_fraction
+    )
+
+    fast_wall = _best_of(lambda: run_missheavy(profile, "missrun"), repeats)
+    entries["miss_replay_fast"] = _time_entry(
+        fast_wall, trace.num_accesses, miss_fraction=miss_fraction
+    )
+
+    entries["miss_replay_speedup"] = _ratio_entry(
+        scalar_wall / fast_wall,
+        "scalar / missrun-kernel wall-clock, miss-heavy trace "
+        f"({miss_fraction:.0%} misses), profile prebuilt",
     )
     return entries
 
@@ -663,6 +727,7 @@ _SUITES: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "micro": _suite_micro,
     "sweep": _suite_sweep,
     "joint": _suite_joint,
+    "missrun": _suite_missrun,
     "service": _suite_service,
     "fullres": _suite_fullres,
 }

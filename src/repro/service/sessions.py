@@ -51,6 +51,7 @@ class SessionStats:
     watermark: float
     accesses_fed: int
     accesses_processed: int
+    pending_accesses: int
     batches: int
     decision_count: int
     memory_bytes: int
@@ -92,6 +93,7 @@ class _Session:
             watermark=stream.watermark,
             accesses_fed=stream.accesses_fed,
             accesses_processed=stream.accesses_processed,
+            pending_accesses=stream.pending_accesses,
             batches=stream.batches,
             decision_count=len(stream.decisions),
             memory_bytes=stream.memory_bytes,
@@ -154,9 +156,14 @@ class SessionRegistry:
         prefill: Optional[Sequence[int]] = None,
         warmup_s: float = 0.0,
         expect_writes: bool = False,
+        max_buffered: Optional[int] = None,
         session_id: Optional[str] = None,
     ) -> str:
-        """Open a tenant stream; returns its session id."""
+        """Open a tenant stream; returns its session id.
+
+        ``max_buffered`` caps how many accesses the tenant's stream may
+        hold past the watermark (backpressure); None means unbounded.
+        """
         self.evict_idle()
         stream = StreamingManager(
             method,
@@ -164,6 +171,7 @@ class SessionRegistry:
             prefill=prefill,
             warmup_s=warmup_s,
             expect_writes=expect_writes,
+            max_buffered=max_buffered,
         )
         now = self._clock()
         with self._lock:

@@ -39,8 +39,12 @@ the epoch complete:
 
 Replay modes mirror :func:`repro.sim.kernels.select_mode`:
 ``stream-epoch`` (joint manager on the nap memory model),
-``stream-vectorized`` (fixed capacity, profiled-replay memory),
-``stream-writes`` (fixed capacity with write-back -- hit runs through
+``stream-missrun`` (fixed capacity, profiled-replay memory, a
+request-blind disk policy -- misses batch through
+:meth:`SimDisk.submit_run` exactly as offline ``"missrun"`` runs do),
+``stream-vectorized`` (fixed capacity, profiled-replay memory, a
+request-aware policy), ``stream-writes`` (fixed capacity with
+write-back -- hit runs through
 :meth:`MemorySystem.consume_hit_run_rw`, flush sweeps through the
 scalar drain), ``stream-disable`` (the 2TDS model's profile-free
 pure-hit-prefix replay) and ``stream-scalar`` (joint write-back
@@ -74,6 +78,7 @@ from repro.sim.results import SimResult
 #: ``SimResult.replay_mode`` values for streaming runs.
 STREAM_SCALAR = "stream-scalar"
 STREAM_VECTORIZED = "stream-vectorized"
+STREAM_MISSRUN = "stream-missrun"
 STREAM_EPOCH = "stream-epoch"
 STREAM_WRITES = "stream-writes"
 STREAM_DISABLE = "stream-disable"
@@ -114,6 +119,12 @@ class StreamingManager:
         replay through the scalar loop.  Feeding a write without this
         flag is an error (the fast paths have already classified
         earlier accesses under read-only rules).
+    max_buffered:
+        Backpressure cap on the pending-access buffer (accesses fed but
+        not yet proven replayable).  ``feed`` raises a clear
+        ``SimulationError`` when a batch would push the buffer past the
+        cap; the caller should ``advance`` the watermark (or slow the
+        producer) and retry.  ``None`` (the default) means unbounded.
     """
 
     def __init__(
@@ -125,6 +136,7 @@ class StreamingManager:
         warmup_s: float = 0.0,
         expect_writes: bool = False,
         label: Optional[str] = None,
+        max_buffered: Optional[int] = None,
     ) -> None:
         spec = parse_method(method) if isinstance(method, str) else method
         if spec.disk == "OR":
@@ -140,6 +152,9 @@ class StreamingManager:
             raise SimulationError("warm-up must be a whole number of periods")
         self.warmup_s = warmup_s
         self.expect_writes = bool(expect_writes)
+        if max_buffered is not None and max_buffered < 1:
+            raise SimulationError("max_buffered must be positive (or None)")
+        self.max_buffered = max_buffered
 
         prefill = list(prefill) if prefill else []
         manager: Optional[JointPowerManager] = None
@@ -189,9 +204,14 @@ class StreamingManager:
             else:
                 self.replay_mode = STREAM_SCALAR
         elif supports_profiled_replay(memory):
-            self.replay_mode = (
-                STREAM_WRITES if self.expect_writes else STREAM_VECTORIZED
-            )
+            if self.expect_writes:
+                self.replay_mode = STREAM_WRITES
+            elif kernels._policy_is_request_blind(
+                self._engine.policy
+            ) and kernels._batchable_disk(self._engine.disk):
+                self.replay_mode = STREAM_MISSRUN
+            else:
+                self.replay_mode = STREAM_VECTORIZED
         else:
             self.replay_mode = STREAM_SCALAR
 
@@ -200,7 +220,12 @@ class StreamingManager:
         # to the kernels are identical to a TraceProfile's.  The disable
         # mode needs none: its residency oracle is the live bank map.
         self._tracker: Optional[StackDistanceTracker] = None
-        if self.replay_mode in (STREAM_EPOCH, STREAM_VECTORIZED, STREAM_WRITES):
+        if self.replay_mode in (
+            STREAM_EPOCH,
+            STREAM_VECTORIZED,
+            STREAM_MISSRUN,
+            STREAM_WRITES,
+        ):
             self._tracker = StackDistanceTracker()
             if prefill:
                 self._tracker.access_array(prefill)
@@ -467,6 +492,13 @@ class StreamingManager:
     def _append(self, times, pages, write_flags) -> None:
         n = int(times.size)
         live = self._hi - self._lo
+        if self.max_buffered is not None and live + n > self.max_buffered:
+            raise SimulationError(
+                f"stream buffer over capacity: {live} pending access(es) + "
+                f"{n} in this batch exceed max_buffered={self.max_buffered}; "
+                f"advance() the watermark past the pending epoch (or raise "
+                f"the cap) before feeding more"
+            )
         if self._hi + n > self._times.size:
             size = self._times.size
             while size < live + n:
@@ -649,6 +681,8 @@ class StreamingManager:
             )
         elif self.replay_mode == STREAM_VECTORIZED:
             self._replay_span_vectorized(lo, hi, duration_s)
+        elif self.replay_mode == STREAM_MISSRUN:
+            self._replay_span_missrun(lo, hi, duration_s)
         elif self.replay_mode == STREAM_WRITES:
             self._replay_span_writes(lo, hi, duration_s)
         elif self.replay_mode == STREAM_DISABLE:
@@ -689,6 +723,37 @@ class StreamingManager:
             memory.charge_page_access(now, page)
             serve_miss(st, now, page)
             pos = m + 1
+        if pos < hi:
+            kernels._consume_hits(
+                engine, st, memory, times, pages, pos, hi, duration_s
+            )
+
+    def _replay_span_missrun(self, lo: int, hi: int, duration_s: float) -> None:
+        """The replay_missrun inner loop over one buffered span.
+
+        Same classification as the vectorized span (the incremental
+        tracker's depths stand in for the profile); runs of consecutive
+        misses batch through the same boundary-splitting helpers the
+        offline ``"missrun"`` replay uses.
+        """
+        st = self._st
+        engine = self._engine
+        memory = self._memory
+        times = self._times[: self._hi]
+        pages = self._pages[: self._hi]
+        window = self._depths[lo:hi]
+        hits = (window >= 0) & (window < memory.capacity_pages)
+        miss_indices = np.flatnonzero(~hits) + lo
+        pos = lo
+        for run_lo, run_hi in kernels._miss_runs(miss_indices):
+            if pos < run_lo:
+                kernels._consume_hits(
+                    engine, st, memory, times, pages, pos, run_lo, duration_s
+                )
+            kernels._serve_missrun_span(
+                engine, st, memory, times, pages, run_lo, run_hi, duration_s
+            )
+            pos = run_hi
         if pos < hi:
             kernels._consume_hits(
                 engine, st, memory, times, pages, pos, hi, duration_s

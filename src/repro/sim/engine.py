@@ -212,6 +212,8 @@ class SimulationEngine:
         self.last_replay_mode = mode
         if mode == kernels.MODE_VECTORIZED:
             kernels.replay_vectorized(self, st, trace, profile, duration_s)
+        elif mode == kernels.MODE_MISSRUN:
+            kernels.replay_missrun(self, st, trace, profile, duration_s)
         elif mode == kernels.MODE_EPOCH:
             kernels.replay_epoch(self, st, trace, profile, duration_s)
         elif mode == kernels.MODE_WRITES:

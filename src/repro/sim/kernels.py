@@ -16,11 +16,23 @@ operations, so a fast replay is bit-identical to the scalar loop -- the
 differential ``kernels``/``epoch`` checks and ``tests/sim/test_kernels.py``
 assert as much.
 
-Four fast modes exist:
+Five fast modes exist:
 
 * ``"vectorized"`` -- fixed-capacity read-only runs (no joint manager)
   under a memory system that opted into profiled replay (nap,
   power-down): one ``hit_mask`` call decides every access up front.
+* ``"missrun"`` -- the vectorized mode plus *batched misses*: when the
+  disk policy is request-blind (it overrides neither ``on_request`` nor
+  ``on_idle_start``, so the timeout can only change at period
+  boundaries) and the drive has no positioned service model, runs of
+  consecutive misses replay through :meth:`SimDisk.submit_run` -- the
+  per-miss busy/spin/wake recurrence advanced on local accumulators in
+  the scalar loop's exact float64 operation order -- with the
+  sequential-merge flags resolved by one vectorized compare, the
+  clusterer advanced by :meth:`ReadaheadClusterer.add_run`, and metrics
+  by :meth:`MetricsCollector.on_miss_run`.  Miss runs split at period
+  boundaries exactly like hit runs, so every boundary still fires
+  one at a time through the scalar ``_drain_events``.
 * ``"epoch"`` -- joint-manager runs.  Between two period boundaries the
   cache capacity is fixed, so the replay walks the trace *epoch by
   epoch*: each epoch's ``(times, depths)`` slice feeds the manager's
@@ -62,6 +74,22 @@ Fallback conditions (any one routes the run through the scalar loop):
   interleave with the flush cadence);
 * no profile was supplied, or it does not cover the trace (except the
   disable mode, which replays from live bank state alone).
+
+Additional conditions demote ``"missrun"`` to plain ``"vectorized"``
+(misses one at a time through the scalar ``_serve_miss``):
+
+* the disk policy overrides ``on_request`` or ``on_idle_start`` (it may
+  change the timeout mid-run, which the batched recurrence assumes
+  cannot happen);
+* the drive prices requests from geometry (a positioned service model);
+* the drive instance carries a ``submit``/``submit_run`` attribute
+  override (e.g. the runner's miss-time recorder), which the batch path
+  would bypass.
+
+Joint-manager (``"epoch"``) replays batch their misses the same way
+when the drive qualifies -- the manager only moves the timeout at
+period boundaries, so every epoch-interior miss run is timeout-free by
+construction -- without changing the reported mode name.
 """
 
 from __future__ import annotations
@@ -79,13 +107,49 @@ from repro.memory.system import (
     NapMemorySystem,
     supports_profiled_replay,
 )
+from repro.policies.base import DiskPolicy
 
 #: SimResult.replay_mode values.
 MODE_SCALAR = "scalar"
 MODE_VECTORIZED = "vectorized"
+MODE_MISSRUN = "missrun"
 MODE_EPOCH = "epoch"
 MODE_WRITES = "writes"
 MODE_DISABLE = "disable"
+
+
+def _policy_is_request_blind(policy) -> bool:
+    """True when ``policy`` never reacts to individual requests.
+
+    A request-blind policy overrides neither hook the engine fires per
+    miss -- the base implementations discard their arguments and return
+    ``NO_CHANGE`` -- so between two period boundaries the disk timeout
+    is a constant and the whole per-miss policy round trip (including
+    the idle-hint lookup feeding ``on_idle_start``) can be skipped.
+    Checked on the concrete class so any override opts out.
+    """
+    cls = type(policy)
+    return (
+        cls.on_request is DiskPolicy.on_request
+        and cls.on_idle_start is DiskPolicy.on_idle_start
+    )
+
+
+def _batchable_disk(disk) -> bool:
+    """True when ``disk`` may serve miss runs through ``submit_run``.
+
+    A positioned service model prices each request from the head
+    position, which the precomputed sequential/first split cannot
+    express; and an instance-level ``submit``/``submit_run`` override
+    (e.g. :func:`repro.sim.runner._collect_miss_times`'s recorder) would
+    be silently bypassed by the batch path.  Class-level patches (the
+    mutation tests) still take effect through ``submit_run`` itself.
+    """
+    return (
+        disk.positioned is None
+        and "submit" not in disk.__dict__
+        and "submit_run" not in disk.__dict__
+    )
 
 
 def select_mode(
@@ -135,6 +199,8 @@ def select_mode(
         )
     if has_writes:
         return MODE_WRITES, None
+    if _policy_is_request_blind(engine.policy) and _batchable_disk(engine.disk):
+        return MODE_MISSRUN, None
     return MODE_VECTORIZED, None
 
 
@@ -171,6 +237,134 @@ def replay_vectorized(engine, st, trace, profile: TraceProfile, duration_s: floa
         pos = m + 1
     if pos < n:
         _consume_hits(engine, st, memory, times, pages, pos, n, duration_s)
+
+
+def replay_missrun(engine, st, trace, profile: TraceProfile, duration_s: float) -> None:
+    """The vectorized replay with runs of consecutive misses batched.
+
+    Hit runs collapse exactly as in :func:`replay_vectorized`; miss runs
+    go through :func:`_serve_missrun_span`, which splits them at period
+    boundaries and serves each boundary-free stretch in one pass through
+    the batched disk/metrics/clusterer recurrences.  Eligibility
+    (:func:`select_mode`) guarantees no timeout can move inside a
+    stretch: the policy is request-blind and the trace carries no
+    writes, so the only interior events are period boundaries.
+    """
+    times = trace.times
+    pages = trace.pages
+    n = int(np.searchsorted(times, duration_s, side="left"))
+    hits = profile.hit_mask(engine.memory.capacity_pages, n)
+    miss_indices = np.flatnonzero(~hits)
+
+    memory = engine.memory
+    pos = 0
+    for lo, hi in _miss_runs(miss_indices):
+        if pos < lo:
+            _consume_hits(engine, st, memory, times, pages, pos, lo, duration_s)
+        _serve_missrun_span(engine, st, memory, times, pages, lo, hi, duration_s)
+        pos = hi
+    if pos < n:
+        _consume_hits(engine, st, memory, times, pages, pos, n, duration_s)
+
+
+def _miss_runs(miss_indices: np.ndarray):
+    """Yield ``(lo, hi)`` half-open spans of consecutive miss indices."""
+    if miss_indices.size == 0:
+        return
+    breaks = np.flatnonzero(np.diff(miss_indices) != 1) + 1
+    starts = miss_indices[np.concatenate(([0], breaks))].tolist()
+    ends = miss_indices[np.concatenate((breaks - 1, [miss_indices.size - 1]))].tolist()
+    for lo, hi in zip(starts, ends):
+        yield lo, hi + 1
+
+
+def _serve_missrun_span(
+    engine, st, memory, times, pages, lo: int, hi: int, duration_s: float
+) -> None:
+    """Serve the all-miss span ``[lo, hi)``, firing events in time order.
+
+    The miss-run twin of :func:`_consume_hits`: each pending period
+    boundary (the only interior event -- miss-run eligibility excludes
+    writes) splits the span with one ``searchsorted``, the boundary-free
+    stretch batches through :func:`_serve_miss_run`, and the boundary
+    itself fires through the scalar ``_drain_events``.  An access at
+    exactly the boundary fires the boundary first (``side='left'``),
+    matching the scalar loop.
+    """
+    while lo < hi:
+        flush_at = st.next_flush if st.has_writes else math.inf
+        event_at = min(flush_at, st.next_boundary)
+        if event_at > duration_s:
+            cut = hi
+        else:
+            cut = min(max(int(np.searchsorted(times, event_at, side="left")), lo), hi)
+        if cut > lo:
+            _serve_miss_run(engine, st, memory, times, pages, lo, cut)
+            lo = cut
+        if lo < hi:
+            engine._drain_events(st, float(times[lo]))
+            flush_after = st.next_flush if st.has_writes else math.inf
+            if min(flush_after, st.next_boundary) == event_at:
+                raise SimulationError(
+                    "miss-run replay made no progress at a pending event"
+                )
+
+
+def _serve_miss_run(engine, st, memory, times, pages, lo: int, hi: int) -> None:
+    """Serve the boundary-free all-miss stretch ``[lo, hi)`` batched.
+
+    Exactly what ``hi - lo`` iterations of ``charge_page_access`` +
+    ``_serve_miss`` would do.  The scalar loop interleaves four objects
+    per miss -- memory energy, the drive, metrics, the clusterer -- but
+    their accumulators are disjoint, so advancing each object over the
+    whole stretch in its own pass preserves every object's internal
+    floating-point operation order bit-exactly.  The per-miss policy
+    hooks are skipped entirely: eligibility guarantees they are the
+    base-class no-ops.
+    """
+    # Deferred: engine.py imports this module at its own top level.
+    from repro.sim.engine import SEQUENTIAL_MERGE_WINDOW_S
+
+    run_times = times[lo:hi]
+    run_pages = pages[lo:hi]
+    n = hi - lo
+    # The scalar flag: next page in sequence, within the merge window.
+    # Element 0 continues the previous miss (possibly many hit runs and
+    # boundaries ago); the rest compare against their left neighbour.
+    seq = np.empty(n, dtype=bool)
+    seq[0] = (
+        int(run_pages[0]) == st.last_miss_page + 1
+        and float(run_times[0]) - st.last_miss_time <= SEQUENTIAL_MERGE_WINDOW_S
+    )
+    if n > 1:
+        np.logical_and(
+            run_pages[1:] == run_pages[:-1] + 1,
+            run_times[1:] - run_times[:-1] <= SEQUENTIAL_MERGE_WINDOW_S,
+            out=seq[1:],
+        )
+    services = _miss_run_services(engine.disk.service, seq)
+    times_list = run_times.tolist()
+
+    memory.charge_miss_run(times, pages, lo, hi)
+    latencies, wake_delays = engine.disk.submit_run(times_list, services)
+    st.metrics.on_miss_run(times_list, latencies, wake_delays)
+    completed = st.clusterer.add_run(times_list, run_pages.tolist())
+    if completed:
+        st.metrics.on_requests(completed)
+    st.last_miss_page = int(run_pages[n - 1])
+    st.last_miss_time = times_list[n - 1]
+
+
+def _miss_run_services(service, seq: np.ndarray):
+    """Per-miss service times for a run given its sequential flags.
+
+    ``ServiceModel.service_time`` is a pure function of its arguments,
+    so the two single-page prices are computed once -- bit-identical to
+    the scalar loop's per-miss calls -- and spread by the flags.
+    """
+    svc_first = service.service_time(1, False)
+    svc_seq = service.service_time(1, True)
+    return np.where(seq, svc_seq, svc_first).tolist()
 
 
 def replay_writes(engine, st, trace, profile: TraceProfile, duration_s: float) -> None:
@@ -313,7 +507,11 @@ def replay_epoch(engine, st, trace, profile: TraceProfile, duration_s: float) ->
     memory = engine.memory
     manager = engine.manager
     drain = engine._drain_events
-    serve_miss = engine._serve_miss
+
+    # The joint manager only moves the timeout at period boundaries, so
+    # every epoch-interior miss run is timeout-free and may batch
+    # through submit_run whenever the drive itself qualifies.
+    batch_misses = _batchable_disk(engine.disk)
 
     # Invariant: the resident set is the top-`resident` pages of the
     # full-history LRU stack, so an access hits iff 0 <= depth < resident.
@@ -335,7 +533,7 @@ def replay_epoch(engine, st, trace, profile: TraceProfile, duration_s: float) ->
         if end > pos:
             resident = _replay_epoch_segment(
                 engine, st, memory, manager, times, pages, depths,
-                pos, end, duration_s, resident,
+                pos, end, duration_s, resident, batch_misses,
             )
             pos = end
             if pos >= n:
@@ -350,6 +548,7 @@ def replay_epoch(engine, st, trace, profile: TraceProfile, duration_s: float) ->
 def _replay_epoch_segment(
     engine, st, memory, manager, times, pages, depths,
     lo: int, hi: int, duration_s: float, resident: int,
+    batch_misses: bool = False,
 ) -> int:
     """Replay accesses ``[lo, hi)`` of one epoch; returns the new resident count."""
     capacity = memory.capacity_pages
@@ -359,6 +558,23 @@ def _replay_epoch_segment(
     manager.record_profiled(times[lo:hi], depths[lo:hi])
 
     miss_indices, resident = _epoch_misses(depths, lo, hi, resident, capacity)
+
+    if batch_misses:
+        # The segment lies strictly inside one epoch, so no boundary (or
+        # flush -- epoch mode excludes writes) can interrupt a miss run:
+        # the per-miss drain calls of the scalar walk below are no-ops
+        # and each run serves in one batched pass.
+        pos = lo
+        for run_lo, run_hi in _miss_runs(miss_indices):
+            if pos < run_lo:
+                _consume_hits(
+                    engine, st, memory, times, pages, pos, run_lo, duration_s
+                )
+            _serve_miss_run(engine, st, memory, times, pages, run_lo, run_hi)
+            pos = run_hi
+        if pos < hi:
+            _consume_hits(engine, st, memory, times, pages, pos, hi, duration_s)
+        return resident
 
     serve_miss = engine._serve_miss
     drain = engine._drain_events

@@ -121,10 +121,63 @@ class MetricsCollector:
                 self._idle_lengths.append(gap)
         self._last_disk_access = now
 
+    def on_miss_run(self, times, latencies, wake_delays) -> None:
+        """A run of disk page accesses with their observed latencies.
+
+        Equivalent to one :meth:`on_miss` call per element.  The integer
+        counters and comparisons are order-free, but the float latency
+        sums are not, so they advance element by element in the scalar
+        call order on local accumulators (the miss-run kernel contract:
+        bit-identical totals, see :mod:`repro.sim.kernels`).
+        """
+        n = len(times)
+        total_latency = self.latency_sum_s
+        current_latency = self._current.latency_sum_s
+        max_latency = self.max_latency_s
+        long_total = 0
+        wake_total = 0
+        threshold = self.threshold_s
+        window = self.window_s
+        last = self._last_disk_access
+        idle_lengths = self._idle_lengths
+        for i in range(n):
+            latency_s = latencies[i]
+            total_latency += latency_s
+            if latency_s > max_latency:
+                max_latency = latency_s
+            current_latency += latency_s
+            if latency_s > threshold:
+                long_total += 1
+                if wake_delays[i] > 0.0:
+                    wake_total += 1
+            now = times[i]
+            if last is not None:
+                gap = now - last
+                if gap >= window:
+                    idle_lengths.append(gap)
+            last = now
+        self.total_accesses += n
+        self.total_disk_pages += n
+        self.latency_sum_s = total_latency
+        self.max_latency_s = max_latency
+        self._current.accesses += n
+        self._current.disk_page_accesses += n
+        self._current.latency_sum_s = current_latency
+        self.total_long_latency += long_total
+        self._current.long_latency += long_total
+        self.total_wake_long_latency += wake_total
+        self._current.wake_long_latency += wake_total
+        self._last_disk_access = last
+
     def on_request(self) -> None:
         """One merged disk request began (request-size statistics)."""
         self.total_disk_requests += 1
         self._current.disk_requests += 1
+
+    def on_requests(self, count: int) -> None:
+        """``count`` merged disk requests at once (batched miss runs)."""
+        self.total_disk_requests += count
+        self._current.disk_requests += count
 
     def on_write(self, now: float) -> None:
         """One write access absorbed by the cache (no disk read)."""

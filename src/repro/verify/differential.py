@@ -1,6 +1,6 @@
 """Differential runner: fast paths vs brute-force oracles over fuzzed seeds.
 
-Ten checks, each pairing a production fast path with its oracle from
+Eleven checks, each pairing a production fast path with its oracle from
 :mod:`repro.verify.oracles` (or, for ``optimal``, from
 :mod:`repro.verify.optimal`):
 
@@ -15,6 +15,9 @@ joint      ``core.joint.JointPowerManager`` period decision       per-size LRU +
                                                                   grid search
 energy     ``sim.engine`` / ``disk.drive`` incremental accounting event-log integration
 kernels    ``sim.kernels`` vectorized replay                      the scalar engine loop
+missrun    ``sim.kernels`` miss-run replay (batched               the scalar engine loop
+           ``SimDisk.submit_run`` recurrence, vectorized          (per-miss
+           sequential-merge flags, batched clusterer/metrics)     ``_serve_miss``)
 writes     ``sim.kernels`` write-carrying vectorized replay       the scalar engine loop
            (dirty marks batched, flush sweeps interleaved)        (write-back path)
 epoch      ``sim.kernels`` epoch-segmented joint replay +         the scalar engine loop
@@ -459,6 +462,19 @@ def check_energy(case: VerifyCase) -> Optional[str]:
     return None
 
 
+class _RequestAwareTimeout(FixedTimeoutPolicy):
+    """A fixed timeout that *looks* request-aware.
+
+    Overriding ``on_request`` (behaviourally a no-op) opts the policy
+    out of the miss-run upgrade, so ``check_kernels`` keeps pinning the
+    plain ``"vectorized"`` mode -- every miss through the scalar
+    ``_serve_miss`` -- while ``check_missrun`` owns the batched path.
+    """
+
+    def on_request(self, now, latency_s, wake_delay_s, idle_before_s):
+        return super().on_request(now, latency_s, wake_delay_s, idle_before_s)
+
+
 def check_kernels(case: VerifyCase) -> Optional[str]:
     """Vectorized replay kernels vs the scalar engine loop, bit for bit.
 
@@ -466,7 +482,10 @@ def check_kernels(case: VerifyCase) -> Optional[str]:
     fast one gets a :class:`TraceProfile`, the reference one does not.
     Every ``SimResult`` field -- energies, latencies, per-period series --
     must compare exactly equal (no tolerance: the kernels promise the
-    identical floating-point operations, not merely close ones).
+    identical floating-point operations, not merely close ones).  The
+    policy advertises a request-aware hook so the run stays on the
+    per-miss ``"vectorized"`` mode; the batched-miss upgrade has its own
+    ``missrun`` check.
     """
     from repro.sim.prefill import warm_start_pages
 
@@ -491,7 +510,7 @@ def check_kernels(case: VerifyCase) -> Optional[str]:
         engine = SimulationEngine(
             machine,
             memory,
-            disk_policy=FixedTimeoutPolicy(timeout),
+            disk_policy=_RequestAwareTimeout(timeout),
             label="verify-kernels",
         )
         return engine.run(trace, profile=profile)
@@ -512,6 +531,87 @@ def check_kernels(case: VerifyCase) -> Optional[str]:
                 f"{name}: vectorized {a[name]!r} != scalar {b[name]!r} "
                 f"(timeout {timeout}, capacity {capacity} B, warm={warm})"
             )
+    return None
+
+
+def check_missrun(case: VerifyCase) -> Optional[str]:
+    """Batched miss-run replay vs the scalar engine loop, bit for bit.
+
+    Rotates the nap and power-down memory models, random capacities
+    (including zero -- an all-miss trace is one long boundary-split miss
+    run), the 2T and always-on policies, disk timeouts from never to
+    instant, and warm starts.  Half the seeds record the disk event log
+    on both legs and compare it event for event, so the batched
+    ``submit_run`` must also interleave its buffered submit records with
+    spin-downs in exactly the scalar order.
+    """
+    from repro.memory.system import PowerDownMemorySystem
+    from repro.policies.always_on import AlwaysOnPolicy
+    from repro.sim.prefill import warm_start_pages
+
+    if case.times.size == 0:
+        return None
+    machine = random_small_machine(case.seed)
+    rng = np.random.default_rng(case.seed ^ 0x3155)
+    spec = machine.memory
+    banks = spec.installed_bytes // spec.bank_bytes
+    capacity = spec.bank_bytes * int(rng.integers(0, banks + 1))
+    timeout = float(
+        rng.choice([0.0, 1.0, machine.disk.break_even_time_s, 30.0, math.inf])
+    )
+    model = ("nap", "pd")[int(rng.integers(0, 2))]
+    always_on = bool(rng.integers(0, 2))
+    warm = bool(rng.integers(0, 2))
+    record = bool(rng.integers(0, 2))
+    trace = Trace(
+        times=case.times, pages=case.pages, page_size=machine.page_bytes
+    )
+    prefill = warm_start_pages(trace) if warm else []
+    context = (
+        f"(model {model}, policy {'ON' if always_on else '2T'}, timeout "
+        f"{timeout}, capacity {capacity} B, warm={warm}, events={record})"
+    )
+
+    def replay(profile):
+        if model == "nap":
+            memory = NapMemorySystem(spec, capacity)
+        else:
+            memory = PowerDownMemorySystem(spec, capacity)
+        if prefill:
+            memory.prefill(prefill)
+        policy = AlwaysOnPolicy() if always_on else FixedTimeoutPolicy(timeout)
+        engine = SimulationEngine(
+            machine,
+            memory,
+            disk_policy=policy,
+            label="verify-missrun",
+            record_events=record,
+        )
+        return engine.run(trace, profile=profile), engine
+
+    fast, fast_engine = replay(build_profile(trace, warm_start=warm))
+    slow, slow_engine = replay(None)
+    if fast.replay_mode != "missrun":
+        return (
+            f"fast path refused an eligible miss-run replay "
+            f"(mode {fast.replay_mode}) {context}"
+        )
+    if slow.replay_mode != "scalar":
+        return "reference run did not use the scalar loop"
+    for f in dataclasses.fields(fast):
+        if f.name == "replay_mode":
+            continue
+        diff = deep_diff(getattr(fast, f.name), getattr(slow, f.name), f.name)
+        if diff is not None:
+            return f"{diff} {context}"
+    if record:
+        diff = deep_diff(
+            fast_engine.disk.events.events,
+            slow_engine.disk.events.events,
+            "disk_events",
+        )
+        if diff is not None:
+            return f"{diff} {context}"
     return None
 
 
@@ -888,6 +988,7 @@ CHECKS: Dict[str, Callable[[VerifyCase], Optional[str]]] = {
     "joint": check_joint,
     "energy": check_energy,
     "kernels": check_kernels,
+    "missrun": check_missrun,
     "writes": check_writes,
     "epoch": check_epoch,
     "optimal": check_optimal,

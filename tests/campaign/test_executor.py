@@ -291,13 +291,14 @@ class TestTelemetry:
             SimLikeTask("b", "epoch"),
             SimLikeTask("c", "vectorized"),
             SimLikeTask("d", ""),  # pre-field cached payload -> scalar
+            SimLikeTask("e", "missrun"),
             AddTask(1, 2),  # non-sim payloads never count
         ]
         report = run_campaign(tasks)
-        counts = {"epoch": 2, "scalar": 1, "vectorized": 1}
+        counts = {"epoch": 2, "missrun": 1, "scalar": 1, "vectorized": 1}
         assert report.replay_mode_counts() == counts
         assert report.telemetry()["replay_modes"] == counts
-        assert "replay modes  epoch=2 scalar=1 vectorized=1" in (
+        assert "replay modes  epoch=2 missrun=1 scalar=1 vectorized=1" in (
             report.render_summary()
         )
 
@@ -323,3 +324,28 @@ class TestTelemetry:
         legacy = dict(payload)
         del legacy["replay_mode"]
         assert SimSummary.from_payload(legacy).replay_mode == "scalar"
+
+    def test_missrun_mode_flows_end_to_end(self, fast_machine):
+        """A real request-blind SimTask lands as missrun in the rollup."""
+        from repro.campaign.tasks import SimTask, WorkloadSpec
+        from repro.policies.registry import parse_method
+
+        workload = WorkloadSpec.for_machine(
+            fast_machine,
+            dataset_gb=2.0,
+            rate_mb=20.0,
+            popularity=0.2,
+            duration_s=240.0,
+            seed=3,
+        )
+        task = SimTask(
+            method=parse_method("2TFM-4GB"),
+            machine=fast_machine,
+            workload=workload,
+            duration_s=240.0,
+        )
+        report = run_campaign([task])
+        assert report.ok
+        assert report.replay_mode_counts() == {"missrun": 1}
+        summary = report.payloads()[0]["summary"]
+        assert summary["replay_mode"] == "missrun"

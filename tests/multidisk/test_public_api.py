@@ -82,7 +82,7 @@ class TestCrossEngineAgreement:
             "2TFM-8GB", trace, machine, duration_s=600.0,
             warm_start=False, profile=None,
         )
-        assert fast.replay_mode == "vectorized"
+        assert fast.replay_mode == "missrun"
         assert slow.replay_mode == "scalar"
         assert fast.disk_page_accesses == slow.disk_page_accesses
         assert multi.disk_page_accesses == fast.disk_page_accesses

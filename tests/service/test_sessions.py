@@ -141,6 +141,18 @@ class TestTelemetry:
         assert stats.accesses_fed == service_trace.num_accesses
         assert stats.decision_count == len(decisions)
         assert stats.watermark == float(service_trace.times[-1])
+        assert stats.pending_accesses == (
+            stats.accesses_fed - stats.accesses_processed
+        )
+
+    def test_backpressure_cap_passes_through(self, registry):
+        sid = registry.open_session("JOINT", max_buffered=4)
+        registry.feed(sid, [1.0, 2.0], [0, 1])
+        assert registry.session_stats(sid).pending_accesses == 2
+        with pytest.raises(SimulationError, match="max_buffered"):
+            registry.feed(sid, [3.0, 4.0, 5.0], [2, 3, 4])
+        # The rejected batch left the session's buffer untouched.
+        assert registry.session_stats(sid).pending_accesses == 2
 
     def test_rollup_spans_open_and_closed(self, registry, service_trace):
         a = registry.open_session("JOINT")

@@ -245,6 +245,44 @@ class TestValidation:
             StreamingManager("JOINT", fast_machine, warmup_s=42.0)
 
 
+def test_request_blind_method_streams_missrun(fast_machine):
+    """2T/always-on tenants batch their misses; request-aware ones don't."""
+    assert StreamingManager("2TNAP", fast_machine).replay_mode == (
+        "stream-missrun"
+    )
+    # PT's policy watches every request, so its stream stays vectorized.
+    assert StreamingManager("PTNAP", fast_machine).replay_mode == (
+        "stream-vectorized"
+    )
+
+
+class TestBackpressure:
+    def test_cap_must_be_positive(self, fast_machine):
+        with pytest.raises(SimulationError):
+            StreamingManager("JOINT", fast_machine, max_buffered=0)
+
+    def test_unbounded_by_default(self, fast_machine):
+        stream = StreamingManager("JOINT", fast_machine)
+        assert stream.max_buffered is None
+        stream.feed([float(i) for i in range(64)], list(range(64)))
+        assert stream.pending_accesses == 64
+
+    def test_over_capacity_feed_rejected(self, fast_machine):
+        stream = StreamingManager("JOINT", fast_machine, max_buffered=4)
+        stream.feed([1.0, 2.0, 3.0], [0, 1, 2])
+        assert stream.pending_accesses == 3
+        with pytest.raises(SimulationError, match="max_buffered"):
+            stream.feed([4.0, 5.0], [3, 4])
+        # The rejected batch must not have been buffered.
+        assert stream.pending_accesses == 3
+        # Draining the pending period frees capacity again.
+        period = fast_machine.manager.period_s
+        stream.advance(2 * period)
+        assert stream.pending_accesses == 0
+        stream.feed([2 * period + 1.0, 2 * period + 2.0], [3, 4])
+        assert stream.pending_accesses == 2
+
+
 @settings(max_examples=30, deadline=None)
 @given(data=st.data())
 def test_fuzz_arbitrary_batch_splits(

@@ -4,11 +4,12 @@ The fast paths promise the *same floating-point operations* as the
 per-access reference loop, so every comparison here is exact equality --
 no tolerances anywhere.  Joint-manager runs take the ``"epoch"`` mode
 (decisions included in the comparison), fixed-capacity nap/power-down
-runs take ``"vectorized"``, write-carrying traces take ``"writes"``,
-the disable memory model takes ``"disable"``, and the remaining
-fallback conditions (joint write-back runs, the ``$REPRO_KERNELS``
-kill switch) must route through the scalar loop and say so in
-``SimResult.replay_mode``.
+runs take ``"missrun"`` under a request-blind policy (2T, always-on)
+and ``"vectorized"`` under a request-aware one (PT/EA/AD/OR),
+write-carrying traces take ``"writes"``, the disable memory model takes
+``"disable"``, and the remaining fallback conditions (joint write-back
+runs, the ``$REPRO_KERNELS`` kill switch) must route through the scalar
+loop and say so in ``SimResult.replay_mode``.
 """
 
 from __future__ import annotations
@@ -73,15 +74,27 @@ def _assert_identical(fast, slow, mode=kernels.MODE_VECTORIZED):
 
 
 class TestIdentity:
+    # Request-blind policies (2T, always-on) batch their misses through
+    # submit_run ("missrun"); request-aware ones (PT/EA/AD/OR) must see
+    # every request individually and stay on "vectorized".
     @pytest.mark.parametrize(
-        "method",
-        ["2TFM-8GB", "2TFM-16GB", "ALWAYS-ON", "PTFM-16GB", "EAFM-8GB",
-         "ADFM-16GB", "ORFM-16GB", "2TNAP", "2TPD"],
+        "method,mode",
+        [
+            ("2TFM-8GB", kernels.MODE_MISSRUN),
+            ("2TFM-16GB", kernels.MODE_MISSRUN),
+            ("ALWAYS-ON", kernels.MODE_MISSRUN),
+            ("PTFM-16GB", kernels.MODE_VECTORIZED),
+            ("EAFM-8GB", kernels.MODE_VECTORIZED),
+            ("ADFM-16GB", kernels.MODE_VECTORIZED),
+            ("ORFM-16GB", kernels.MODE_VECTORIZED),
+            ("2TNAP", kernels.MODE_MISSRUN),
+            ("2TPD", kernels.MODE_MISSRUN),
+        ],
     )
-    def test_run_method_identical(self, method, trace, machine):
+    def test_run_method_identical(self, method, mode, trace, machine):
         fast = run_method(method, trace, machine, audit=True, profile="auto")
         slow = run_method(method, trace, machine, audit=True, profile=None)
-        _assert_identical(fast, slow)
+        _assert_identical(fast, slow, mode=mode)
 
     def test_cold_start_identical(self, trace, machine):
         fast = run_method(
@@ -90,14 +103,14 @@ class TestIdentity:
         slow = run_method(
             "2TFM-16GB", trace, machine, warm_start=False, profile=None
         )
-        _assert_identical(fast, slow)
+        _assert_identical(fast, slow, mode=kernels.MODE_MISSRUN)
 
     def test_warmup_and_duration_clipping(self, trace, machine):
         period = machine.manager.period_s
         kwargs = dict(duration_s=3 * period, warmup_s=period)
         fast = run_method("2TFM-16GB", trace, machine, profile="auto", **kwargs)
         slow = run_method("2TFM-16GB", trace, machine, profile=None, **kwargs)
-        _assert_identical(fast, slow)
+        _assert_identical(fast, slow, mode=kernels.MODE_MISSRUN)
 
     def test_seeded_verify_corpus(self):
         # The differential check compares every SimResult field exactly;
@@ -106,8 +119,9 @@ class TestIdentity:
             assert CHECKS["kernels"](random_case(seed)) is None
 
     def test_zero_capacity_memory(self, machine):
-        # Everything misses; the hit kernels never fire but segmentation
-        # around the all-miss stream must still agree exactly.
+        # Everything misses; the hit kernels never fire and the whole
+        # trace replays as boundary-split miss runs, which must still
+        # agree exactly.
         rng = np.random.default_rng(11)
         small = Trace(
             times=np.sort(rng.uniform(0.0, 120.0, 300)),
@@ -123,7 +137,7 @@ class TestIdentity:
             )
             return engine.run(small, profile=prof)
 
-        _assert_identical(run(profile), run(None))
+        _assert_identical(run(profile), run(None), mode=kernels.MODE_MISSRUN)
 
 
 class TestEpochIdentity:
@@ -296,9 +310,10 @@ class TestDisableIdentity:
 class TestFallbacks:
     def test_per_bank_memory_vectorizes(self, trace, machine):
         # PD retains data across power-down, so its hit/miss stream is
-        # profile-predictable; since this PR it rides the fast path.
+        # profile-predictable; under the request-blind 2T policy it now
+        # batches misses too.
         result = run_method("2TPD", trace, machine, profile="auto")
-        assert result.replay_mode == kernels.MODE_VECTORIZED
+        assert result.replay_mode == kernels.MODE_MISSRUN
 
     def test_kill_switch_forces_scalar(self, trace, machine, monkeypatch):
         monkeypatch.setenv("REPRO_KERNELS", "0")

@@ -1,7 +1,8 @@
 """Replay-mode and regret reporting across a mixed campaign.
 
-One campaign, three methods, three replay loops: JOINT takes the epoch
-kernel, a fixed-capacity nap method takes the vectorized kernel, and the
+One campaign, four methods, four replay loops: JOINT takes the epoch
+kernel, a fixed-timeout method batches its misses in the missrun
+kernel, a request-aware PT method takes the vectorized kernel, and the
 disable-model DS method replays hit runs from live bank state in the
 disable mode.  The campaign report must say so -- and, when tasks opt into regret scoring,
 carry the oracle fields end-to-end through the JSON payloads.
@@ -49,6 +50,7 @@ def mixed_report(small_machine, workload):
     tasks = [
         _task("JOINT", small_machine, workload, regret=True),
         _task("2TFM-8GB", small_machine, workload, regret=True),
+        _task("PTFM-8GB", small_machine, workload, regret=True),
         _task("2TDS-128GB", small_machine, workload, regret=True),
     ]
     return run_campaign(tasks)
@@ -60,6 +62,7 @@ class TestReplayModeReporting:
         assert mixed_report.replay_mode_counts() == {
             "disable": 1,
             "epoch": 1,
+            "missrun": 1,
             "vectorized": 1,
         }
 
@@ -68,6 +71,7 @@ class TestReplayModeReporting:
         assert "replay modes" in text
         assert "epoch=1" in text
         assert "disable=1" in text
+        assert "missrun=1" in text
         assert "vectorized=1" in text
 
     def test_telemetry_carries_modes(self, mixed_report):
@@ -93,7 +97,7 @@ class TestRegretReporting:
     def test_campaign_aggregate(self, mixed_report):
         regret = mixed_report.regret_summary()
         assert regret is not None
-        assert regret["runs"] == 3
+        assert regret["runs"] == 4
         assert regret["mean_energy_ratio"] >= 1.0
         assert regret["max_energy_ratio"] >= regret["mean_energy_ratio"]
         assert regret["excess_misses"] >= 0
