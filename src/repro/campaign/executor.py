@@ -125,20 +125,56 @@ class CampaignReport:
     def replay_mode_counts(self) -> Dict[str, int]:
         """Replay-loop usage across the campaign's sim payloads.
 
-        Counts every resolved sim-kind record (cached payloads included)
-        by the ``replay_mode`` its summary recorded; payloads cached
-        before the field existed count as ``"scalar"``.  A surprise
-        ``"scalar"`` majority on an eligible workload usually means the
-        fast paths are being skipped (kill switch, missing profiles).
+        Counts every resolved sim-kind and fleet-shard record (cached
+        payloads included) by the ``replay_mode`` its summary recorded;
+        payloads cached before the field existed count as ``"scalar"``,
+        and multi-disk fleet shards (no single replay loop) count as
+        ``"multidisk"``.  A surprise ``"scalar"`` majority on an
+        eligible workload usually means the fast paths are being
+        skipped (kill switch, missing profiles).
         """
         counts: Dict[str, int] = {}
         for record in self.records:
-            if record.payload is None or record.payload.get("kind") != "sim":
+            if record.payload is None:
                 continue
-            summary = record.payload.get("summary") or {}
-            mode = str(summary.get("replay_mode", "scalar"))
+            kind = record.payload.get("kind")
+            if kind not in ("sim", "fleet-shard"):
+                continue
+            if kind == "fleet-shard" and "summary" not in record.payload:
+                mode = "multidisk"
+            else:
+                summary = record.payload.get("summary") or {}
+                mode = str(summary.get("replay_mode", "scalar"))
             counts[mode] = counts.get(mode, 0) + 1
         return dict(sorted(counts.items()))
+
+    def fleet_summary(self) -> Optional[Dict[str, Any]]:
+        """Aggregate fleet-shard telemetry: shard tasks, migration stats.
+
+        None when the campaign resolved no fleet-shard records (the
+        common case: experiment campaigns carry only sim tasks).
+        """
+        shard_tasks = 0
+        tenants = 0
+        pages_migrated = 0
+        migration_energy_j = 0.0
+        for record in self.records:
+            payload = record.payload
+            if payload is None or payload.get("kind") != "fleet-shard":
+                continue
+            shard_tasks += 1
+            tenants += int(payload.get("tenants") or 0)
+            fleet = payload.get("fleet") or {}
+            pages_migrated += int(fleet.get("pages_migrated") or 0)
+            migration_energy_j += float(fleet.get("migration_energy_j") or 0.0)
+        if not shard_tasks:
+            return None
+        return {
+            "shard_tasks": shard_tasks,
+            "tenants": tenants,
+            "pages_migrated": pages_migrated,
+            "migration_energy_j": round(migration_energy_j, 6),
+        }
 
     def regret_summary(self) -> Optional[Dict[str, Any]]:
         """Aggregate offline-optimality regret across sim payloads.
@@ -188,6 +224,7 @@ class CampaignReport:
             "worker_utilization": round(s.utilization, 4),
             "replay_modes": self.replay_mode_counts(),
             "regret": self.regret_summary(),
+            "fleet": self.fleet_summary(),
             "tasks_detail": [
                 {
                     "index": r.index,
@@ -223,6 +260,14 @@ class CampaignReport:
         if modes:
             detail = " ".join(f"{k}={v}" for k, v in modes.items())
             lines.append(f"  replay modes  {detail}")
+        fleet = self.fleet_summary()
+        if fleet is not None:
+            lines.append(
+                f"  fleet         {fleet['shard_tasks']} shard task(s), "
+                f"{fleet['tenants']} tenant(s), "
+                f"{fleet['pages_migrated']} page(s) migrated "
+                f"({fleet['migration_energy_j']:.1f} J)"
+            )
         regret = self.regret_summary()
         if regret is not None:
             lines.append(

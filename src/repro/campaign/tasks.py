@@ -117,6 +117,10 @@ class SimSummary:
     #: "missrun", "epoch", "writes" or "disable"); defaulted so payloads
     #: cached before the field existed still load.
     replay_mode: str = "scalar"
+    #: Seconds the disk spent spun down in the measured window; the fleet
+    #: report derives sleeping-disk counts from it.  Defaulted so
+    #: pre-fleet cached payloads still load.
+    disk_standby_s: float = 0.0
     #: Offline-optimality regret (see :mod:`repro.analysis.regret`);
     #: None unless the task asked for it (``SimTask(regret=True)``), and
     #: defaulted so pre-regret cached payloads still load.
@@ -175,6 +179,7 @@ class SimSummary:
                 int(d.memory_bytes) for d in result.decisions
             ),
             replay_mode=result.replay_mode,
+            disk_standby_s=float(result.disk_energy.standby_s),
             opt_misses=(
                 None if result.regret is None else result.regret.opt_misses
             ),

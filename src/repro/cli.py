@@ -26,6 +26,10 @@ Commands:
 * ``serve`` -- run the multi-tenant streaming daemon: tenant sessions
   feed access batches over a line-delimited-JSON socket protocol and
   receive period decisions online (see docs/SERVICE.md).
+* ``fleet`` -- simulate an N-disk, M-tenant fleet: tenants are
+  content-hashed onto shards, each shard fans out as one campaign task
+  (cached, parallel), and the merged :class:`FleetReport` is printed
+  (see docs/FLEET.md).
 * ``list`` -- list experiments and method names.
 """
 
@@ -192,7 +196,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--checks",
         help=(
             "comma-separated subset (stack,intervals,predictor,joint,"
-            "energy,kernels,missrun,epoch,optimal,stream,writes)"
+            "energy,kernels,missrun,writes,epoch,optimal,stream,fleet)"
         ),
     )
     verify.add_argument(
@@ -224,7 +228,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=["micro", "sweep", "joint", "missrun", "service", "fullres", "all"],
+        choices=[
+            "micro", "sweep", "joint", "missrun", "service", "fullres",
+            "fleet", "all",
+        ],
         default="all",
         help="which suite(s) to run (default: all)",
     )
@@ -284,6 +291,57 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1024,
         help="cap on concurrently open sessions (default 1024)",
+    )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="simulate an N-disk, M-tenant fleet as sharded campaign tasks",
+    )
+    fleet.add_argument(
+        "--method",
+        default="PTNAP",
+        help="per-shard method, e.g. PTNAP or 2TNAP (default PTNAP)",
+    )
+    fleet.add_argument(
+        "--tenants", type=int, default=6, help="tenant workloads (default 6)"
+    )
+    fleet.add_argument(
+        "--shards",
+        type=int,
+        default=3,
+        help="independent shards tenants hash onto (default 3)",
+    )
+    fleet.add_argument(
+        "--disks-per-shard",
+        type=int,
+        default=2,
+        help="spindles per shard (default 2; layout `sim` requires 1)",
+    )
+    fleet.add_argument(
+        "--layout",
+        choices=["sim", "partitioned", "striped", "migrating"],
+        default="migrating",
+        help=(
+            "in-shard data layout (default migrating; `sim` replays each "
+            "shard on the single-disk kernels)"
+        ),
+    )
+    fleet.add_argument("--dataset-gb", type=float, default=1.0)
+    fleet.add_argument("--rate-mb", type=float, default=2.0)
+    fleet.add_argument("--popularity", type=float, default=0.8)
+    fleet.add_argument("--periods", type=int, default=4)
+    fleet.add_argument("--scale", type=int, default=1024, help=_SCALE_HELP)
+    fleet.add_argument(
+        "--seed", type=int, default=42, help="tenant i draws seed+i"
+    )
+    fleet.add_argument(
+        "--monolithic",
+        action="store_true",
+        help="serial in-process reference (forced-scalar, no fan-out)",
+    )
+    _add_campaign_options(fleet, default_cache=False)
+    fleet.add_argument(
+        "--out", help="also write the campaign telemetry JSON here"
     )
 
     sub.add_parser("list", help="list experiments and method names")
@@ -627,6 +685,68 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_spec(args: argparse.Namespace):
+    from repro.campaign.tasks import WorkloadSpec
+    from repro.config.machine import scaled_machine
+    from repro.fleet.sharding import FleetSpec
+    from repro.policies.registry import parse_method
+
+    machine = scaled_machine(args.scale)
+    duration = args.periods * machine.manager.period_s
+    tenants = tuple(
+        WorkloadSpec.for_machine(
+            machine,
+            dataset_gb=args.dataset_gb,
+            rate_mb=args.rate_mb,
+            popularity=args.popularity,
+            duration_s=duration,
+            seed=args.seed + i,
+        )
+        for i in range(args.tenants)
+    )
+    return FleetSpec(
+        machine=machine,
+        method=parse_method(args.method),
+        tenants=tenants,
+        num_shards=args.shards,
+        duration_s=duration,
+        disks_per_shard=args.disks_per_shard,
+        layout=args.layout,
+    )
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet.sharding import fleet_plan, run_fleet_monolithic
+
+    spec = _fleet_spec(args)
+    if args.monolithic:
+        print(run_fleet_monolithic(spec).render())
+        return 0
+    from repro.campaign.executor import run_campaign
+
+    plan = fleet_plan(spec)
+    report = run_campaign(
+        plan.tasks,
+        jobs=args.jobs,
+        cache=_make_cache(args, default_cache=False),
+    )
+    if args.out is not None:
+        import json
+
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.telemetry(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if not report.ok:
+        print(report.render_summary())
+        for record in report.failures():
+            print(f"  FAILED {record.label}: {record.error}")
+        return 1
+    print(plan.assemble(report.payloads()).render())
+    print()
+    print(report.render_summary())
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     del args
     print("experiments:")
@@ -658,6 +778,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "verify": _cmd_verify,
         "bench": _cmd_bench,
         "serve": _cmd_serve,
+        "fleet": _cmd_fleet,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

@@ -1,0 +1,90 @@
+"""An array of independently power-managed drives."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config.disk_spec import DiskSpec
+from repro.disk.drive import RequestResult, SimDisk
+from repro.disk.energy import DiskEnergy
+from repro.disk.service import ServiceModel
+from repro.errors import SimulationError
+from repro.fleet.layout import DataLayout
+
+
+class DiskArray:
+    """N drives behind one data layout; each spins down on its own."""
+
+    def __init__(
+        self,
+        spec: DiskSpec,
+        service: ServiceModel,
+        layout: DataLayout,
+    ) -> None:
+        self.spec = spec
+        self.service = service
+        self.layout = layout
+        self.disks: List[SimDisk] = [
+            SimDisk(spec, service) for _ in range(layout.num_disks)
+        ]
+
+    @property
+    def num_disks(self) -> int:
+        return len(self.disks)
+
+    def disk_for_page(self, page: int) -> SimDisk:
+        return self.disks[self.layout.disk_of(page)]
+
+    # --- control -----------------------------------------------------------------
+
+    def set_timeout(self, now: float, disk_index: int, timeout_s: Optional[float]) -> None:
+        """Install a timeout on one drive."""
+        if not 0 <= disk_index < self.num_disks:
+            raise SimulationError(f"no disk {disk_index} in a {self.num_disks}-disk array")
+        self.disks[disk_index].set_timeout(now, timeout_s)
+
+    def set_all_timeouts(self, now: float, timeout_s: Optional[float]) -> None:
+        for disk in self.disks:
+            disk.set_timeout(now, timeout_s)
+
+    def advance(self, now: float) -> None:
+        for disk in self.disks:
+            disk.advance(now)
+
+    # --- requests ------------------------------------------------------------------
+
+    def submit(
+        self, now: float, page: int, sequential: bool = False
+    ) -> RequestResult:
+        """Route one page miss to its disk; returns that disk's timing."""
+        return self.disk_for_page(page).submit(now, 1, sequential=sequential)
+
+    # --- accounting ------------------------------------------------------------------
+
+    def checkpoint(self, now: float) -> None:
+        for disk in self.disks:
+            disk.checkpoint(now)
+
+    def finalize(self, end_time: float) -> None:
+        for disk in self.disks:
+            disk.finalize(end_time)
+
+    def aggregate_energy(self) -> DiskEnergy:
+        """Sum of all drives' counters (times add across spindles)."""
+        total = DiskEnergy()
+        for disk in self.disks:
+            e = disk.energy
+            total.active_s += e.active_s
+            total.idle_s += e.idle_s
+            total.standby_s += e.standby_s
+            total.transition_s += e.transition_s
+            total.spin_down_cycles += e.spin_down_cycles
+            total.requests += e.requests
+            total.bytes_transferred += e.bytes_transferred
+        return total
+
+    def total_joules(self) -> float:
+        return sum(d.energy.total_joules(self.spec) for d in self.disks)
+
+    def snapshots(self) -> List[DiskEnergy]:
+        return [d.energy.snapshot() for d in self.disks]

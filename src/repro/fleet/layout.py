@@ -1,0 +1,172 @@
+"""Page-to-disk data layouts for the storage fleet.
+
+Static layouts (:class:`PartitionedLayout`, :class:`StripedLayout`) map
+each page to a fixed disk.  :class:`MigratingLayout` additionally tracks
+per-period page popularity (miss counts recorded by the fleet engine)
+and, at each period boundary, plans a rebalance that packs the observed
+hot set onto the lowest-numbered spindles -- Pinheiro & Bianchini's
+popularity-based migration, the mechanism the paper's Section VI points
+at for the multi-disk extension.  The layout only *plans* moves; the
+engine charges their transfer cost to the source and destination disks
+before :meth:`MigratingLayout.apply_moves` makes them effective.
+
+Construction errors (a zero-disk array, a zero-page partition) are
+:class:`~repro.errors.ConfigError`; a negative page number at lookup
+time is corrupt *trace* data hitting the simulator mid-replay, so
+``disk_of`` raises :class:`~repro.errors.SimulationError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError, SimulationError
+
+#: One planned migration: ``(page, source_disk, destination_disk)``.
+Move = Tuple[int, int, int]
+
+
+class DataLayout:
+    """Maps a page number to the disk that stores it."""
+
+    def __init__(self, num_disks: int) -> None:
+        if num_disks < 1:
+            raise ConfigError("an array needs at least one disk")
+        self.num_disks = num_disks
+
+    def disk_of(self, page: int) -> int:
+        """Index of the disk holding ``page``."""
+        raise NotImplementedError
+
+    def _check_page(self, page: int) -> None:
+        if page < 0:
+            raise SimulationError(
+                f"negative page number {page} in replayed trace"
+            )
+
+
+class PartitionedLayout(DataLayout):
+    """Contiguous page ranges per disk.
+
+    Pages ``[0, pages_per_disk)`` live on disk 0, the next range on disk
+    1, and so on; pages beyond the last boundary wrap onto the final
+    disk.  With popularity-ordered file sets (hot files first, as this
+    repository's generator lays them out), partitioning concentrates the
+    hot data on the low-numbered disks.
+    """
+
+    def __init__(self, num_disks: int, pages_per_disk: int) -> None:
+        super().__init__(num_disks)
+        if pages_per_disk < 1:
+            raise ConfigError("each disk must hold at least one page")
+        self.pages_per_disk = pages_per_disk
+
+    def disk_of(self, page: int) -> int:
+        self._check_page(page)
+        return min(page // self.pages_per_disk, self.num_disks - 1)
+
+
+class StripedLayout(DataLayout):
+    """Round-robin striping at an extent granularity (RAID-0 style).
+
+    Consecutive extents of ``extent_pages`` pages rotate across the
+    disks, spreading every workload -- hot or cold -- over all spindles.
+    """
+
+    def __init__(self, num_disks: int, extent_pages: int = 16) -> None:
+        super().__init__(num_disks)
+        if extent_pages < 1:
+            raise ConfigError("an extent covers at least one page")
+        self.extent_pages = extent_pages
+
+    def disk_of(self, page: int) -> int:
+        self._check_page(page)
+        return (page // self.extent_pages) % self.num_disks
+
+
+class MigratingLayout(DataLayout):
+    """Partitioned base layout plus popularity-driven page migration.
+
+    The engine records one popularity tick per *disk miss* (cache hits
+    never reach a spindle, so they cannot keep one awake).  At a period
+    boundary :meth:`plan_rebalance` ranks the pages observed during the
+    period by miss count (ties broken toward the lower page number, so
+    the plan is deterministic) and assigns rank ``r`` to disk
+    ``r // pages_per_disk``: the hottest ``pages_per_disk`` pages
+    concentrate on disk 0, the next tranche on disk 1, and so on.  Pages
+    not observed in the period keep their current placement.  Placement
+    is stable between rebalances -- ``disk_of`` never mutates state.
+
+    ``max_moves_per_period`` caps migration traffic per boundary (the
+    knob Pinheiro & Bianchini use to bound reorganisation overhead);
+    ``None`` leaves it unbounded.
+    """
+
+    def __init__(
+        self,
+        num_disks: int,
+        pages_per_disk: int,
+        max_moves_per_period: Optional[int] = None,
+    ) -> None:
+        super().__init__(num_disks)
+        if pages_per_disk < 1:
+            raise ConfigError("each disk must hold at least one page")
+        if max_moves_per_period is not None and max_moves_per_period < 0:
+            raise ConfigError("the migration cap must be non-negative")
+        self.pages_per_disk = pages_per_disk
+        self.max_moves_per_period = max_moves_per_period
+        #: Pages moved off their base partition; page -> current disk.
+        self._placement: Dict[int, int] = {}
+        #: Miss counts observed in the current period.
+        self._counts: Dict[int, int] = {}
+
+    def disk_of(self, page: int) -> int:
+        self._check_page(page)
+        placed = self._placement.get(page)
+        if placed is not None:
+            return placed
+        return min(page // self.pages_per_disk, self.num_disks - 1)
+
+    # --- popularity ----------------------------------------------------------
+
+    def record_access(self, page: int) -> None:
+        """One popularity tick for ``page`` (the engine calls this per miss)."""
+        self._check_page(page)
+        self._counts[page] = self._counts.get(page, 0) + 1
+
+    @property
+    def observed_pages(self) -> int:
+        """Distinct pages seen since the last rebalance."""
+        return len(self._counts)
+
+    # --- rebalancing ---------------------------------------------------------
+
+    def plan_rebalance(self) -> List[Move]:
+        """Moves that pack this period's hot set onto the lowest disks.
+
+        Does not change the layout; the engine applies the plan with
+        :meth:`apply_moves` after charging the transfer cost.
+        """
+        if not self._counts:
+            return []
+        ranked = sorted(self._counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        moves: List[Move] = []
+        limit = self.max_moves_per_period
+        for rank, (page, _count) in enumerate(ranked):
+            target = min(rank // self.pages_per_disk, self.num_disks - 1)
+            source = self.disk_of(page)
+            if source != target:
+                moves.append((page, source, target))
+                if limit is not None and len(moves) >= limit:
+                    break
+        return moves
+
+    def apply_moves(self, moves: List[Move]) -> None:
+        """Make a planned rebalance effective and start a fresh period."""
+        for page, _source, destination in moves:
+            if not 0 <= destination < self.num_disks:
+                raise SimulationError(
+                    f"migration target disk {destination} out of range"
+                )
+            self._placement[page] = destination
+        self._counts.clear()

@@ -1,36 +1,38 @@
-"""Multi-disk extension (paper Section VI, future work).
+"""Multi-disk substrate (superseded by :mod:`repro.fleet`).
 
 The paper defers multiple disks, noting the extension "needs to consider:
 1) management of disk cache for multiple disks; 2) multiple-speed disks;
 3) data layout across disks; and 4) workload distributions on disks."
-This package builds the substrate for points 1, 3 and 4:
+This package introduced the static substrate for points 1, 3 and 4; the
+layouts and the array now live in :mod:`repro.fleet` (which adds
+popularity-driven migration, per-disk per-period timeouts and the
+sharded campaign axis) and are re-exported here for compatibility.
 
-* :mod:`repro.multidisk.layout` -- page-to-disk data layouts
-  (partitioned ranges vs striping),
-* :mod:`repro.multidisk.array` -- an array of independently
-  power-managed drives,
-* :mod:`repro.multidisk.engine` -- a trace-driven engine running one
-  shared disk cache in front of the array, with a per-disk spin-down
-  policy.
+What remains native to this package is :class:`MultiDiskEngine`: the
+static scalar replay with no period-boundary processing.  It is kept
+independent of the fleet engine on purpose -- ``CHECKS["fleet"]`` uses
+it as the bit-exactness oracle for the migration-disabled fleet path.
 
 The headline effect it demonstrates (and tests assert): with per-disk
 spin-down, a *partitioned* layout concentrates the hot data on few disks
 and lets the cold ones sleep -- the skew exploited by Pinheiro &
 Bianchini's disk-array work the paper cites [31] -- while *striping*
 spreads every burst across all spindles and keeps them awake.
-
-The joint manager itself remains single-disk, as in the paper; driving
-an array with per-disk joint decisions additionally needs per-disk idle
-prediction and data migration, which the paper explicitly leaves open.
 """
 
 from repro.multidisk.array import DiskArray
 from repro.multidisk.engine import MultiDiskEngine, MultiDiskResult
-from repro.multidisk.layout import DataLayout, PartitionedLayout, StripedLayout
+from repro.multidisk.layout import (
+    DataLayout,
+    MigratingLayout,
+    PartitionedLayout,
+    StripedLayout,
+)
 
 __all__ = [
     "DataLayout",
     "DiskArray",
+    "MigratingLayout",
     "MultiDiskEngine",
     "MultiDiskResult",
     "PartitionedLayout",

@@ -5,57 +5,33 @@ the data layout to per-disk drives, each governed by its own instance of
 a disk policy.  Sequential pricing applies per disk (a run that stays on
 one spindle streams; a striped run re-positions on every extent switch),
 which is exactly why striping hurts spin-down workloads.
+
+This engine is the *static* substrate: no migration, no period hooks.
+It is deliberately kept independent of :mod:`repro.fleet.engine` -- the
+fleet engine with boundary processing disabled must replay the exact
+operation sequence of this loop, and ``CHECKS["fleet"]`` compares the
+two bit for bit, so this module doubles as the reference oracle.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.config.machine import MachineConfig
-from repro.disk.energy import DiskEnergy
 from repro.disk.service import ServiceModel
 from repro.errors import SimulationError
+from repro.fleet.array import DiskArray
+from repro.fleet.engine import MultiDiskResult
+from repro.fleet.layout import DataLayout
 from repro.memory.system import MemorySystem
-from repro.multidisk.array import DiskArray
-from repro.multidisk.layout import DataLayout
 from repro.policies.base import NO_CHANGE, DiskPolicy
 from repro.sim.engine import SEQUENTIAL_MERGE_WINDOW_S
 from repro.sim.metrics import MetricsCollector
 from repro.traces.trace import Trace
 
 PolicyFactory = Callable[[], DiskPolicy]
-
-
-@dataclass(frozen=True)
-class MultiDiskResult:
-    """Outcome of one multi-disk run."""
-
-    label: str
-    duration_s: float
-    num_disks: int
-    memory_energy_j: float
-    disk_energy_j: float
-    #: Per-disk counters, index-aligned with the array.
-    per_disk: List[DiskEnergy]
-    total_accesses: int
-    disk_page_accesses: int
-    mean_latency_s: float
-    long_latency: int
-    spin_down_cycles: int
-    #: Fraction of the window each disk spent in standby.
-    standby_fractions: List[float] = field(default_factory=list)
-
-    @property
-    def total_energy_j(self) -> float:
-        return self.memory_energy_j + self.disk_energy_j
-
-    @property
-    def sleeping_disks(self) -> int:
-        """Disks that spent most of the window spun down."""
-        return sum(1 for f in self.standby_fractions if f > 0.5)
 
 
 class MultiDiskEngine:

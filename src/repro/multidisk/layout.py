@@ -1,59 +1,19 @@
-"""Page-to-disk data layouts."""
+"""Back-compat shim: the layouts moved to :mod:`repro.fleet.layout`.
 
-from __future__ import annotations
+Kept so existing imports keep working; new code should import from
+``repro.fleet``.
+"""
 
-from repro.errors import ConfigError
+from repro.fleet.layout import (  # noqa: F401
+    DataLayout,
+    MigratingLayout,
+    PartitionedLayout,
+    StripedLayout,
+)
 
-
-class DataLayout:
-    """Maps a page number to the disk that stores it."""
-
-    def __init__(self, num_disks: int) -> None:
-        if num_disks < 1:
-            raise ConfigError("an array needs at least one disk")
-        self.num_disks = num_disks
-
-    def disk_of(self, page: int) -> int:
-        """Index of the disk holding ``page``."""
-        raise NotImplementedError
-
-
-class PartitionedLayout(DataLayout):
-    """Contiguous page ranges per disk.
-
-    Pages ``[0, pages_per_disk)`` live on disk 0, the next range on disk
-    1, and so on; pages beyond the last boundary wrap onto the final
-    disk.  With popularity-ordered file sets (hot files first, as this
-    repository's generator lays them out), partitioning concentrates the
-    hot data on the low-numbered disks.
-    """
-
-    def __init__(self, num_disks: int, pages_per_disk: int) -> None:
-        super().__init__(num_disks)
-        if pages_per_disk < 1:
-            raise ConfigError("each disk must hold at least one page")
-        self.pages_per_disk = pages_per_disk
-
-    def disk_of(self, page: int) -> int:
-        if page < 0:
-            raise ConfigError("page numbers are non-negative")
-        return min(page // self.pages_per_disk, self.num_disks - 1)
-
-
-class StripedLayout(DataLayout):
-    """Round-robin striping at an extent granularity (RAID-0 style).
-
-    Consecutive extents of ``extent_pages`` pages rotate across the
-    disks, spreading every workload -- hot or cold -- over all spindles.
-    """
-
-    def __init__(self, num_disks: int, extent_pages: int = 16) -> None:
-        super().__init__(num_disks)
-        if extent_pages < 1:
-            raise ConfigError("an extent covers at least one page")
-        self.extent_pages = extent_pages
-
-    def disk_of(self, page: int) -> int:
-        if page < 0:
-            raise ConfigError("page numbers are non-negative")
-        return (page // self.extent_pages) % self.num_disks
+__all__ = [
+    "DataLayout",
+    "MigratingLayout",
+    "PartitionedLayout",
+    "StripedLayout",
+]

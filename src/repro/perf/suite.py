@@ -32,6 +32,13 @@ Four suites, each emitting one JSON document:
   ratio.  This is the workload shape the other suites deliberately
   avoid -- their hit-dominated traces measure hit-run consumption,
   which used to leave every miss on the scalar path.
+* ``fleet`` (``BENCH_fleet.json``) -- the array-level joint manager on
+  a skewed multi-tenant workload: the same trace replayed through a
+  striped, a partitioned and a migrating :class:`FleetEngine` layout.
+  The gated ``fleet_sleep_ratio`` is sleeping disks under
+  partitioned+migration over striped (the suite itself asserts >= 2x,
+  with migration's transfer energy charged and service quality no
+  worse); ``fleet_disk_energy_ratio`` is the resulting disk-energy win.
 * ``service`` (``BENCH_service.json``) -- the streaming subsystem:
   single-tenant feed throughput (accesses/s through a
   :class:`~repro.service.streaming.StreamingManager`), concurrent
@@ -69,7 +76,9 @@ from repro.units import GB, MB
 #: Bump when the document layout changes (stale baselines stop gating).
 BENCH_SCHEMA = 1
 
-SUITE_NAMES = ("micro", "sweep", "joint", "missrun", "service", "fullres")
+SUITE_NAMES = (
+    "micro", "sweep", "joint", "missrun", "service", "fullres", "fleet"
+)
 
 #: Concurrent tenant streams the service suite drives.
 SERVICE_TENANTS = 8
@@ -723,6 +732,125 @@ def _suite_fullres(quick: bool) -> Dict[str, Any]:
     return entries
 
 
+def _suite_fleet(quick: bool) -> Dict[str, Any]:
+    from repro.fleet.engine import FleetEngine
+    from repro.fleet.layout import (
+        MigratingLayout,
+        PartitionedLayout,
+        StripedLayout,
+    )
+    from repro.memory.system import NapMemorySystem
+    from repro.policies.pareto_timeout import ParetoTimeoutPolicy
+    from repro.traces.trace import Trace
+
+    machine = scaled_machine(1024)
+    period = machine.manager.period_s
+    periods = 4 if quick else 8
+    duration = periods * period
+    disks = 4
+    span = 400  # pages; the base partition is 100 pages per disk
+    # Skewed multi-tenant shape: a first-period cold scan touches the
+    # whole span, then three tenants hammer narrow hot bands that start
+    # scattered across the array -- one per non-zero spindle.  Striping
+    # spreads every band over all four disks; migration packs the 60-page
+    # hot set onto disk 0 after one popularity period.
+    rng = np.random.default_rng(23)
+    cold_n = 300 if quick else 600
+    hot_n = 900 if quick else 2400
+    bands = ((110, 130), (210, 230), (310, 330))
+    cold_pages = rng.integers(0, span, size=cold_n)
+    cold_times = np.sort(rng.uniform(0.0, period * 0.95, size=cold_n))
+    hot_pages = np.concatenate(
+        [rng.integers(lo, hi, size=hot_n // len(bands)) for lo, hi in bands]
+    )
+    rng.shuffle(hot_pages)  # interleave the tenants' accesses in time
+    hot_times = np.sort(
+        rng.uniform(period, duration * 0.95, size=hot_pages.size)
+    )
+    trace = Trace(
+        times=np.concatenate([cold_times, hot_times]),
+        pages=np.concatenate([cold_pages, hot_pages]).astype(np.int64),
+        page_size=machine.page_bytes,
+    )
+
+    def run_layout(layout):
+        # Memory far below the hot set (32 pages vs 60), so the hot
+        # phase keeps missing and the layouts differ in which spindles
+        # that wakes -- the regime where placement decides sleep.
+        engine = FleetEngine(
+            machine,
+            NapMemorySystem(machine.memory, 128 * MB),
+            layout,
+            policy_factory=lambda: ParetoTimeoutPolicy(
+                machine.disk.break_even_time_s,
+                aggregation_window_s=machine.manager.aggregation_window_s,
+            ),
+        )
+        start = time.perf_counter()
+        result = engine.run(trace, duration_s=float(duration))
+        return result, time.perf_counter() - start
+
+    striped, striped_wall = run_layout(StripedLayout(disks, extent_pages=4))
+    partitioned, part_wall = run_layout(
+        PartitionedLayout(disks, pages_per_disk=span // disks)
+    )
+    migrating, migr_wall = run_layout(
+        MigratingLayout(disks, pages_per_disk=span // disks)
+    )
+
+    # The headline claim, asserted here (not just gated): migration's
+    # transfer energy is really charged, service quality is no worse,
+    # and partitioned+migration still sleeps >= 2x the disks striping does.
+    if migrating.pages_migrated <= 0 or migrating.migration_energy_j <= 0.0:
+        raise SimulationError(
+            "fleet suite: the migrating layout moved no pages "
+            f"({migrating.pages_migrated} migrated, "
+            f"{migrating.migration_energy_j} J)"
+        )
+    if migrating.long_latency > striped.long_latency:
+        raise SimulationError(
+            "fleet suite: migration degraded service quality "
+            f"({migrating.long_latency} long latencies vs "
+            f"{striped.long_latency} striped)"
+        )
+    sleep_ratio = migrating.sleeping_disks / max(striped.sleeping_disks, 1)
+    if sleep_ratio < 2.0:
+        raise SimulationError(
+            "fleet suite: migration slept "
+            f"{migrating.sleeping_disks}/{disks} disk(s) vs "
+            f"{striped.sleeping_disks} striped -- below the 2x claim"
+        )
+
+    def layout_entry(result, wall):
+        return _time_entry(
+            wall,
+            trace.num_accesses,
+            sleeping_disks=result.sleeping_disks,
+            disk_energy_j=round(result.disk_energy_j, 1),
+            long_latency=result.long_latency,
+        )
+
+    return {
+        "fleet_striped": layout_entry(striped, striped_wall),
+        "fleet_partitioned": layout_entry(partitioned, part_wall),
+        "fleet_migrating": {
+            **layout_entry(migrating, migr_wall),
+            "pages_migrated": migrating.pages_migrated,
+            "migration_energy_j": round(migrating.migration_energy_j, 1),
+        },
+        "fleet_sleep_ratio": _ratio_entry(
+            sleep_ratio,
+            f"sleeping disks, partitioned+migration / striped, {disks}-disk "
+            "array on a skewed multi-tenant trace (migration energy charged)",
+        ),
+        "fleet_disk_energy_ratio": _ratio_entry(
+            striped.disk_energy_j / migrating.disk_energy_j,
+            "striped / migrating disk energy, same trace and policy "
+            "(includes the migration transfer charge)",
+        ),
+    }
+
+
 _SUITES: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "micro": _suite_micro,
     "sweep": _suite_sweep,
@@ -730,6 +858,7 @@ _SUITES: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "missrun": _suite_missrun,
     "service": _suite_service,
     "fullres": _suite_fullres,
+    "fleet": _suite_fleet,
 }
 
 

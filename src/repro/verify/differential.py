@@ -1,8 +1,8 @@
 """Differential runner: fast paths vs brute-force oracles over fuzzed seeds.
 
-Eleven checks, each pairing a production fast path with its oracle from
-:mod:`repro.verify.oracles` (or, for ``optimal``, from
-:mod:`repro.verify.optimal`):
+Twelve checks, each pairing a production fast path with its oracle from
+:mod:`repro.verify.oracles` (or, for ``optimal``/``fleet``, from
+:mod:`repro.verify.optimal` / :mod:`repro.verify.fleet`):
 
 ========== ====================================================== =========
 check      fast path                                              oracle
@@ -31,6 +31,11 @@ optimal    ``verify.optimal`` lazy-heap Belady + clairvoyant      linear-scan Be
 stream     ``service.streaming.StreamingManager`` incremental     the offline
            feeds (ragged batch splits, idle advances)             ``run_method`` replay
                                                                   of the same sequence
+fleet      ``fleet.sharding`` campaign fan-out (kernels + JSON    the monolithic
+           round trip) and the ``fleet.engine`` array manager     forced-scalar merge,
+           with migration accounting                              ``MultiDiskEngine``,
+                                                                  and exact transfer
+                                                                  conservation laws
 ========== ====================================================== =========
 
 Each seed deterministically expands to a fuzzed workload
@@ -60,6 +65,7 @@ from repro.stats.intervals import extract_idle_intervals
 from repro.stats.timeout_math import expected_power, optimal_timeout
 from repro.traces.trace import Trace
 from repro.verify import oracles
+from repro.verify.fleet import check_fleet
 from repro.verify.optimal import check_optimal
 from repro.verify.strategies import VerifyCase, random_case, random_small_machine
 
@@ -993,6 +999,7 @@ CHECKS: Dict[str, Callable[[VerifyCase], Optional[str]]] = {
     "epoch": check_epoch,
     "optimal": check_optimal,
     "stream": check_stream,
+    "fleet": check_fleet,
 }
 
 

@@ -183,13 +183,17 @@ def numeric_expected_off_time(
     _check_numeric_dist(dist)
     t_o = max(timeout_s, dist.beta)
     # Pure relative tolerance: tail integrals can be ~1e-9 and the default
-    # absolute tolerance would swamp them.
+    # absolute tolerance would swamp them.  Near the fragile-alpha floor
+    # the tail decays like l^{-alpha} and the default 50-subdivision cap
+    # stalls around 1e-4 relative error (e.g. alpha=1.1, t_o ~ 360);
+    # 500 subdivisions converge below 1e-10 across the admissible range.
     value, _ = scipy_integrate.quad(
         lambda length: (length - t_o) * dist.pdf(length),
         t_o,
         math.inf,
         epsabs=0.0,
         epsrel=1e-10,
+        limit=500,
     )
     return num_intervals * value
 
@@ -206,6 +210,7 @@ def numeric_expected_spin_downs(
         math.inf,
         epsabs=0.0,
         epsrel=1e-10,
+        limit=500,
     )
     return num_intervals * value
 

@@ -1,0 +1,160 @@
+"""Property-based invariants of the fleet layouts and report serialization."""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk.energy import DiskEnergy
+from repro.fleet.engine import MultiDiskResult
+from repro.fleet.layout import (
+    MigratingLayout,
+    PartitionedLayout,
+    StripedLayout,
+)
+from repro.fleet.sharding import FleetReport
+
+pages = st.integers(min_value=0, max_value=5000)
+
+static_layouts = st.one_of(
+    st.builds(
+        PartitionedLayout,
+        num_disks=st.integers(1, 8),
+        pages_per_disk=st.integers(1, 64),
+    ),
+    st.builds(
+        StripedLayout,
+        num_disks=st.integers(1, 8),
+        extent_pages=st.integers(1, 64),
+    ),
+)
+
+migrating_layouts = st.builds(
+    MigratingLayout,
+    num_disks=st.integers(1, 8),
+    pages_per_disk=st.integers(1, 64),
+)
+
+
+class TestLayoutInvariants:
+    @given(layout=static_layouts, page_list=st.lists(pages, max_size=50))
+    @settings(max_examples=80, deadline=None)
+    def test_static_layouts_map_to_one_in_range_disk(self, layout, page_list):
+        for page in page_list:
+            disk = layout.disk_of(page)
+            assert 0 <= disk < layout.num_disks
+            assert layout.disk_of(page) == disk  # lookups never mutate
+
+    @given(
+        layout=migrating_layouts,
+        accesses=st.lists(pages, min_size=1, max_size=80),
+        boundaries=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_migrating_layout_stable_within_a_period(
+        self, layout, accesses, boundaries
+    ):
+        for _ in range(boundaries):
+            # Within a period, placements are frozen: record_access and
+            # plan_rebalance must not change any mapping.
+            before = {page: layout.disk_of(page) for page in accesses}
+            for page in accesses:
+                layout.record_access(page)
+                assert layout.disk_of(page) == before[page]
+            layout.plan_rebalance()
+            assert {p: layout.disk_of(p) for p in accesses} == before
+            layout.apply_moves(layout.plan_rebalance())
+            # After the boundary the mapping may differ but stays valid.
+            for page in accesses:
+                assert 0 <= layout.disk_of(page) < layout.num_disks
+
+    @given(
+        layout=migrating_layouts,
+        accesses=st.lists(pages, min_size=1, max_size=80),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_planned_moves_are_consistent(self, layout, accesses):
+        for page in accesses:
+            layout.record_access(page)
+        moves = layout.plan_rebalance()
+        seen = set()
+        for page, source, destination in moves:
+            assert layout.disk_of(page) == source
+            assert 0 <= destination < layout.num_disks
+            assert source != destination
+            assert page not in seen  # each page moves at most once
+            seen.add(page)
+
+
+def _energy(rng_floats, requests, cycles):
+    return DiskEnergy(
+        active_s=rng_floats[0],
+        idle_s=rng_floats[1],
+        standby_s=rng_floats[2],
+        transition_s=rng_floats[3],
+        spin_down_cycles=cycles,
+        requests=requests,
+        bytes_transferred=requests * 4096,
+    )
+
+
+small_floats = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestSerializationRoundTrips:
+    @given(
+        disks=st.integers(1, 4),
+        floats=st.lists(small_floats, min_size=4, max_size=4),
+        requests=st.integers(0, 10**6),
+        cycles=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_multidisk_result(self, disks, floats, requests, cycles):
+        result = MultiDiskResult(
+            label="prop",
+            duration_s=600.0,
+            num_disks=disks,
+            memory_energy_j=floats[0],
+            disk_energy_j=floats[1],
+            per_disk=[_energy(floats, requests, cycles) for _ in range(disks)],
+            total_accesses=requests * 2,
+            disk_page_accesses=requests,
+            mean_latency_s=floats[2],
+            long_latency=cycles,
+            spin_down_cycles=cycles * disks,
+            standby_fractions=[0.25] * disks,
+        )
+        payload = json.loads(json.dumps(result.to_payload()))
+        assert MultiDiskResult.from_payload(payload) == result
+
+    @given(
+        shards=st.integers(1, 5),
+        floats=st.lists(small_floats, min_size=4, max_size=4),
+        migrated=st.integers(0, 10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fleet_report(self, shards, floats, migrated):
+        report = FleetReport(
+            label="prop",
+            num_shards=shards,
+            num_tenants=shards * 2,
+            duration_s=600.0,
+            shard_tenants=tuple([2] * shards),
+            memory_energy_j=floats[0],
+            disk_energy_j=floats[1],
+            total_accesses=100,
+            disk_page_accesses=40,
+            mean_latency_s=floats[2],
+            long_latency=3,
+            spin_down_cycles=7,
+            standby_fractions=tuple([0.75] * shards),
+            replay_modes=tuple(["vectorized"] * shards),
+            pages_migrated=migrated,
+            migration_energy_j=floats[3],
+        )
+        payload = json.loads(json.dumps(report.to_payload()))
+        assert FleetReport.from_payload(payload) == report

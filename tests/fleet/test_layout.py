@@ -1,0 +1,99 @@
+"""The migrating layout: popularity ranking, move planning, stability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.fleet.layout import MigratingLayout
+
+
+class TestMigratingLayout:
+    def test_starts_as_partitioned(self):
+        layout = MigratingLayout(num_disks=3, pages_per_disk=10)
+        assert layout.disk_of(0) == 0
+        assert layout.disk_of(10) == 1
+        assert layout.disk_of(29) == 2
+        assert layout.disk_of(1000) == 2  # wraps to the last disk
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MigratingLayout(num_disks=0, pages_per_disk=10)
+        with pytest.raises(ConfigError):
+            MigratingLayout(num_disks=2, pages_per_disk=0)
+        with pytest.raises(ConfigError):
+            MigratingLayout(num_disks=2, pages_per_disk=10, max_moves_per_period=-1)
+
+    def test_negative_page_is_a_runtime_error(self):
+        layout = MigratingLayout(num_disks=2, pages_per_disk=10)
+        with pytest.raises(SimulationError):
+            layout.disk_of(-1)
+        with pytest.raises(SimulationError):
+            layout.record_access(-3)
+
+    def test_hot_pages_pack_onto_disk_zero(self):
+        layout = MigratingLayout(num_disks=4, pages_per_disk=2)
+        # Pages 20 and 21 start on the last disk; make them the hottest.
+        for _ in range(5):
+            layout.record_access(20)
+            layout.record_access(21)
+        layout.record_access(0)  # lukewarm, already on disk 0
+        moves = layout.plan_rebalance()
+        assert (20, 3, 0) in moves
+        assert (21, 3, 0) in moves
+        # Rank 2 (page 0) targets disk 1: it is displaced by the hot pair.
+        assert (0, 0, 1) in moves
+
+    def test_plan_does_not_mutate(self):
+        layout = MigratingLayout(num_disks=2, pages_per_disk=1)
+        layout.record_access(5)
+        before = layout.disk_of(5)
+        layout.plan_rebalance()
+        assert layout.disk_of(5) == before
+        assert layout.observed_pages == 1
+
+    def test_apply_moves_is_effective_and_resets_counts(self):
+        layout = MigratingLayout(num_disks=2, pages_per_disk=1)
+        layout.record_access(7)
+        moves = layout.plan_rebalance()
+        assert moves == [(7, 1, 0)]
+        layout.apply_moves(moves)
+        assert layout.disk_of(7) == 0
+        assert layout.observed_pages == 0
+        # A quiet period plans nothing and keeps the placement.
+        assert layout.plan_rebalance() == []
+        assert layout.disk_of(7) == 0
+
+    def test_unobserved_pages_keep_their_placement(self):
+        layout = MigratingLayout(num_disks=2, pages_per_disk=1)
+        layout.record_access(7)
+        layout.apply_moves(layout.plan_rebalance())
+        assert layout.disk_of(7) == 0
+        # Next period only page 3 is hot; page 7 stays where it landed
+        # until a later rebalance displaces it.
+        layout.record_access(3)
+        layout.apply_moves(layout.plan_rebalance())
+        assert layout.disk_of(3) == 0
+        assert layout.disk_of(7) == 0
+
+    def test_ties_break_toward_lower_page(self):
+        layout = MigratingLayout(num_disks=2, pages_per_disk=1)
+        layout.record_access(9)
+        layout.record_access(4)
+        moves = layout.plan_rebalance()
+        # Both pages have one tick; page 4 wins rank 0 (disk 0).
+        assert moves[0][0] == 4
+
+    def test_move_cap(self):
+        layout = MigratingLayout(
+            num_disks=4, pages_per_disk=1, max_moves_per_period=1
+        )
+        for page in (10, 11, 12):
+            layout.record_access(page)
+        moves = layout.plan_rebalance()
+        assert len(moves) == 1
+
+    def test_apply_rejects_out_of_range_target(self):
+        layout = MigratingLayout(num_disks=2, pages_per_disk=1)
+        with pytest.raises(SimulationError):
+            layout.apply_moves([(0, 0, 5)])

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 from repro.multidisk.layout import PartitionedLayout, StripedLayout
 
 
@@ -25,7 +25,12 @@ class TestPartitioned:
             PartitionedLayout(num_disks=0, pages_per_disk=10)
         with pytest.raises(ConfigError):
             PartitionedLayout(num_disks=2, pages_per_disk=0)
-        with pytest.raises(ConfigError):
+
+    def test_negative_page_is_a_runtime_error(self):
+        # A negative page is corrupt *trace* data hitting the replay, not
+        # a misconfiguration: it must raise SimulationError (regression
+        # test -- this used to raise ConfigError).
+        with pytest.raises(SimulationError):
             PartitionedLayout(num_disks=2, pages_per_disk=10).disk_of(-1)
 
 
@@ -41,7 +46,9 @@ class TestStriped:
     def test_validation(self):
         with pytest.raises(ConfigError):
             StripedLayout(num_disks=2, extent_pages=0)
-        with pytest.raises(ConfigError):
+
+    def test_negative_page_is_a_runtime_error(self):
+        with pytest.raises(SimulationError):
             StripedLayout(num_disks=2).disk_of(-5)
 
     def test_balanced_distribution(self):

@@ -113,3 +113,92 @@ class TestCsv:
             "2TFM-16GB", trace, fast_machine, duration_s=480.0, audit=True
         )
         assert result.total_accesses == 200
+
+
+class TestChunkedCsv:
+    def _write_fuzzed_csv(self, path, seed, rows=400, page=4096):
+        """Bursty, tie-heavy request log: the stable-sort stress shape."""
+        rng = np.random.default_rng(seed)
+        times = np.round(np.cumsum(rng.exponential(0.02, size=rows)), 3)
+        # Repeated timestamps (ties) and out-of-order lines both occur.
+        times[rng.random(rows) < 0.3] = np.round(times.mean(), 3)
+        order = rng.permutation(rows)
+        lines = ["time,offset,size"]
+        for i in order:
+            offset = int(rng.integers(0, 64)) * page
+            size = int(rng.integers(1, 5 * page))
+            lines.append(f"{times[i]},{offset},{size}")
+        path.write_text("\n".join(lines) + "\n")
+
+    @pytest.mark.parametrize("chunk_accesses", [1, 7, 64, 10**6])
+    def test_bit_identical_to_materialized(self, tmp_path, chunk_accesses):
+        from repro.traces.block_trace import load_block_csv_chunked
+
+        path = tmp_path / "fuzz.csv"
+        self._write_fuzzed_csv(path, seed=9)
+        expected = load_block_csv(path, page_size=4096)
+        chunked = load_block_csv_chunked(
+            path, page_size=4096, chunk_accesses=chunk_accesses
+        )
+        actual = chunked.materialize()
+        assert np.array_equal(actual.times, expected.times)
+        assert np.array_equal(actual.pages, expected.pages)
+        assert np.array_equal(actual.files, expected.files)
+        assert actual.times.dtype == expected.times.dtype
+        assert actual.pages.dtype == expected.pages.dtype
+        assert chunked.num_accesses == expected.num_accesses
+        assert chunked.duration_s == expected.duration_s
+        assert chunked.meta == expected.meta
+
+    def test_chunks_are_bounded(self, tmp_path):
+        from repro.traces.block_trace import load_block_csv_chunked
+
+        path = tmp_path / "fuzz.csv"
+        self._write_fuzzed_csv(path, seed=11)
+        chunked = load_block_csv_chunked(
+            path, page_size=4096, chunk_accesses=32
+        )
+        sizes = [len(chunk) for chunk in chunked.chunks()]
+        assert sum(sizes) == chunked.num_accesses
+        # Every chunk except the last is exactly the requested size.
+        assert all(s == 32 for s in sizes[:-1])
+        assert 0 < sizes[-1] <= 32
+
+    def test_validation(self, tmp_path):
+        from repro.traces.block_trace import load_block_csv_chunked
+
+        path = tmp_path / "one.csv"
+        path.write_text("time,offset,size\n0.0,0,4096\n")
+        with pytest.raises(TraceError):
+            load_block_csv_chunked(path, chunk_accesses=0)
+        with pytest.raises(TraceError):
+            load_block_csv_chunked(tmp_path / "none.csv")
+
+    def test_replays_identically_to_materialized(self, tmp_path, fast_machine):
+        from repro.sim.runner import run_chunked, run_method
+        from repro.traces.block_trace import load_block_csv_chunked
+
+        page = fast_machine.page_bytes
+        rng = np.random.default_rng(5)
+        rows = ["time,offset,size"]
+        for i in range(200):
+            offset = int(rng.integers(0, 100)) * page
+            rows.append(f"{i * 2.0},{offset},{int(rng.integers(1, 3)) * page}")
+        path = tmp_path / "real.csv"
+        path.write_text("\n".join(rows) + "\n")
+        offline = run_method(
+            "2TFM-16GB",
+            load_block_csv(path, page_size=page),
+            fast_machine,
+            duration_s=480.0,
+            warm_start=False,
+        )
+        chunked = run_chunked(
+            "2TFM-16GB",
+            load_block_csv_chunked(path, page_size=page, chunk_accesses=37),
+            fast_machine,
+            duration_s=480.0,
+        )
+        assert chunked.total_accesses == offline.total_accesses
+        assert chunked.disk_energy_j == offline.disk_energy_j
+        assert chunked.memory_energy_j == offline.memory_energy_j

@@ -1,0 +1,125 @@
+"""CHECKS["fleet"]: passes on clean code, catches migration-accounting bugs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.fleet.engine as fleet_engine
+from repro.fleet.engine import MigrationRecord
+from repro.verify.differential import CHECKS, run_differential
+from repro.verify.strategies import VerifyCase, random_case
+
+
+def _migration_case() -> VerifyCase:
+    """A case whose leg-3 run is guaranteed to migrate pages.
+
+    Every accessed page lies in [50, 90): with the conservation leg's
+    4-disk array and tiny partition unit (4/8/16 pages per disk) the
+    whole working set starts on the high disks, while popularity ranking
+    always packs the hottest pages from rank 0 upward -- so the first
+    period boundary must plan non-empty moves.
+    """
+    rng = np.random.default_rng(7)
+    pages = np.concatenate(
+        [
+            np.tile(np.arange(50, 58), 10),
+            rng.integers(50, 90, size=40),
+        ]
+    ).astype(np.int64)
+    gaps = rng.exponential(5.0, size=pages.size)
+    times = np.cumsum(gaps)
+    return VerifyCase(
+        seed=123,
+        times=times,
+        pages=pages,
+        window_s=0.1,
+        period_s=float(times[-1]) + 10.0,
+        pattern="crafted-migration",
+    )
+
+
+def test_fleet_check_clean():
+    for seed in range(6):
+        assert CHECKS["fleet"](random_case(seed, max_accesses=150)) is None
+
+
+def test_fleet_check_via_runner():
+    report = run_differential(seeds=3, checks=["fleet"], max_accesses=150)
+    assert report.ok
+    assert report.outcomes[0].name == "fleet"
+
+
+def test_crafted_case_actually_migrates(monkeypatch):
+    """The mutation target must be exercised, or the mutation test is void."""
+    real = fleet_engine._charge_migration
+    calls = []
+
+    def recording(array, now, moves):
+        calls.append(len(moves))
+        return real(array, now, moves)
+
+    monkeypatch.setattr(fleet_engine, "_charge_migration", recording)
+    assert CHECKS["fleet"](_migration_case()) is None
+    assert calls and sum(calls) > 0
+
+
+def test_mutation_dropping_destination_writes_is_caught(monkeypatch):
+    """Forgetting to charge the destination disks must trip the check.
+
+    This is the classic migration-accounting bug: the copy's reads are
+    billed but the writes are free, so migration looks ~2x cheaper than
+    it is.  The conservation leg's integer invariants (requests and
+    bytes vs misses + migrated pages) catch it exactly.
+    """
+
+    def mutated(array, now, moves):
+        src_counts = {}
+        dst_counts = {}
+        for _page, source, destination in moves:
+            src_counts[source] = src_counts.get(source, 0) + 1
+            dst_counts[destination] = dst_counts.get(destination, 0) + 1
+        active_s = 0.0
+        for disk_index in sorted(src_counts):
+            result = array.disks[disk_index].submit(
+                now, src_counts[disk_index], sequential=True
+            )
+            active_s += result.finish_s - result.start_s
+        # BUG under test: destination writes never submitted.
+        return MigrationRecord(
+            time_s=now,
+            moved_pages=len(moves),
+            src_pages=tuple(sorted(src_counts.items())),
+            dst_pages=tuple(sorted(dst_counts.items())),
+            active_s=active_s,
+        )
+
+    monkeypatch.setattr(fleet_engine, "_charge_migration", mutated)
+    detail = CHECKS["fleet"](_migration_case())
+    assert detail is not None
+    assert "conservation" in detail
+
+
+def test_mutation_free_migration_energy_is_caught(monkeypatch):
+    """Zeroing the recorded transfer time makes migration energy vanish."""
+    real = fleet_engine._charge_migration
+
+    def mutated(array, now, moves):
+        record = real(array, now, moves)
+        return MigrationRecord(
+            time_s=record.time_s,
+            moved_pages=record.moved_pages,
+            src_pages=record.src_pages,
+            dst_pages=record.dst_pages,
+            active_s=0.0,
+        )
+
+    monkeypatch.setattr(fleet_engine, "_charge_migration", mutated)
+    detail = CHECKS["fleet"](_migration_case())
+    assert detail is not None
+
+
+@pytest.mark.parametrize("seed", [0, 2])
+def test_check_is_deterministic(seed):
+    case = random_case(seed, max_accesses=150)
+    assert CHECKS["fleet"](case) == CHECKS["fleet"](case)
